@@ -1,0 +1,324 @@
+//! Infrastructure shared by the baselines: city metadata derived from
+//! training groups, plain embedding sources, and the common configuration.
+
+use od_hsg::{CityId, GeoPoint, UserId};
+use od_tensor::nn::Embedding;
+use od_tensor::{Graph, ParamStore, Shape, Value};
+use odnet_core::{GroupInput, TrainHyper};
+use rand::Rng;
+
+/// Shared baseline hyper-parameters (widths follow the ODNET defaults so
+/// capacity comparisons are fair; optimization follows the paper's §V-A.5).
+#[derive(Clone, Debug)]
+pub struct BaselineConfig {
+    /// Embedding width.
+    pub embed_dim: usize,
+    /// Recurrent / encoder hidden width.
+    pub hidden_dim: usize,
+    /// Tower hidden width.
+    pub tower_hidden: usize,
+    /// Adam learning rate (paper: 0.01).
+    pub learning_rate: f32,
+    /// Training epochs (paper: 5).
+    pub epochs: usize,
+    /// Groups per mini-batch.
+    pub batch_groups: usize,
+    /// Data-parallel workers.
+    pub workers: usize,
+    /// Global gradient clip.
+    pub grad_clip: f32,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            embed_dim: 16,
+            hidden_dim: 32,
+            tower_hidden: 32,
+            learning_rate: 0.01,
+            epochs: 5,
+            batch_groups: 18,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            grad_clip: 5.0,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Miniature config for tests.
+    pub fn tiny() -> Self {
+        BaselineConfig {
+            embed_dim: 8,
+            hidden_dim: 8,
+            tower_hidden: 8,
+            epochs: 2,
+            workers: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The shared trainer hyper-parameters.
+    pub fn hyper(&self) -> TrainHyper {
+        TrainHyper {
+            learning_rate: self.learning_rate,
+            epochs: self.epochs,
+            batch_groups: self.batch_groups,
+            workers: self.workers,
+            grad_clip: self.grad_clip,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Static city metadata every baseline may consult: coordinates (for
+/// spatial gates/graphs) and train-set popularity per side.
+#[derive(Clone, Debug)]
+pub struct CityMeta {
+    /// City coordinates.
+    pub coords: Vec<GeoPoint>,
+    /// Popularity as an origin, normalized to [0, 1].
+    pub pop_origin: Vec<f32>,
+    /// Popularity as a destination, normalized to [0, 1].
+    pub pop_dest: Vec<f32>,
+    /// Map scale (max pairwise distance), for normalizing distances.
+    pub map_scale: f64,
+}
+
+impl CityMeta {
+    /// Build from coordinates plus popularity counted over the *positive*
+    /// candidates and histories of training groups.
+    pub fn from_groups(coords: Vec<GeoPoint>, groups: &[GroupInput]) -> Self {
+        let n = coords.len();
+        let mut pop_origin = vec![0.0f32; n];
+        let mut pop_dest = vec![0.0f32; n];
+        for g in groups {
+            for c in &g.candidates {
+                if c.label_o > 0.5 {
+                    pop_origin[c.origin.index()] += 1.0;
+                }
+                if c.label_d > 0.5 {
+                    pop_dest[c.dest.index()] += 1.0;
+                }
+            }
+            for &c in &g.lt_origins {
+                pop_origin[c.index()] += 0.25;
+            }
+            for &c in &g.lt_dests {
+                pop_dest[c.index()] += 0.25;
+            }
+        }
+        normalize_max(&mut pop_origin);
+        normalize_max(&mut pop_dest);
+        let mut map_scale = 1e-9f64;
+        for a in &coords {
+            for b in &coords {
+                map_scale = map_scale.max(a.l2(*b));
+            }
+        }
+        CityMeta {
+            coords,
+            pop_origin,
+            pop_dest,
+            map_scale,
+        }
+    }
+
+    /// Normalized distance between two cities in [0, 1].
+    pub fn distance(&self, a: CityId, b: CityId) -> f32 {
+        (self.coords[a.index()].l2(self.coords[b.index()]) / self.map_scale) as f32
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the metadata covers no cities.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+fn normalize_max(v: &mut [f32]) {
+    let max = v.iter().copied().fold(0.0f32, f32::max);
+    if max > 0.0 {
+        v.iter_mut().for_each(|x| *x /= max);
+    }
+}
+
+/// Plain user/city embedding tables for one task side.
+#[derive(Clone, Debug)]
+pub struct SideTables {
+    user: Embedding,
+    city: Embedding,
+}
+
+impl SideTables {
+    /// Register tables under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num_users: usize,
+        num_cities: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        SideTables {
+            user: Embedding::new(store, &format!("{name}.users"), num_users, dim, rng),
+            city: Embedding::new(store, &format!("{name}.cities"), num_cities, dim, rng),
+        }
+    }
+
+    /// Snapshot both tables onto the graph once, returning a lookup source.
+    pub fn begin(&self, g: &mut Graph, store: &ParamStore) -> PlainSource {
+        PlainSource {
+            users: g.param(store, self.user.table()),
+            cities: g.param(store, self.city.table()),
+            dim: self.user.dim(),
+        }
+    }
+}
+
+/// Per-graph snapshot of a [`SideTables`] with cheap row lookups.
+pub struct PlainSource {
+    users: Value,
+    cities: Value,
+    dim: usize,
+}
+
+impl PlainSource {
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One user embedding as a vector.
+    pub fn user(&self, g: &mut Graph, u: UserId) -> Value {
+        let row = g.gather_rows(self.users, &[u.index()]);
+        g.reshape(row, Shape::Vector(self.dim))
+    }
+
+    /// One city embedding as a vector.
+    pub fn city(&self, g: &mut Graph, c: CityId) -> Value {
+        let row = g.gather_rows(self.cities, &[c.index()]);
+        g.reshape(row, Shape::Vector(self.dim))
+    }
+
+    /// A city sequence stacked into `[t × d]` (`None` when empty).
+    pub fn cities(&self, g: &mut Graph, ids: &[CityId]) -> Option<Value> {
+        if ids.is_empty() {
+            return None;
+        }
+        let idx: Vec<usize> = ids.iter().map(|c| c.index()).collect();
+        Some(g.gather_rows(self.cities, &idx))
+    }
+}
+
+/// Stack per-candidate `1×1` logits into a vector and attach the equal-
+/// weight two-task BCE loss used by every single-task baseline.
+pub fn single_task_group_loss(
+    g: &mut Graph,
+    logits_o: &[Value],
+    logits_d: &[Value],
+    group: &GroupInput,
+) -> Value {
+    let labels_o: Vec<f32> = group.candidates.iter().map(|c| c.label_o).collect();
+    let labels_d: Vec<f32> = group.candidates.iter().map(|c| c.label_d).collect();
+    let n = labels_o.len();
+    let so = g.concat_rows(logits_o);
+    let so = g.reshape(so, Shape::Vector(n));
+    let sd = g.concat_rows(logits_d);
+    let sd = g.reshape(sd, Shape::Vector(n));
+    let lo = g.bce_with_logits(so, &od_tensor::Tensor::vector(&labels_o));
+    let ld = g.bce_with_logits(sd, &od_tensor::Tensor::vector(&labels_d));
+    let s = g.add(lo, ld);
+    g.scale(s, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odnet_core::CandidateInput;
+
+    fn group_with(positive: (u32, u32)) -> GroupInput {
+        GroupInput {
+            user: UserId(0),
+            day: 1,
+            current_city: CityId(0),
+            lt_origins: vec![CityId(0)],
+            lt_dests: vec![CityId(1)],
+            lt_days: vec![0],
+            st_origins: vec![],
+            st_dests: vec![],
+            st_days: vec![],
+            candidates: vec![CandidateInput {
+                origin: CityId(positive.0),
+                dest: CityId(positive.1),
+                xst_o: [0.0; odnet_core::XST_DIM],
+                xst_d: [0.0; odnet_core::XST_DIM],
+                label_o: 1.0,
+                label_d: 1.0,
+            }],
+        }
+    }
+
+    fn coords(n: usize) -> Vec<GeoPoint> {
+        (0..n)
+            .map(|i| GeoPoint {
+                lon: i as f64,
+                lat: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn city_meta_popularity_reflects_positives() {
+        let groups = vec![group_with((2, 3)), group_with((2, 4)), group_with((1, 3))];
+        let meta = CityMeta::from_groups(coords(5), &groups);
+        assert_eq!(meta.len(), 5);
+        // City 2 is the most popular origin (2 positives), normalized to 1.
+        assert_eq!(meta.pop_origin[2], 1.0);
+        assert!(meta.pop_origin[1] < 1.0 && meta.pop_origin[1] > 0.0);
+        assert_eq!(meta.pop_dest[3], 1.0);
+    }
+
+    #[test]
+    fn distances_are_normalized() {
+        let meta = CityMeta::from_groups(coords(5), &[]);
+        assert!((meta.distance(CityId(0), CityId(4)) - 1.0).abs() < 1e-6);
+        assert_eq!(meta.distance(CityId(2), CityId(2)), 0.0);
+        assert!((meta.distance(CityId(0), CityId(2)) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plain_source_lookups() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut store = ParamStore::new();
+        let tables = SideTables::new(&mut store, "side", 3, 4, 6, &mut StdRng::seed_from_u64(1));
+        let mut g = Graph::new();
+        let src = tables.begin(&mut g, &store);
+        assert_eq!(src.dim(), 6);
+        let u = src.user(&mut g, UserId(2));
+        assert_eq!(g.value(u).shape(), Shape::Vector(6));
+        let seq = src.cities(&mut g, &[CityId(0), CityId(3)]).unwrap();
+        assert_eq!(g.value(seq).shape(), Shape::Matrix(2, 6));
+        assert!(src.cities(&mut g, &[]).is_none());
+    }
+
+    #[test]
+    fn shared_loss_is_finite_scalar() {
+        let group = group_with((1, 2));
+        let mut g = Graph::new();
+        let l1 = g.input(od_tensor::Tensor::matrix(1, 1, &[0.3]));
+        let l2 = g.input(od_tensor::Tensor::matrix(1, 1, &[-0.7]));
+        let loss = single_task_group_loss(&mut g, &[l1], &[l2], &group);
+        assert!(g.value(loss).item().is_finite());
+        assert!(g.value(loss).item() > 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Histogram binning for fast GBDT split finding.
+//!
+//! Features are quantized once per booster into at most [`MAX_BINS`]
+//! quantile bins; trees then find splits by accumulating gradient/hessian
+//! histograms per node — O(n·features) per node instead of
+//! O(features·n log n). This is the standard production design
+//! (LightGBM-style) and is what makes GBDT the *fastest* trainer in the
+//! paper's Table V.
+
+/// Maximum number of bins per feature (fits in a `u8` index).
+pub const MAX_BINS: usize = 32;
+
+/// A feature matrix quantized to per-feature quantile bins.
+#[derive(Clone, Debug)]
+pub struct BinnedDataset {
+    /// Row-major bin indices, `n × num_features`.
+    bins: Vec<u8>,
+    /// Per feature: upper edge of each bin except the last (splitting at
+    /// bin `b` means `raw value <= edges[f][b]` goes left).
+    edges: Vec<Vec<f32>>,
+    num_features: usize,
+    num_rows: usize,
+}
+
+impl BinnedDataset {
+    /// Quantize row-major raw features.
+    pub fn build(x: &[Vec<f32>]) -> BinnedDataset {
+        assert!(!x.is_empty(), "cannot bin an empty dataset");
+        let num_rows = x.len();
+        let num_features = x[0].len();
+        let mut edges = Vec::with_capacity(num_features);
+        for f in 0..num_features {
+            let mut values: Vec<f32> = x.iter().map(|row| row[f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN features"));
+            values.dedup();
+            let feature_edges = if values.len() <= MAX_BINS {
+                // One bin per distinct value; edges between consecutive values.
+                values
+                    .windows(2)
+                    .map(|w| (w[0] + w[1]) / 2.0)
+                    .collect::<Vec<f32>>()
+            } else {
+                // Quantile edges.
+                let mut e = Vec::with_capacity(MAX_BINS - 1);
+                for b in 1..MAX_BINS {
+                    let idx = b * (values.len() - 1) / MAX_BINS;
+                    let edge = values[idx];
+                    if e.last() != Some(&edge) {
+                        e.push(edge);
+                    }
+                }
+                e
+            };
+            edges.push(feature_edges);
+        }
+        let mut bins = vec![0u8; num_rows * num_features];
+        for (r, row) in x.iter().enumerate() {
+            for f in 0..num_features {
+                bins[r * num_features + f] = bin_of(&edges[f], row[f]);
+            }
+        }
+        BinnedDataset {
+            bins,
+            edges,
+            num_features,
+            num_rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Bin index of `(row, feature)`.
+    pub fn bin(&self, row: usize, feature: usize) -> u8 {
+        self.bins[row * self.num_features + feature]
+    }
+
+    /// Number of bins a feature uses (edges + 1).
+    pub fn bins_of(&self, feature: usize) -> usize {
+        self.edges[feature].len() + 1
+    }
+
+    /// The raw-space threshold of splitting feature `f` after bin `b`
+    /// (rows with `bin <= b` go left ⇔ `raw <= edges[f][b]`).
+    pub fn threshold(&self, feature: usize, bin: usize) -> f32 {
+        self.edges[feature][bin]
+    }
+}
+
+/// Bin index of a raw value: the number of edges ≤ … (first bin whose edge
+/// exceeds the value).
+fn bin_of(edges: &[f32], value: f32) -> u8 {
+    edges.partition_point(|&e| value > e) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_distinct_values_get_exact_bins() {
+        let x = vec![vec![0.0], vec![1.0], vec![1.0], vec![2.0]];
+        let b = BinnedDataset::build(&x);
+        assert_eq!(b.bins_of(0), 3);
+        assert_eq!(b.bin(0, 0), 0);
+        assert_eq!(b.bin(1, 0), 1);
+        assert_eq!(b.bin(2, 0), 1);
+        assert_eq!(b.bin(3, 0), 2);
+        // Threshold after bin 0 separates 0.0 from 1.0.
+        assert!(b.threshold(0, 0) > 0.0 && b.threshold(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn many_values_are_quantile_capped() {
+        let x: Vec<Vec<f32>> = (0..1000).map(|i| vec![i as f32]).collect();
+        let b = BinnedDataset::build(&x);
+        assert!(b.bins_of(0) <= MAX_BINS);
+        assert!(b.bins_of(0) >= MAX_BINS / 2);
+        // Bins are monotone in the raw value.
+        for r in 1..1000 {
+            assert!(b.bin(r, 0) >= b.bin(r - 1, 0));
+        }
+    }
+
+    #[test]
+    fn binning_preserves_order_consistency() {
+        let x = vec![vec![5.0, -1.0], vec![3.0, 4.0], vec![9.0, 0.0]];
+        let b = BinnedDataset::build(&x);
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_features(), 2);
+        // raw order 3 < 5 < 9 must hold in bins.
+        assert!(b.bin(1, 0) < b.bin(0, 0));
+        assert!(b.bin(0, 0) < b.bin(2, 0));
+    }
+
+    #[test]
+    fn constant_feature_has_single_bin() {
+        let x = vec![vec![7.0]; 10];
+        let b = BinnedDataset::build(&x);
+        assert_eq!(b.bins_of(0), 1);
+        assert!((0..10).all(|r| b.bin(r, 0) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty() {
+        BinnedDataset::build(&[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Hand-crafted candidate features for the GBDT baseline — the classic
+//! industrial feature set: popularity, temporal statistics, history matches,
+//! return-trip indicators, and spatial distances.
+
+use crate::common::CityMeta;
+use odnet_core::{CandidateInput, GroupInput};
+
+/// Number of features produced per candidate: 2 popularity priors, two
+/// 8-wide x_st vectors, 5 history matches, 2 unity signals, 2 spatial
+/// distances, 1 history-volume feature.
+pub const NUM_FEATURES: usize = 12 + 2 * odnet_core::XST_DIM;
+
+/// Extract the fixed-length feature vector for one candidate in a group.
+pub fn extract(group: &GroupInput, cand: &CandidateInput, meta: &CityMeta) -> Vec<f32> {
+    let o = cand.origin;
+    let d = cand.dest;
+    let count = |seq: &[od_hsg::CityId], c: od_hsg::CityId| -> f32 {
+        let n = seq.iter().filter(|&&x| x == c).count();
+        (n as f32) / (seq.len().max(1) as f32)
+    };
+    // Return-trip signal: the reversed candidate pair appears as the most
+    // recent long-term booking.
+    let last_lt = group
+        .lt_origins
+        .last()
+        .copied()
+        .zip(group.lt_dests.last().copied());
+    let is_return = match last_lt {
+        Some((lo, ld)) => (ld == o && lo == d) as u32 as f32,
+        None => 0.0,
+    };
+    let pair_in_history = group
+        .lt_origins
+        .iter()
+        .zip(&group.lt_dests)
+        .any(|(&ho, &hd)| ho == o && hd == d) as u32 as f32;
+
+    let mut f = Vec::with_capacity(NUM_FEATURES);
+    // Popularity priors (2).
+    f.push(meta.pop_origin[o.index()]);
+    f.push(meta.pop_dest[d.index()]);
+    // Temporal statistics x_st (2 × XST_DIM).
+    f.extend_from_slice(&cand.xst_o);
+    f.extend_from_slice(&cand.xst_d);
+    // History matches (5).
+    f.push((o == group.current_city) as u32 as f32);
+    f.push(count(&group.lt_origins, o));
+    f.push(count(&group.st_origins, o));
+    f.push(count(&group.lt_dests, d));
+    f.push(count(&group.st_dests, d));
+    // Unity signals (2).
+    f.push(is_return);
+    f.push(pair_in_history);
+    // Spatial (2).
+    f.push(meta.distance(group.current_city, o));
+    f.push(meta.distance(o, d));
+    // History volume (1).
+    f.push((group.lt_dests.len() as f32).ln_1p());
+    debug_assert_eq!(f.len(), NUM_FEATURES);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_hsg::{CityId, GeoPoint, UserId};
+
+    fn meta() -> CityMeta {
+        let coords: Vec<GeoPoint> = (0..5)
+            .map(|i| GeoPoint {
+                lon: i as f64,
+                lat: 0.0,
+            })
+            .collect();
+        CityMeta::from_groups(coords, &[])
+    }
+
+    fn group() -> GroupInput {
+        GroupInput {
+            user: UserId(0),
+            day: 50,
+            current_city: CityId(1),
+            lt_origins: vec![CityId(0), CityId(1)],
+            lt_dests: vec![CityId(2), CityId(3)],
+            lt_days: vec![10, 30],
+            st_origins: vec![CityId(1)],
+            st_dests: vec![CityId(3)],
+            st_days: vec![48],
+            candidates: vec![],
+        }
+    }
+
+    fn cand(o: u32, d: u32) -> CandidateInput {
+        CandidateInput {
+            origin: CityId(o),
+            dest: CityId(d),
+            xst_o: {
+                let mut x = [0.0; odnet_core::XST_DIM];
+                x[..4].copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+                x
+            },
+            xst_d: {
+                let mut x = [0.0; odnet_core::XST_DIM];
+                x[..4].copy_from_slice(&[0.5, 0.6, 0.7, 0.8]);
+                x
+            },
+            label_o: 0.0,
+            label_d: 0.0,
+        }
+    }
+
+    #[test]
+    fn feature_vector_has_declared_length() {
+        let f = extract(&group(), &cand(1, 3), &meta());
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn return_trip_flag_fires_on_reversed_last_booking() {
+        // Last booking was 1 → 3; the return candidate is 3 → 1.
+        let f = extract(&group(), &cand(3, 1), &meta());
+        let is_return = f[2 + 2 * odnet_core::XST_DIM + 5];
+        assert_eq!(is_return, 1.0);
+        let f2 = extract(&group(), &cand(1, 3), &meta());
+        assert_eq!(f2[2 + 2 * odnet_core::XST_DIM + 5], 0.0);
+    }
+
+    #[test]
+    fn pair_in_history_flag() {
+        // (1, 3) is the second historical booking.
+        let f = extract(&group(), &cand(1, 3), &meta());
+        assert_eq!(f[2 + 2 * odnet_core::XST_DIM + 6], 1.0);
+        let f2 = extract(&group(), &cand(0, 4), &meta());
+        assert_eq!(f2[2 + 2 * odnet_core::XST_DIM + 6], 0.0);
+    }
+
+    #[test]
+    fn current_city_and_counts() {
+        let base = 2 + 2 * odnet_core::XST_DIM;
+        let f = extract(&group(), &cand(1, 3), &meta());
+        assert_eq!(f[base], 1.0, "origin == current city");
+        assert_eq!(f[base + 1], 0.5, "origin appears once in 2 lt origins");
+        assert_eq!(f[base + 3], 0.5, "dest appears once in 2 lt dests");
+        assert_eq!(f[base + 4], 1.0, "dest appears in all st dests");
+    }
+
+    #[test]
+    fn xst_features_pass_through() {
+        let f = extract(&group(), &cand(0, 4), &meta());
+        assert_eq!(&f[2..6], &[0.1, 0.2, 0.3, 0.4]);
+        let d0 = 2 + odnet_core::XST_DIM;
+        assert_eq!(&f[d0..d0 + 4], &[0.5, 0.6, 0.7, 0.8]);
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let mut g = group();
+        g.lt_origins.clear();
+        g.lt_dests.clear();
+        g.st_origins.clear();
+        g.st_dests.clear();
+        let f = extract(&g, &cand(2, 3), &meta());
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert_eq!(f[2 + 2 * odnet_core::XST_DIM + 5], 0.0);
+    }
+}

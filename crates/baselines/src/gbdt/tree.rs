@@ -1,0 +1,343 @@
+//! Regression trees for gradient boosting: histogram-based greedy splits
+//! (gradient/hessian accumulated per quantile bin) with Newton leaf values.
+//! Thresholds are stored in raw feature space, so prediction needs no
+//! binning.
+
+use super::binned::BinnedDataset;
+
+/// One fitted regression tree (array-encoded binary tree).
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Index of the left child subtree's root.
+        left: usize,
+        /// Index of the right child subtree's root (the left subtree may
+        /// span many nodes, so this cannot be derived from `left`).
+        right: usize,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+/// Training options for one tree.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_split: usize,
+    /// L2 regularization on leaf values (λ in the Newton step).
+    pub lambda: f32,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 4,
+            min_split: 20,
+            lambda: 1.0,
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Convenience: bin `x` and fit (tests and one-off fits). Boosters bin
+    /// once and call [`RegressionTree::fit_binned`] per round instead.
+    pub fn fit(
+        x: &[Vec<f32>],
+        grad: &[f32],
+        hess: &[f32],
+        params: TreeParams,
+    ) -> RegressionTree {
+        let binned = BinnedDataset::build(x);
+        RegressionTree::fit_binned(&binned, grad, hess, params)
+    }
+
+    /// Fit a tree on pre-binned features, following the XGBoost-style
+    /// objective: split gain maximizes
+    /// `GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)`, leaf value `−G/(H+λ)`.
+    pub fn fit_binned(
+        binned: &BinnedDataset,
+        grad: &[f32],
+        hess: &[f32],
+        params: TreeParams,
+    ) -> RegressionTree {
+        assert_eq!(binned.num_rows(), grad.len());
+        assert_eq!(binned.num_rows(), hess.len());
+        let indices: Vec<usize> = (0..binned.num_rows()).collect();
+        let mut nodes = Vec::new();
+        build(binned, grad, hess, &indices, 0, params, &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    /// Predict one sample.
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// Recursively build the tree, returning the index of the created node.
+fn build(
+    binned: &BinnedDataset,
+    grad: &[f32],
+    hess: &[f32],
+    indices: &[usize],
+    depth: usize,
+    params: TreeParams,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let g_sum: f64 = indices.iter().map(|&i| grad[i] as f64).sum();
+    let h_sum: f64 = indices.iter().map(|&i| hess[i] as f64).sum();
+    let leaf_value = (-g_sum / (h_sum + params.lambda as f64)) as f32;
+
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf { value: leaf_value });
+        nodes.len() - 1
+    };
+    if depth >= params.max_depth || indices.len() < params.min_split {
+        return make_leaf(nodes);
+    }
+    let Some((feature, split_bin)) = best_split(binned, grad, hess, indices, g_sum, h_sum, params)
+    else {
+        return make_leaf(nodes);
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| binned.bin(i, feature) as usize <= split_bin);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return make_leaf(nodes);
+    }
+    let threshold = binned.threshold(feature, split_bin);
+    // Reserve this node's slot, then build both child subtrees and link
+    // their roots explicitly.
+    let slot = nodes.len();
+    nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+    let left = build(binned, grad, hess, &left_idx, depth + 1, params, nodes);
+    let right = build(binned, grad, hess, &right_idx, depth + 1, params, nodes);
+    nodes[slot] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    slot
+}
+
+/// Histogram greedy split search: accumulate per-bin gradient/hessian
+/// totals, then scan bin boundaries. Returns the best `(feature, bin)` or
+/// `None` when no split improves on the parent.
+fn best_split(
+    binned: &BinnedDataset,
+    grad: &[f32],
+    hess: &[f32],
+    indices: &[usize],
+    g_total: f64,
+    h_total: f64,
+    params: TreeParams,
+) -> Option<(usize, usize)> {
+    let lambda = params.lambda as f64;
+    let parent_score = g_total * g_total / (h_total + lambda);
+    let mut best: Option<(f64, usize, usize)> = None;
+    let mut g_hist = [0.0f64; super::binned::MAX_BINS];
+    let mut h_hist = [0.0f64; super::binned::MAX_BINS];
+    for f in 0..binned.num_features() {
+        let num_bins = binned.bins_of(f);
+        if num_bins < 2 {
+            continue;
+        }
+        g_hist[..num_bins].fill(0.0);
+        h_hist[..num_bins].fill(0.0);
+        for &i in indices {
+            let b = binned.bin(i, f) as usize;
+            g_hist[b] += grad[i] as f64;
+            h_hist[b] += hess[i] as f64;
+        }
+        let mut g_left = 0.0f64;
+        let mut h_left = 0.0f64;
+        // Splitting after the last bin sends everything left — skip it.
+        for b in 0..num_bins - 1 {
+            g_left += g_hist[b];
+            h_left += h_hist[b];
+            if h_left == 0.0 {
+                continue;
+            }
+            let g_right = g_total - g_left;
+            let h_right = h_total - h_left;
+            if h_right == 0.0 {
+                break;
+            }
+            let gain = g_left * g_left / (h_left + lambda)
+                + g_right * g_right / (h_right + lambda)
+                - parent_score;
+            if gain > 1e-9 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                best = Some((gain, f, b));
+            }
+        }
+    }
+    best.map(|(_, f, b)| (f, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 1 when x0 > 0.5, else −1; hess = 1 → leaf values track targets.
+    fn step_data(n: usize) -> (Vec<Vec<f32>>, Vec<f32>, Vec<f32>) {
+        let mut x = Vec::new();
+        let mut grad = Vec::new();
+        for i in 0..n {
+            let v = i as f32 / n as f32;
+            x.push(vec![v, 0.0]);
+            // grad = −residual in the boosting convention: target +1/−1.
+            grad.push(if v > 0.5 { -1.0 } else { 1.0 });
+        }
+        let hess = vec![1.0; n];
+        (x, grad, hess)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (x, g, h) = step_data(100);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 2,
+                min_split: 4,
+                lambda: 0.0,
+            },
+        );
+        assert!(tree.predict(&[0.9, 0.0]) > 0.9);
+        assert!(tree.predict(&[0.1, 0.0]) < -0.9);
+    }
+
+    #[test]
+    fn depth_zero_is_single_leaf_with_newton_value() {
+        let (x, g, h) = step_data(10);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 0,
+                min_split: 2,
+                lambda: 0.0,
+            },
+        );
+        assert!(tree.is_empty());
+        // Leaf = −ΣG/ΣH. 10 points: 5 at +1 (v≤0.5 is i/n≤0.5 → i ≤ 5 → 6
+        // points +1, 4 points −1) → −(6−4)/10 = −0.2.
+        assert!((tree.predict(&[0.0, 0.0]) + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let x = vec![vec![1.0, 1.0]; 30];
+        let g = vec![0.5; 30];
+        let h = vec![1.0; 30];
+        let tree = RegressionTree::fit(&x, &g, &h, TreeParams::default());
+        assert!(tree.is_empty(), "no split possible on constant features");
+    }
+
+    #[test]
+    fn regularization_shrinks_leaves() {
+        let (x, g, h) = step_data(40);
+        let loose = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 1,
+                min_split: 2,
+                lambda: 0.0,
+            },
+        );
+        let tight = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 1,
+                min_split: 2,
+                lambda: 10.0,
+            },
+        );
+        assert!(tight.predict(&[0.9, 0.0]).abs() < loose.predict(&[0.9, 0.0]).abs());
+    }
+
+    #[test]
+    fn respects_min_split() {
+        let (x, g, h) = step_data(10);
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 5,
+                min_split: 100,
+                lambda: 0.0,
+            },
+        );
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 1 is noise; the tree must pick feature 0.
+        let mut x = Vec::new();
+        let mut g = Vec::new();
+        for i in 0..60 {
+            x.push(vec![(i % 2) as f32, (i % 7) as f32]);
+            g.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let h = vec![1.0; 60];
+        let tree = RegressionTree::fit(
+            &x,
+            &g,
+            &h,
+            TreeParams {
+                max_depth: 1,
+                min_split: 2,
+                lambda: 0.0,
+            },
+        );
+        assert!(tree.predict(&[0.0, 3.0]) < -0.9);
+        assert!(tree.predict(&[1.0, 3.0]) > 0.9);
+    }
+}

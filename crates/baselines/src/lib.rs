@@ -1,0 +1,42 @@
+//! # od-baselines — the paper's comparison methods, from scratch
+//!
+//! Every method in the paper's Tables III–V is reimplemented here on the
+//! same substrate and evaluation harness as ODNET:
+//!
+//! | Method      | Family      | Module |
+//! |-------------|-------------|--------|
+//! | MostPop     | rule-based  | [`mostpop`] |
+//! | GBDT        | boosted trees (Friedman 2001) | [`gbdt`] |
+//! | LSTM        | RNN | [`lstm`] |
+//! | STGN        | RNN + time/distance gates | [`stgn`] |
+//! | LSTPM       | RNN + non-local / geo-dilated | [`lstpm`] |
+//! | STOD-PPA    | origin-aware RNN + preference attention | [`stod_ppa`] |
+//! | STP-UDGAT   | homogeneous spatial/temporal/preference GATs | [`stp_udgat`] |
+//!
+//! All neural baselines implement [`odnet_core::TrainableModel`] (so the
+//! shared data-parallel trainer drives them) and [`odnet_core::OdScorer`]
+//! (so the shared evaluation harness scores them). The paper's ODNET
+//! ablation variants (ODNET−G, STL±G) live in `odnet-core` as variants of
+//! the main model.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod gbdt;
+pub mod lstm;
+pub mod lstpm;
+pub mod mostpop;
+pub mod seqnet;
+pub mod stgn;
+pub mod stod_ppa;
+pub mod stp_udgat;
+
+pub use common::{BaselineConfig, CityMeta};
+pub use gbdt::{GbdtBaseline, GbdtConfig};
+pub use lstm::LstmBaseline;
+pub use lstpm::LstpmBaseline;
+pub use mostpop::MostPop;
+pub use seqnet::{SeqInput, SideEncoder, TwoSideModel};
+pub use stgn::StgnBaseline;
+pub use stod_ppa::StodPpaBaseline;
+pub use stp_udgat::{CityGraph, GraphKind, StpUdgatBaseline};

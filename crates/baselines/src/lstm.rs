@@ -1,0 +1,69 @@
+//! LSTM baseline (paper §V-A.3, Hochreiter & Schmidhuber 1997): a plain
+//! recurrent encoder over the concatenated long-term + short-term city
+//! sequence, the simplest sequential model in the comparison.
+
+use crate::common::{BaselineConfig, PlainSource};
+use crate::seqnet::{SeqInput, SideEncoder, TwoSideModel};
+use od_tensor::nn::LstmCell;
+use od_tensor::{Graph, ParamStore, Shape, Tensor, Value};
+
+/// The plain LSTM side encoder.
+pub struct LstmEncoder {
+    cell: LstmCell,
+    hidden: usize,
+}
+
+impl SideEncoder for LstmEncoder {
+    fn out_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        src: &PlainSource,
+        input: &SeqInput<'_>,
+    ) -> Value {
+        let mut ids: Vec<_> = input.lt_ids.to_vec();
+        ids.extend_from_slice(input.st_ids);
+        match src.cities(g, &ids) {
+            Some(seq) => self.cell.run(g, store, seq),
+            None => g.input(Tensor::zeros(Shape::Vector(self.hidden))),
+        }
+    }
+}
+
+/// The assembled two-side LSTM baseline.
+pub type LstmBaseline = TwoSideModel<LstmEncoder>;
+
+impl LstmBaseline {
+    /// Build the baseline for a universe of `num_users` × `num_cities`.
+    pub fn new(cfg: BaselineConfig, num_users: usize, num_cities: usize) -> Self {
+        TwoSideModel::assemble("LSTM", cfg, num_users, num_cities, |store, name, cfg, rng| {
+            LstmEncoder {
+                cell: LstmCell::new(store, name, cfg.embed_dim, cfg.hidden_dim, rng),
+                hidden: cfg.hidden_dim,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqnet::test_support::assert_learns;
+    use odnet_core::OdScorer;
+
+    #[test]
+    fn learns_a_repetition_pattern() {
+        let mut model = LstmBaseline::new(BaselineConfig::tiny(), 10, 8);
+        assert_learns(&mut model, 11);
+    }
+
+    #[test]
+    fn name_matches_table() {
+        let model = LstmBaseline::new(BaselineConfig::tiny(), 4, 4);
+        assert_eq!(model.name(), "LSTM");
+    }
+}

@@ -1,0 +1,164 @@
+//! LSTPM baseline (paper §V-A.3, Sun et al. AAAI'20): long- and short-term
+//! preference modeling. The long-term preference is an LSTM whose hidden
+//! states are pooled by a *non-local* attention block queried by the
+//! short-term state; the short-term preference is a *geo-dilated* LSTM that
+//! weights each step by geographic proximity to the user's current city.
+//! The encoder output is the concatenation of both preferences.
+
+use crate::common::{BaselineConfig, CityMeta, PlainSource};
+use crate::seqnet::{SeqInput, SideEncoder, TwoSideModel};
+use od_tensor::nn::{BilinearAttention, LstmCell};
+use od_tensor::{Graph, ParamStore, Shape, Tensor, Value};
+use rand::Rng;
+
+/// The LSTPM side encoder.
+pub struct LstpmEncoder {
+    long_cell: LstmCell,
+    short_cell: LstmCell,
+    nonlocal: BilinearAttention,
+    meta: CityMeta,
+    hidden: usize,
+}
+
+impl LstpmEncoder {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &BaselineConfig,
+        meta: CityMeta,
+        rng: &mut impl Rng,
+    ) -> Self {
+        LstpmEncoder {
+            long_cell: LstmCell::new(
+                store,
+                &format!("{name}.long"),
+                cfg.embed_dim,
+                cfg.hidden_dim,
+                rng,
+            ),
+            short_cell: LstmCell::new(
+                store,
+                &format!("{name}.short"),
+                cfg.embed_dim,
+                cfg.hidden_dim,
+                rng,
+            ),
+            nonlocal: BilinearAttention::new(store, &format!("{name}.nonlocal"), cfg.hidden_dim, rng),
+            meta,
+            hidden: cfg.hidden_dim,
+        }
+    }
+}
+
+impl SideEncoder for LstpmEncoder {
+    fn out_dim(&self) -> usize {
+        2 * self.hidden
+    }
+
+    fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        src: &PlainSource,
+        input: &SeqInput<'_>,
+    ) -> Value {
+        // Short-term: geo-dilated LSTM — inputs scaled by proximity to the
+        // current city, so nearby clicks dominate the state.
+        let short = if input.st_ids.is_empty() {
+            g.input(Tensor::zeros(Shape::Vector(self.hidden)))
+        } else {
+            let mut state = self.short_cell.zero_state(g);
+            for &city in input.st_ids {
+                let x = src.city(g, city);
+                let proximity = 1.0 / (1.0 + 4.0 * self.meta.distance(input.current_city, city));
+                let x = g.scale(x, proximity);
+                state = self.short_cell.step(g, store, x, state);
+            }
+            state.h
+        };
+        // Long-term: LSTM over bookings keeping every hidden state, then a
+        // non-local attention pooled by the short-term query.
+        let long = if input.lt_ids.is_empty() {
+            g.input(Tensor::zeros(Shape::Vector(self.hidden)))
+        } else {
+            let mut state = self.long_cell.zero_state(g);
+            let mut hiddens = Vec::with_capacity(input.lt_ids.len());
+            for &city in input.lt_ids {
+                let x = src.city(g, city);
+                state = self.long_cell.step(g, store, x, state);
+                hiddens.push(state.h);
+            }
+            let h_matrix = g.concat_rows(&hiddens); // t×h
+            let pooled = self.nonlocal.forward(g, store, short, h_matrix);
+            g.reshape(pooled, Shape::Vector(self.hidden))
+        };
+        g.concat_cols(&[long, short])
+    }
+}
+
+/// The assembled two-side LSTPM baseline.
+pub type LstpmBaseline = TwoSideModel<LstpmEncoder>;
+
+impl LstpmBaseline {
+    /// Build the baseline; `meta` supplies the geo-dilation distances.
+    pub fn new(cfg: BaselineConfig, num_users: usize, num_cities: usize, meta: CityMeta) -> Self {
+        TwoSideModel::assemble(
+            "LSTPM",
+            cfg,
+            num_users,
+            num_cities,
+            move |store, name, cfg, rng| LstpmEncoder::new(store, name, cfg, meta.clone(), rng),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqnet::test_support::{assert_learns, learnable_groups};
+    use od_hsg::GeoPoint;
+    use odnet_core::OdScorer;
+
+    fn meta(n: usize) -> CityMeta {
+        let coords = (0..n)
+            .map(|i| GeoPoint {
+                lon: (i * i % 7) as f64,
+                lat: i as f64,
+            })
+            .collect();
+        CityMeta::from_groups(coords, &[])
+    }
+
+    #[test]
+    fn learns_a_repetition_pattern() {
+        let mut model = LstpmBaseline::new(BaselineConfig::tiny(), 10, 8, meta(8));
+        assert_learns(&mut model, 17);
+    }
+
+    #[test]
+    fn handles_partial_histories() {
+        let model = LstpmBaseline::new(BaselineConfig::tiny(), 10, 8, meta(8));
+        // Only long-term, no short-term.
+        let mut group = learnable_groups(1, 8, 4).pop().unwrap();
+        group.st_origins.clear();
+        group.st_dests.clear();
+        group.st_days.clear();
+        let scores = model.score_group(&group);
+        assert!(scores.iter().all(|(a, b)| a.is_finite() && b.is_finite()));
+        // Only short-term, no long-term.
+        let mut group2 = learnable_groups(1, 8, 5).pop().unwrap();
+        group2.lt_origins.clear();
+        group2.lt_dests.clear();
+        group2.lt_days.clear();
+        let scores2 = model.score_group(&group2);
+        assert!(scores2.iter().all(|(a, b)| a.is_finite() && b.is_finite()));
+    }
+
+    #[test]
+    fn name_matches_table() {
+        assert_eq!(
+            LstpmBaseline::new(BaselineConfig::tiny(), 4, 4, meta(4)).name(),
+            "LSTPM"
+        );
+    }
+}

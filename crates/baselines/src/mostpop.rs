@@ -1,0 +1,113 @@
+//! MostPop — the rule-based popularity baseline (paper §V-A.3): cities are
+//! ranked by their visit popularity, and a user's current city is paired
+//! with the most popular destinations.
+
+use crate::common::CityMeta;
+use odnet_core::{GroupInput, OdScorer};
+
+/// The fitted popularity scorer. "Fitting" is just counting.
+#[derive(Clone, Debug)]
+pub struct MostPop {
+    meta: CityMeta,
+}
+
+impl MostPop {
+    /// Build from training-derived city metadata.
+    pub fn new(meta: CityMeta) -> Self {
+        MostPop { meta }
+    }
+}
+
+impl OdScorer for MostPop {
+    fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
+        group
+            .candidates
+            .iter()
+            .map(|c| {
+                // Origin: the user's current city dominates; other origins
+                // fall back to global origin popularity.
+                let p_o = if c.origin == group.current_city {
+                    1.0
+                } else {
+                    0.5 * self.meta.pop_origin[c.origin.index()]
+                };
+                let p_d = self.meta.pop_dest[c.dest.index()];
+                (p_o, p_d)
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "MostPop".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_hsg::{CityId, GeoPoint, UserId};
+    use odnet_core::CandidateInput;
+
+    fn meta() -> CityMeta {
+        let coords: Vec<GeoPoint> = (0..4)
+            .map(|i| GeoPoint {
+                lon: i as f64,
+                lat: 0.0,
+            })
+            .collect();
+        let mut m = CityMeta::from_groups(coords, &[]);
+        m.pop_origin = vec![0.1, 0.9, 0.2, 0.0];
+        m.pop_dest = vec![0.0, 0.3, 1.0, 0.5];
+        m
+    }
+
+    fn group() -> GroupInput {
+        GroupInput {
+            user: UserId(0),
+            day: 5,
+            current_city: CityId(0),
+            lt_origins: vec![],
+            lt_dests: vec![],
+            lt_days: vec![],
+            st_origins: vec![],
+            st_dests: vec![],
+            st_days: vec![],
+            candidates: vec![
+                CandidateInput {
+                    origin: CityId(0),
+                    dest: CityId(2),
+                    xst_o: [0.0; odnet_core::XST_DIM],
+                    xst_d: [0.0; odnet_core::XST_DIM],
+                    label_o: 1.0,
+                    label_d: 1.0,
+                },
+                CandidateInput {
+                    origin: CityId(1),
+                    dest: CityId(3),
+                    xst_o: [0.0; odnet_core::XST_DIM],
+                    xst_d: [0.0; odnet_core::XST_DIM],
+                    label_o: 0.0,
+                    label_d: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn current_city_origin_scores_highest() {
+        let mp = MostPop::new(meta());
+        let scores = mp.score_group(&group());
+        // Candidate 0 departs from the current city → p_o = 1.
+        assert_eq!(scores[0].0, 1.0);
+        // Candidate 1 departs elsewhere → scaled popularity.
+        assert!((scores[1].0 - 0.45).abs() < 1e-6);
+        // Destinations ranked purely by popularity.
+        assert_eq!(scores[0].1, 1.0);
+        assert_eq!(scores[1].1, 0.5);
+    }
+
+    #[test]
+    fn name_matches_table() {
+        assert_eq!(MostPop::new(meta()).name(), "MostPop");
+    }
+}

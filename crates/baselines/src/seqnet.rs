@@ -1,0 +1,287 @@
+//! Scaffold shared by the sequential neural baselines (LSTM, STGN, LSTPM):
+//! two single-task sides (origin and destination), each with its own
+//! embedding tables, a pluggable sequence encoder, and a logit tower. Only
+//! the encoder differs between the baselines — exactly the factor the
+//! paper's comparison isolates.
+
+use crate::common::{single_task_group_loss, BaselineConfig, PlainSource, SideTables};
+use od_hsg::CityId;
+use od_tensor::nn::{Activation, Mlp};
+use od_tensor::{stable_sigmoid, Graph, ParamStore, Value};
+use odnet_core::{GroupInput, OdScorer, TrainHyper, TrainableModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The sequence context one side's encoder sees.
+pub struct SeqInput<'a> {
+    /// Long-term city ids (bookings).
+    pub lt_ids: &'a [CityId],
+    /// Days of the long-term events.
+    pub lt_days: &'a [u32],
+    /// Short-term city ids (clicks).
+    pub st_ids: &'a [CityId],
+    /// Days of the short-term events.
+    pub st_days: &'a [u32],
+    /// The user's current city.
+    pub current_city: CityId,
+    /// Decision day.
+    pub day: u32,
+}
+
+/// A per-side sequence encoder: consumes the side's history and returns a
+/// fixed-width summary vector.
+pub trait SideEncoder: Sync {
+    /// Output width of [`SideEncoder::encode`].
+    fn out_dim(&self) -> usize;
+
+    /// Encode the side's history into a vector of [`SideEncoder::out_dim`].
+    fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        src: &PlainSource,
+        input: &SeqInput<'_>,
+    ) -> Value;
+}
+
+struct Side<E> {
+    tables: SideTables,
+    encoder: E,
+    tower: Mlp,
+}
+
+/// A complete two-side baseline with pluggable encoders.
+pub struct TwoSideModel<E> {
+    name: String,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    cfg: BaselineConfig,
+    side_o: Side<E>,
+    side_d: Side<E>,
+}
+
+impl<E: SideEncoder> TwoSideModel<E> {
+    /// Assemble the model; `make_encoder` registers one encoder per side.
+    pub fn assemble(
+        name: impl Into<String>,
+        cfg: BaselineConfig,
+        num_users: usize,
+        num_cities: usize,
+        mut make_encoder: impl FnMut(&mut ParamStore, &str, &BaselineConfig, &mut StdRng) -> E,
+    ) -> Self {
+        let name = name.into();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let mut make_side = |store: &mut ParamStore, side: &str, rng: &mut StdRng| {
+            let tables = SideTables::new(
+                store,
+                &format!("{side}"),
+                num_users,
+                num_cities,
+                cfg.embed_dim,
+                rng,
+            );
+            let encoder = make_encoder(store, &format!("{side}.enc"), &cfg, rng);
+            let q_dim = encoder.out_dim() + 3 * cfg.embed_dim + odnet_core::XST_DIM;
+            let tower = Mlp::new(
+                store,
+                &format!("{side}.tower"),
+                &[q_dim, cfg.tower_hidden, 1],
+                Activation::Relu,
+                Activation::None,
+                rng,
+            );
+            Side {
+                tables,
+                encoder,
+                tower,
+            }
+        };
+        let side_o = make_side(&mut store, "o", &mut rng);
+        let side_d = make_side(&mut store, "d", &mut rng);
+        TwoSideModel {
+            name,
+            store,
+            cfg,
+            side_o,
+            side_d,
+        }
+    }
+
+    /// Forward one group to per-candidate `(logit_O, logit_D)` nodes.
+    pub fn forward_group(&self, g: &mut Graph, group: &GroupInput) -> (Vec<Value>, Vec<Value>) {
+        let run_side = |g: &mut Graph, side: &Side<E>, ids: (&[CityId], &[CityId]), days: (&[u32], &[u32])| {
+            let src = side.tables.begin(g, &self.store);
+            let input = SeqInput {
+                lt_ids: ids.0,
+                lt_days: days.0,
+                st_ids: ids.1,
+                st_days: days.1,
+                current_city: group.current_city,
+                day: group.day,
+            };
+            let enc = side.encoder.encode(g, &self.store, &src, &input);
+            let e_user = src.user(g, group.user);
+            let e_lbs = src.city(g, group.current_city);
+            (src, enc, e_user, e_lbs)
+        };
+        let (src_o, enc_o, user_o, lbs_o) = run_side(
+            g,
+            &self.side_o,
+            (&group.lt_origins, &group.st_origins),
+            (&group.lt_days, &group.st_days),
+        );
+        let (src_d, enc_d, user_d, lbs_d) = run_side(
+            g,
+            &self.side_d,
+            (&group.lt_dests, &group.st_dests),
+            (&group.lt_days, &group.st_days),
+        );
+        let mut logits_o = Vec::with_capacity(group.candidates.len());
+        let mut logits_d = Vec::with_capacity(group.candidates.len());
+        for cand in &group.candidates {
+            let e_co = src_o.city(g, cand.origin);
+            let xo = g.input(od_tensor::Tensor::vector(&cand.xst_o));
+            let q_o = g.concat_cols(&[enc_o, user_o, lbs_o, e_co, xo]);
+            logits_o.push(self.side_o.tower.forward(g, &self.store, q_o));
+            let e_cd = src_d.city(g, cand.dest);
+            let xd = g.input(od_tensor::Tensor::vector(&cand.xst_d));
+            let q_d = g.concat_cols(&[enc_d, user_d, lbs_d, e_cd, xd]);
+            logits_d.push(self.side_d.tower.forward(g, &self.store, q_d));
+        }
+        (logits_o, logits_d)
+    }
+}
+
+impl<E: SideEncoder> TrainableModel for TwoSideModel<E> {
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn group_loss(&self, g: &mut Graph, group: &GroupInput) -> Value {
+        let (lo, ld) = self.forward_group(g, group);
+        single_task_group_loss(g, &lo, &ld, group)
+    }
+
+    fn hyper(&self) -> TrainHyper {
+        self.cfg.hyper()
+    }
+}
+
+impl<E: SideEncoder> OdScorer for TwoSideModel<E> {
+    fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
+        let mut g = Graph::new();
+        let (lo, ld) = self.forward_group(&mut g, group);
+        lo.iter()
+            .zip(&ld)
+            .map(|(&a, &b)| {
+                (
+                    stable_sigmoid(g.value(a).as_slice()[0]),
+                    stable_sigmoid(g.value(b).as_slice()[0]),
+                )
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use od_hsg::UserId;
+    use odnet_core::CandidateInput;
+    use rand::Rng;
+
+    /// Synthetic learnable groups: the positive destination is always the
+    /// same as the user's most recent history entry ("users repeat
+    /// themselves"), the positive origin is the current city.
+    pub fn learnable_groups(n: usize, num_cities: u32, seed: u64) -> Vec<GroupInput> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let fav = CityId(rng.gen_range(0..num_cities));
+                let cur = CityId(rng.gen_range(0..num_cities));
+                let neg_d = CityId((fav.0 + 1 + rng.gen_range(0..num_cities - 1)) % num_cities);
+                let neg_o = CityId((cur.0 + 1 + rng.gen_range(0..num_cities - 1)) % num_cities);
+                GroupInput {
+                    user: UserId((i % 10) as u32),
+                    day: 60 + i as u32,
+                    current_city: cur,
+                    lt_origins: vec![cur, cur],
+                    lt_dests: vec![fav, fav],
+                    lt_days: vec![10, 40],
+                    st_origins: vec![cur],
+                    st_dests: vec![fav],
+                    st_days: vec![58],
+                    candidates: vec![
+                        CandidateInput {
+                            origin: cur,
+                            dest: fav,
+                            xst_o: { let mut x = [0.0; odnet_core::XST_DIM]; x[0] = 0.5; x[2] = 0.5; x[3] = 0.1; x },
+                            xst_d: { let mut x = [0.0; odnet_core::XST_DIM]; x[0] = 0.5; x[2] = 0.5; x[3] = 0.1; x },
+                            label_o: 1.0,
+                            label_d: 1.0,
+                        },
+                        CandidateInput {
+                            origin: neg_o,
+                            dest: neg_d,
+                            xst_o: [0.0; odnet_core::XST_DIM],
+                            xst_d: [0.0; odnet_core::XST_DIM],
+                            label_o: (neg_o == cur) as u32 as f32,
+                            label_d: (neg_d == fav) as u32 as f32,
+                        },
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    /// Train a model briefly and assert it ranks the positive candidate of
+    /// held-out groups above the negative more often than chance.
+    pub fn assert_learns<M: TrainableModel + OdScorer>(model: &mut M, seed: u64) {
+        let train = learnable_groups(120, 8, seed);
+        let test = learnable_groups(40, 8, seed + 1);
+        odnet_core::train(model, &train);
+        let mut correct = 0;
+        for g in &test {
+            let s = model.score_group(g);
+            let combined0 = model.serving_score(s[0].0, s[0].1);
+            let combined1 = model.serving_score(s[1].0, s[1].1);
+            if combined0 > combined1 {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct >= 30,
+            "{} ranked only {correct}/40 held-out groups correctly",
+            model.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::LstmBaseline;
+
+    #[test]
+    fn forward_shapes_and_scores() {
+        let mut model = LstmBaseline::new(BaselineConfig::tiny(), 10, 8);
+        let groups = test_support::learnable_groups(3, 8, 1);
+        let scores = model.score_group(&groups[0]);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|(a, b)| (0.0..=1.0).contains(a) && (0.0..=1.0).contains(b)));
+        // Loss is a finite scalar.
+        let mut g = Graph::new();
+        let loss = model.group_loss(&mut g, &groups[0]);
+        assert!(g.value(loss).item().is_finite());
+        let _ = &mut model;
+    }
+}

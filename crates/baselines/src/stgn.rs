@@ -1,0 +1,278 @@
+//! STGN baseline (paper §V-A.3, Zhao et al. AAAI'19): an LSTM variant with
+//! dedicated *time* and *distance* gates. Each step receives the interval
+//! Δt since the previous event and the geographic distance Δd between the
+//! previous and current city; two extra sigmoid gates modulate how much of
+//! the candidate cell state enters memory:
+//!
+//! ```text
+//! T = σ(x·W_xt + Δt·u_t + b_t)      (time gate)
+//! D = σ(x·W_xd + Δd·u_d + b_d)      (distance gate)
+//! c' = f∘c + i∘T∘D∘c̃
+//! h' = o∘tanh(c')
+//! ```
+//!
+//! This is the short-term gate pair of the published STGN, which is the
+//! part that drives its advantage over the plain LSTM.
+
+use crate::common::{BaselineConfig, CityMeta, PlainSource};
+use crate::seqnet::{SeqInput, SideEncoder, TwoSideModel};
+use od_hsg::CityId;
+use od_tensor::nn::Linear;
+use od_tensor::{init, Graph, ParamId, ParamStore, Shape, Tensor, Value};
+use rand::Rng;
+
+/// The spatio-temporal gated cell parameters.
+pub struct StgnEncoder {
+    /// Standard LSTM gate block `x,h → [i f o c̃]`.
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    /// Time gate: input projection + interval weight + bias.
+    time_gate: ExtraGate,
+    /// Distance gate.
+    dist_gate: ExtraGate,
+    meta: CityMeta,
+    input_dim: usize,
+    hidden: usize,
+}
+
+struct ExtraGate {
+    wx: Linear,
+    u: ParamId,
+    b: ParamId,
+}
+
+impl ExtraGate {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        ExtraGate {
+            wx: Linear::new(store, &format!("{name}.wx"), input_dim, hidden, false, rng),
+            u: store.register(
+                format!("{name}.u"),
+                init::paper_default(Shape::Vector(hidden), rng),
+            ),
+            b: store.register(format!("{name}.b"), Tensor::zeros(Shape::Vector(hidden))),
+        }
+    }
+
+    /// `σ(x·W + delta·u + b)` for a scalar `delta`.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Value,
+        delta: f32,
+    ) -> Value {
+        let proj = self.wx.forward(g, store, x);
+        let proj = g.reshape(proj, Shape::Vector(g.value(proj).len()));
+        let u = g.param(store, self.u);
+        let scaled = g.scale(u, delta);
+        let b = g.param(store, self.b);
+        let s1 = g.add(proj, scaled);
+        let s2 = g.add(s1, b);
+        g.sigmoid(s2)
+    }
+}
+
+impl StgnEncoder {
+    fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &BaselineConfig,
+        meta: CityMeta,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (d, h) = (cfg.embed_dim, cfg.hidden_dim);
+        let wx = store.register(
+            format!("{name}.wx"),
+            init::paper_default(Shape::Matrix(d, 4 * h), rng),
+        );
+        let wh = store.register(
+            format!("{name}.wh"),
+            init::paper_default(Shape::Matrix(h, 4 * h), rng),
+        );
+        let mut bias = Tensor::zeros(Shape::Vector(4 * h));
+        for i in h..2 * h {
+            bias.as_mut_slice()[i] = 1.0; // forget-gate bias trick
+        }
+        let b = store.register(format!("{name}.b"), bias);
+        StgnEncoder {
+            wx,
+            wh,
+            b,
+            time_gate: ExtraGate::new(store, &format!("{name}.tgate"), d, h, rng),
+            dist_gate: ExtraGate::new(store, &format!("{name}.dgate"), d, h, rng),
+            meta,
+            input_dim: d,
+            hidden: h,
+        }
+    }
+
+    /// One gated step. `dt` is the normalized time interval, `dd` the
+    /// normalized travel distance since the previous event.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Value,
+        h_prev: Value,
+        c_prev: Value,
+        dt: f32,
+        dd: f32,
+    ) -> (Value, Value) {
+        debug_assert_eq!(g.value(x).cols(), self.input_dim);
+        let wx = g.param(store, self.wx);
+        let wh = g.param(store, self.wh);
+        let b = g.param(store, self.b);
+        let xg = g.matmul(x, wx);
+        let hg = g.matmul(h_prev, wh);
+        let pre = g.add(xg, hg);
+        let gates = g.add_row(pre, b);
+        let h = self.hidden;
+        let i_pre = g.slice_cols(gates, 0, h);
+        let f_pre = g.slice_cols(gates, h, 2 * h);
+        let o_pre = g.slice_cols(gates, 2 * h, 3 * h);
+        let c_pre = g.slice_cols(gates, 3 * h, 4 * h);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let o = g.sigmoid(o_pre);
+        let c_tilde = g.tanh(c_pre);
+        let t_gate = self.time_gate.forward(g, store, x, dt);
+        let d_gate = self.dist_gate.forward(g, store, x, dd);
+        // c' = f∘c + i∘T∘D∘c̃
+        let fc = g.mul(f, c_prev);
+        let itd = g.mul(i, t_gate);
+        let itd = g.mul(itd, d_gate);
+        let ic = g.mul(itd, c_tilde);
+        let c = g.add(fc, ic);
+        let ct = g.tanh(c);
+        let h_next = g.mul(o, ct);
+        (h_next, c)
+    }
+}
+
+impl SideEncoder for StgnEncoder {
+    fn out_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn encode(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        src: &PlainSource,
+        input: &SeqInput<'_>,
+    ) -> Value {
+        // Merge long + short events preserving order; days drive Δt.
+        let mut events: Vec<(CityId, u32)> = input
+            .lt_ids
+            .iter()
+            .zip(input.lt_days)
+            .chain(input.st_ids.iter().zip(input.st_days))
+            .map(|(&c, &d)| (c, d))
+            .collect();
+        events.sort_by_key(|&(_, d)| d);
+        if events.is_empty() {
+            return g.input(Tensor::zeros(Shape::Vector(self.hidden)));
+        }
+        let mut h = g.input(Tensor::zeros(Shape::Vector(self.hidden)));
+        let mut c = g.input(Tensor::zeros(Shape::Vector(self.hidden)));
+        let mut prev: Option<(CityId, u32)> = None;
+        for &(city, day) in &events {
+            let x = src.city(g, city);
+            let (dt, dd) = match prev {
+                Some((pc, pd)) => (
+                    (day.saturating_sub(pd) as f32 / 30.0).min(4.0),
+                    self.meta.distance(pc, city),
+                ),
+                None => (0.0, 0.0),
+            };
+            let (h2, c2) = self.step(g, store, x, h, c, dt, dd);
+            h = h2;
+            c = c2;
+            prev = Some((city, day));
+        }
+        h
+    }
+}
+
+/// The assembled two-side STGN baseline.
+pub type StgnBaseline = TwoSideModel<StgnEncoder>;
+
+impl StgnBaseline {
+    /// Build the baseline; `meta` supplies inter-city distances for the
+    /// distance gate.
+    pub fn new(cfg: BaselineConfig, num_users: usize, num_cities: usize, meta: CityMeta) -> Self {
+        TwoSideModel::assemble("STGN", cfg, num_users, num_cities, move |store, name, cfg, rng| {
+            StgnEncoder::new(store, name, cfg, meta.clone(), rng)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqnet::test_support::{assert_learns, learnable_groups};
+    use od_hsg::GeoPoint;
+    use odnet_core::{OdScorer, TrainableModel};
+
+    fn meta(n: usize) -> CityMeta {
+        let coords = (0..n)
+            .map(|i| GeoPoint {
+                lon: i as f64,
+                lat: 0.3 * i as f64,
+            })
+            .collect();
+        CityMeta::from_groups(coords, &[])
+    }
+
+    #[test]
+    fn learns_a_repetition_pattern() {
+        let mut model = StgnBaseline::new(BaselineConfig::tiny(), 10, 8, meta(8));
+        assert_learns(&mut model, 13);
+    }
+
+    #[test]
+    fn empty_history_encodes_to_finite_scores() {
+        let model = StgnBaseline::new(BaselineConfig::tiny(), 10, 8, meta(8));
+        let mut group = learnable_groups(1, 8, 2).pop().unwrap();
+        group.lt_origins.clear();
+        group.lt_dests.clear();
+        group.lt_days.clear();
+        group.st_origins.clear();
+        group.st_dests.clear();
+        group.st_days.clear();
+        let scores = model.score_group(&group);
+        assert!(scores.iter().all(|(a, b)| a.is_finite() && b.is_finite()));
+    }
+
+    #[test]
+    fn gates_receive_gradients() {
+        let model = StgnBaseline::new(BaselineConfig::tiny(), 10, 8, meta(8));
+        let group = &learnable_groups(1, 8, 3)[0];
+        let mut g = od_tensor::Graph::new();
+        let loss = model.group_loss(&mut g, group);
+        g.backward(loss);
+        let mut reached_time_gate = false;
+        for (id, grad) in g.param_grads() {
+            if model.store.name(id).contains("tgate") && grad.sq_norm() > 0.0 {
+                reached_time_gate = true;
+            }
+        }
+        assert!(reached_time_gate, "time gate got no gradient");
+    }
+
+    #[test]
+    fn name_matches_table() {
+        assert_eq!(
+            StgnBaseline::new(BaselineConfig::tiny(), 4, 4, meta(4)).name(),
+            "STGN"
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! STP-UDGAT baseline (paper §V-A.3, Lim et al. CIKM'20): explore-exploit
+//! next-POI recommendation over *homogeneous* Spatial, Temporal and
+//! Preference POI-POI graphs with graph attention networks.
+//!
+//! Reproduced structure: three city-city graphs built from training data —
+//! **S** (k-nearest by distance), **T** (observed transitions), **P**
+//! (co-visitation by the same user) — each carrying one GAT layer; a city's
+//! representation is its embedding plus the mean of the three attended
+//! neighborhoods. This achieves the destination *exploration* the paper
+//! credits STP-UDGAT for, but — unlike ODNET's HSG — the graphs are
+//! homogeneous (city-city only) and there is no joint O&D learning, which
+//! is exactly the gap Tables III/IV measure.
+
+use crate::common::{single_task_group_loss, BaselineConfig, CityMeta, SideTables};
+use od_hsg::CityId;
+use od_tensor::nn::{Activation, BilinearAttention, Linear, Mlp};
+use od_tensor::{init, stable_sigmoid, Graph, ParamId, ParamStore, Shape, Tensor, Value};
+use odnet_core::{GroupInput, OdScorer, TrainHyper, TrainableModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The three homogeneous graph flavours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// k-nearest neighbors by distance.
+    Spatial,
+    /// Observed consecutive transitions.
+    Temporal,
+    /// Co-visited by the same user.
+    Preference,
+}
+
+/// One homogeneous city-city adjacency (neighbor lists capped and sorted).
+#[derive(Clone, Debug)]
+pub struct CityGraph {
+    kind: GraphKind,
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl CityGraph {
+    /// Build the spatial graph: each city's `k` nearest cities.
+    pub fn spatial(meta: &CityMeta, k: usize) -> Self {
+        let n = meta.len();
+        let mut neighbors = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut order: Vec<u32> = (0..n as u32).filter(|&j| j as usize != i).collect();
+            order.sort_by(|&a, &b| {
+                meta.distance(CityId(i as u32), CityId(a))
+                    .partial_cmp(&meta.distance(CityId(i as u32), CityId(b)))
+                    .expect("finite distances")
+            });
+            order.truncate(k);
+            order.sort_unstable();
+            neighbors.push(order);
+        }
+        CityGraph {
+            kind: GraphKind::Spatial,
+            neighbors,
+        }
+    }
+
+    /// Build the temporal graph from consecutive pairs in history
+    /// sequences, keeping each city's `k` most frequent successors.
+    pub fn temporal(num_cities: usize, sequences: &[&[CityId]], k: usize) -> Self {
+        let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); num_cities];
+        for seq in sequences {
+            for w in seq.windows(2) {
+                if w[0] != w[1] {
+                    *counts[w[0].index()].entry(w[1].0).or_insert(0) += 1;
+                }
+            }
+        }
+        CityGraph {
+            kind: GraphKind::Temporal,
+            neighbors: top_k(counts, k),
+        }
+    }
+
+    /// Build the preference graph from co-visitation: cities appearing in
+    /// the same user's history, keeping the `k` most frequent co-visits.
+    pub fn preference(num_cities: usize, user_cities: &[Vec<CityId>], k: usize) -> Self {
+        let mut counts: Vec<HashMap<u32, u32>> = vec![HashMap::new(); num_cities];
+        for cities in user_cities {
+            let mut distinct: Vec<u32> = cities.iter().map(|c| c.0).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            for &a in &distinct {
+                for &b in &distinct {
+                    if a != b {
+                        *counts[a as usize].entry(b).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        CityGraph {
+            kind: GraphKind::Preference,
+            neighbors: top_k(counts, k),
+        }
+    }
+
+    /// The graph flavour.
+    pub fn kind(&self) -> GraphKind {
+        self.kind
+    }
+
+    /// Neighbor list of one city.
+    pub fn neighbors(&self, c: CityId) -> &[u32] {
+        &self.neighbors[c.index()]
+    }
+}
+
+fn top_k(counts: Vec<HashMap<u32, u32>>, k: usize) -> Vec<Vec<u32>> {
+    counts
+        .into_iter()
+        .map(|m| {
+            let mut pairs: Vec<(u32, u32)> = m.into_iter().collect();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            pairs.truncate(k);
+            let mut ids: Vec<u32> = pairs.into_iter().map(|(c, _)| c).collect();
+            ids.sort_unstable();
+            ids
+        })
+        .collect()
+}
+
+/// One GAT layer: `h'_i = σ(Σ_j α_ij · W e_j)` with
+/// `α_ij = softmax_j(LeakyReLU(a₁·We_i + a₂·We_j))`.
+struct GatLayer {
+    w: Linear,
+    a_self: ParamId,
+    a_nbr: ParamId,
+}
+
+impl GatLayer {
+    fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut StdRng) -> Self {
+        GatLayer {
+            w: Linear::new(store, &format!("{name}.w"), dim, dim, false, rng),
+            a_self: store.register(
+                format!("{name}.a_self"),
+                init::paper_default(Shape::Matrix(dim, 1), rng),
+            ),
+            a_nbr: store.register(
+                format!("{name}.a_nbr"),
+                init::paper_default(Shape::Matrix(dim, 1), rng),
+            ),
+        }
+    }
+
+    /// Attend `city` over its graph neighbors. `lookup` resolves raw
+    /// embeddings. Returns a vector of the layer width.
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        graph: &CityGraph,
+        city: CityId,
+        lookup: &mut dyn FnMut(&mut Graph, CityId) -> Value,
+        dim: usize,
+    ) -> Value {
+        let nbr_ids = graph.neighbors(city);
+        let e_self = lookup(g, city);
+        let we_self = self.w.forward(g, store, e_self);
+        if nbr_ids.is_empty() {
+            let act = g.relu(we_self);
+            return g.reshape(act, Shape::Vector(dim));
+        }
+        let nbr_rows: Vec<Value> = nbr_ids
+            .iter()
+            .map(|&j| lookup(g, CityId(j)))
+            .collect();
+        let nbrs = g.concat_rows(&nbr_rows); // m×d
+        let w_nbrs = self.w.forward(g, store, nbrs); // m×d
+        let a_self = g.param(store, self.a_self);
+        let a_nbr = g.param(store, self.a_nbr);
+        let s_self = g.matmul(we_self, a_self); // 1×1
+        let s_nbrs = g.matmul(w_nbrs, a_nbr); // m×1
+        let s_nbrs_t = g.transpose(s_nbrs); // 1×m
+        // Broadcast the self score over the neighbor row differentiably:
+        // (1×1) · (1×m row of ones) keeps the gradient path to a_self.
+        let ones = g.input(Tensor::ones(Shape::Matrix(1, nbr_ids.len())));
+        let self_row = g.matmul(s_self, ones); // 1×m
+        let raw = g.add(s_nbrs_t, self_row);
+        // LeakyReLU(x) = max(x, 0.2x) = relu(x) − 0.2·relu(−x).
+        let pos = g.relu(raw);
+        let neg_in = g.scale(raw, -1.0);
+        let neg = g.relu(neg_in);
+        let neg_scaled = g.scale(neg, -0.2);
+        let leaky = g.add(pos, neg_scaled);
+        let alpha = g.softmax_rows(leaky); // 1×m
+        let pooled = g.matmul(alpha, w_nbrs); // 1×d
+        let act = g.relu(pooled);
+        g.reshape(act, Shape::Vector(dim))
+    }
+}
+
+/// The assembled STP-UDGAT baseline.
+pub struct StpUdgatBaseline {
+    /// All trainable parameters.
+    pub store: ParamStore,
+    cfg: BaselineConfig,
+    tables: SideTables,
+    gat_s: GatLayer,
+    gat_t: GatLayer,
+    gat_p: GatLayer,
+    graphs: [CityGraph; 3],
+    user_attn: BilinearAttention,
+    tower_o: Mlp,
+    tower_d: Mlp,
+}
+
+impl StpUdgatBaseline {
+    /// Build the baseline from training groups: the three STP graphs are
+    /// derived from the groups' history sequences and the city metadata.
+    pub fn new(
+        cfg: BaselineConfig,
+        num_users: usize,
+        num_cities: usize,
+        meta: &CityMeta,
+        train_groups: &[GroupInput],
+    ) -> Self {
+        const GRAPH_K: usize = 5;
+        // Temporal: long-term destination transition sequences.
+        let sequences: Vec<&[CityId]> = train_groups
+            .iter()
+            .map(|g| g.lt_dests.as_slice())
+            .collect();
+        let temporal = CityGraph::temporal(num_cities, &sequences, GRAPH_K);
+        // Preference: per user, union of visited cities.
+        let mut per_user: HashMap<u32, Vec<CityId>> = HashMap::new();
+        for g in train_groups {
+            let entry = per_user.entry(g.user.0).or_default();
+            entry.extend_from_slice(&g.lt_dests);
+            entry.extend_from_slice(&g.lt_origins);
+        }
+        let user_cities: Vec<Vec<CityId>> = per_user.into_values().collect();
+        let preference = CityGraph::preference(num_cities, &user_cities, GRAPH_K);
+        let spatial = CityGraph::spatial(meta, GRAPH_K);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0DCA7);
+        let mut store = ParamStore::new();
+        let d = cfg.embed_dim;
+        let tables = SideTables::new(&mut store, "udgat", num_users, num_cities, d, &mut rng);
+        let gat_s = GatLayer::new(&mut store, "udgat.gat_s", d, &mut rng);
+        let gat_t = GatLayer::new(&mut store, "udgat.gat_t", d, &mut rng);
+        let gat_p = GatLayer::new(&mut store, "udgat.gat_p", d, &mut rng);
+        let user_attn = BilinearAttention::new(&mut store, "udgat.user_attn", d, &mut rng);
+        let q_dim = 4 * d + odnet_core::XST_DIM;
+        let tower = |store: &mut ParamStore, name: &str, rng: &mut StdRng| {
+            Mlp::new(
+                store,
+                name,
+                &[q_dim, cfg.tower_hidden, 1],
+                Activation::Relu,
+                Activation::None,
+                rng,
+            )
+        };
+        let tower_o = tower(&mut store, "udgat.tower_o", &mut rng);
+        let tower_d = tower(&mut store, "udgat.tower_d", &mut rng);
+        StpUdgatBaseline {
+            store,
+            cfg,
+            tables,
+            gat_s,
+            gat_t,
+            gat_p,
+            graphs: [spatial, temporal, preference],
+            user_attn,
+            tower_o,
+            tower_d,
+        }
+    }
+
+    /// Forward one group to per-candidate logits.
+    pub fn forward_group(&self, g: &mut Graph, group: &GroupInput) -> (Vec<Value>, Vec<Value>) {
+        let store = &self.store;
+        let d = self.cfg.embed_dim;
+        let src = self.tables.begin(g, store);
+        let mut gat = GatSource {
+            model: self,
+            src,
+            raw: HashMap::new(),
+            enriched: HashMap::new(),
+        };
+        let e_user = gat.src.user(g, group.user);
+        let e_lbs = gat.enriched(g, group.current_city);
+        // Per-side user preference summary: the user embedding queries the
+        // GAT-enriched history (the "user-dimensional" attention).
+        let summarize = |g: &mut Graph, gat: &mut GatSource<'_>, ids: &[CityId]| -> Value {
+            if ids.is_empty() {
+                return g.input(Tensor::zeros(Shape::Vector(d)));
+            }
+            let rows: Vec<Value> = ids.iter().map(|&c| gat.enriched(g, c)).collect();
+            let matrix = g.concat_rows(&rows);
+            let pooled = self.user_attn.forward(g, store, e_user, matrix);
+            g.reshape(pooled, Shape::Vector(d))
+        };
+        let mut all_o: Vec<CityId> = group.lt_origins.clone();
+        all_o.extend_from_slice(&group.st_origins);
+        let mut all_d: Vec<CityId> = group.lt_dests.clone();
+        all_d.extend_from_slice(&group.st_dests);
+        let sum_o = summarize(g, &mut gat, &all_o);
+        let sum_d = summarize(g, &mut gat, &all_d);
+
+        let mut logits_o = Vec::with_capacity(group.candidates.len());
+        let mut logits_d = Vec::with_capacity(group.candidates.len());
+        for cand in &group.candidates {
+            let e_co = gat.enriched(g, cand.origin);
+            let e_cd = gat.enriched(g, cand.dest);
+            let xo = g.input(Tensor::vector(&cand.xst_o));
+            let xd = g.input(Tensor::vector(&cand.xst_d));
+            let q_o = g.concat_cols(&[sum_o, e_user, e_lbs, e_co, xo]);
+            let q_d = g.concat_cols(&[sum_d, e_user, e_lbs, e_cd, xd]);
+            logits_o.push(self.tower_o.forward(g, store, q_o));
+            logits_d.push(self.tower_d.forward(g, store, q_d));
+        }
+        (logits_o, logits_d)
+    }
+}
+
+/// Per-graph-build memoized GAT embedding source.
+struct GatSource<'a> {
+    model: &'a StpUdgatBaseline,
+    src: crate::common::PlainSource,
+    raw: HashMap<u32, Value>,
+    enriched: HashMap<u32, Value>,
+}
+
+impl GatSource<'_> {
+    fn raw(&mut self, g: &mut Graph, c: CityId) -> Value {
+        if let Some(&v) = self.raw.get(&c.0) {
+            return v;
+        }
+        let v = self.src.city(g, c);
+        self.raw.insert(c.0, v);
+        v
+    }
+
+    /// Raw embedding + mean of the three attended graph neighborhoods
+    /// (residual connection).
+    fn enriched(&mut self, g: &mut Graph, c: CityId) -> Value {
+        if let Some(&v) = self.enriched.get(&c.0) {
+            return v;
+        }
+        let d = self.model.cfg.embed_dim;
+        let store = &self.model.store;
+        // Resolve raw neighbor embeddings first to keep borrows simple.
+        let mut lookup_cache: HashMap<u32, Value> = HashMap::new();
+        let mut need: Vec<CityId> = vec![c];
+        for graph in &self.model.graphs {
+            need.extend(graph.neighbors(c).iter().map(|&j| CityId(j)));
+        }
+        for city in need {
+            let v = self.raw(g, city);
+            lookup_cache.insert(city.0, v);
+        }
+        let mut lookup = |_g: &mut Graph, cc: CityId| -> Value {
+            *lookup_cache.get(&cc.0).expect("prefetched")
+        };
+        let hs = self
+            .model
+            .gat_s
+            .forward(g, store, &self.model.graphs[0], c, &mut lookup, d);
+        let ht = self
+            .model
+            .gat_t
+            .forward(g, store, &self.model.graphs[1], c, &mut lookup, d);
+        let hp = self
+            .model
+            .gat_p
+            .forward(g, store, &self.model.graphs[2], c, &mut lookup, d);
+        let e_raw = *lookup_cache.get(&c.0).expect("self prefetched");
+        let sum = g.add(hs, ht);
+        let sum = g.add(sum, hp);
+        let mean = g.scale(sum, 1.0 / 3.0);
+        let v = g.add(mean, e_raw);
+        self.enriched.insert(c.0, v);
+        v
+    }
+}
+
+impl TrainableModel for StpUdgatBaseline {
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn group_loss(&self, g: &mut Graph, group: &GroupInput) -> Value {
+        let (lo, ld) = self.forward_group(g, group);
+        single_task_group_loss(g, &lo, &ld, group)
+    }
+
+    fn hyper(&self) -> TrainHyper {
+        self.cfg.hyper()
+    }
+}
+
+impl OdScorer for StpUdgatBaseline {
+    fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
+        let mut g = Graph::new();
+        let (lo, ld) = self.forward_group(&mut g, group);
+        lo.iter()
+            .zip(&ld)
+            .map(|(&a, &b)| {
+                (
+                    stable_sigmoid(g.value(a).as_slice()[0]),
+                    stable_sigmoid(g.value(b).as_slice()[0]),
+                )
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "STP-UDGAT".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqnet::test_support::{assert_learns, learnable_groups};
+    use od_hsg::GeoPoint;
+
+    fn meta(n: usize) -> CityMeta {
+        let coords = (0..n)
+            .map(|i| GeoPoint {
+                lon: (i % 4) as f64,
+                lat: (i / 4) as f64,
+            })
+            .collect();
+        CityMeta::from_groups(coords, &[])
+    }
+
+    #[test]
+    fn spatial_graph_is_knn() {
+        let m = meta(9);
+        let g = CityGraph::spatial(&m, 3);
+        assert_eq!(g.kind(), GraphKind::Spatial);
+        for c in 0..9 {
+            assert_eq!(g.neighbors(CityId(c)).len(), 3);
+            assert!(!g.neighbors(CityId(c)).contains(&c));
+        }
+        // City 0 at (0,0): nearest are (1,0)=1, (0,1)=4, and (1,1)=5.
+        assert_eq!(g.neighbors(CityId(0)), &[1, 4, 5]);
+    }
+
+    #[test]
+    fn temporal_graph_counts_transitions() {
+        let seq1 = [CityId(0), CityId(1), CityId(2)];
+        let seq2 = [CityId(0), CityId(1)];
+        let g = CityGraph::temporal(4, &[&seq1, &seq2], 2);
+        assert_eq!(g.neighbors(CityId(0)), &[1]);
+        assert_eq!(g.neighbors(CityId(1)), &[2]);
+        assert!(g.neighbors(CityId(3)).is_empty());
+    }
+
+    #[test]
+    fn preference_graph_links_covisits() {
+        let users = vec![
+            vec![CityId(0), CityId(1), CityId(2)],
+            vec![CityId(1), CityId(2)],
+        ];
+        let g = CityGraph::preference(4, &users, 5);
+        assert_eq!(g.neighbors(CityId(0)), &[1, 2]);
+        assert_eq!(g.neighbors(CityId(1)), &[0, 2]);
+        assert!(g.neighbors(CityId(3)).is_empty());
+    }
+
+    #[test]
+    fn learns_a_repetition_pattern() {
+        let train = learnable_groups(40, 8, 31);
+        let mut model =
+            StpUdgatBaseline::new(BaselineConfig::tiny(), 10, 8, &meta(8), &train);
+        assert_learns(&mut model, 31);
+    }
+
+    #[test]
+    fn scores_isolated_city_without_neighbors() {
+        let train = learnable_groups(5, 8, 32);
+        let model = StpUdgatBaseline::new(BaselineConfig::tiny(), 10, 8, &meta(8), &train);
+        let group = &learnable_groups(1, 8, 33)[0];
+        let scores = model.score_group(group);
+        assert!(scores.iter().all(|(a, b)| a.is_finite() && b.is_finite()));
+    }
+
+    #[test]
+    fn name_matches_table() {
+        let train = learnable_groups(5, 8, 34);
+        let model = StpUdgatBaseline::new(BaselineConfig::tiny(), 4, 8, &meta(8), &train);
+        assert_eq!(model.name(), "STP-UDGAT");
+    }
+}

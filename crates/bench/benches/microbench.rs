@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the components on ODNET's serving path:
+//! dense matmul, multi-head attention, HSG neighbor expansion, Algorithm 1
+//! embedding, MMoE head, GBDT prediction, and end-to-end group scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use od_bench::methods::{fit_method, Method};
+use od_bench::Scale;
+use od_hsg::{CityId, Metapath, UserId};
+use od_tensor::nn::MultiHeadSelfAttention;
+use od_tensor::{init, Graph, ParamStore, Shape};
+use odnet_core::{FeatureExtractor, OdNetModel, OdnetConfig, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::gaussian(Shape::Matrix(64, 64), 0.0, 1.0, &mut rng);
+    let b = init::gaussian(Shape::Matrix(64, 64), 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bencher| {
+        bencher.iter(|| od_tensor::matmul(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_multihead_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadSelfAttention::new(&mut store, "mha", 16, 4, &mut rng);
+    let seq = init::gaussian(Shape::Matrix(12, 16), 0.0, 0.5, &mut rng);
+    c.bench_function("mha_forward_t12_d16_h4", |bencher| {
+        bencher.iter_batched(
+            Graph::new,
+            |mut g| {
+                let e = g.input(seq.clone());
+                black_box(mha.forward(&mut g, &store, e));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hsg_neighbor_expansion(c: &mut Criterion) {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let hsg = od_bench::build_hsg(&ds);
+    c.bench_function("hsg_city_neighbor_cities", |bencher| {
+        bencher.iter(|| {
+            for city in 0..hsg.num_cities() as u32 {
+                black_box(hsg.city_neighbor_cities(CityId(city), Metapath::RHO2));
+            }
+        })
+    });
+}
+
+fn bench_hsgc_embedding(c: &mut Criterion) {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let hsg = od_bench::build_hsg(&ds);
+    let cfg = OdnetConfig {
+        epochs: 1,
+        workers: 1,
+        ..Scale::Smoke.model_config()
+    };
+    let model = OdNetModel::new(
+        Variant::Odnet,
+        cfg.clone(),
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        Some(hsg),
+    );
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let group = fx
+        .groups_from_samples(&ds, &ds.train)
+        .into_iter()
+        .find(|g| !g.lt_origins.is_empty())
+        .expect("group with history");
+    c.bench_function("odnet_forward_group_k2", |bencher| {
+        bencher.iter_batched(
+            Graph::new,
+            |mut g| {
+                black_box(model.forward_group(&mut g, &group));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end_scoring(c: &mut Criterion) {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let cfg = Scale::Smoke.model_config();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    // MostPop and GBDT are cheap enough to fit inside the bench setup.
+    let (mostpop, _) = fit_method(Method::MostPop, &ds, Scale::Smoke, &fx);
+    let (gbdt, _) = fit_method(Method::Gbdt, &ds, Scale::Smoke, &fx);
+    let case = fx.group_from_eval_case(&ds, &ds.eval_cases[0]);
+    c.bench_function("mostpop_score_case", |bencher| {
+        bencher.iter(|| black_box(mostpop.score_group(&case)))
+    });
+    c.bench_function("gbdt_score_case", |bencher| {
+        bencher.iter(|| black_box(gbdt.score_group(&case)))
+    });
+}
+
+fn bench_serving_recall(c: &mut Criterion) {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let day = ds.train_end_day();
+    c.bench_function("serving_recall_30_pairs", |bencher| {
+        bencher.iter(|| {
+            black_box(od_bench::recall_candidates(
+                &ds,
+                UserId(3),
+                day,
+                30,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_multihead_attention,
+    bench_hsg_neighbor_expansion,
+    bench_hsgc_embedding,
+    bench_end_to_end_scoring,
+    bench_serving_recall
+);
+criterion_main!(benches);

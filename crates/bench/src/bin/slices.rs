@@ -1,0 +1,93 @@
+//! Exploration-vs-exploitation slice analysis (beyond the paper's tables):
+//! ranking metrics split by whether the true destination is a city the user
+//! already visited (*exploitation*) or a new one (*exploration* — the
+//! regime the paper's HSG is designed for). The interesting comparison is
+//! the graph-equipped methods vs the memorization-heavy ones on the
+//! exploration slice.
+
+use od_bench::methods::fit_method;
+use od_bench::{fliggy_dataset, markdown_table, write_json, Method, Scale};
+use odnet_core::{evaluate_ranking_sliced, FeatureExtractor, GroupInput};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    method: String,
+    exploit_hr5: f64,
+    exploit_mrr5: f64,
+    explore_hr5: f64,
+    explore_mrr5: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let ds = fliggy_dataset(scale);
+    let cfg = scale.model_config();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let eval_groups: Vec<GroupInput> = ds
+        .eval_cases
+        .iter()
+        .map(|c| fx.group_from_eval_case(&ds, c))
+        .collect();
+    // Contrast pairs: exploit-only vs graph-equipped vs joint.
+    let methods = [
+        Method::MostPop,
+        Method::Gbdt,
+        Method::Lstm,
+        Method::StodPpa,
+        Method::StpUdgat,
+        Method::StlG,
+        Method::StlPlusG,
+        Method::Odnet,
+    ];
+    let mut rows = Vec::new();
+    let mut split_sizes = (0usize, 0usize);
+    for method in methods {
+        eprintln!("[slices] fitting {}", method.name());
+        let (scorer, _) = fit_method(method, &ds, scale, &fx);
+        let sliced = evaluate_ranking_sliced(scorer.as_ref(), &eval_groups);
+        split_sizes = (sliced.exploit_n, sliced.explore_n);
+        eprintln!(
+            "[slices] {}: exploit HR@5 {:.4} | explore HR@5 {:.4}",
+            method.name(),
+            sliced.exploit.hr5,
+            sliced.explore.hr5
+        );
+        rows.push(Row {
+            method: method.name().to_string(),
+            exploit_hr5: sliced.exploit.hr5,
+            exploit_mrr5: sliced.exploit.mrr5,
+            explore_hr5: sliced.explore.hr5,
+            explore_mrr5: sliced.explore.mrr5,
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.clone(),
+                format!("{:.4}", r.exploit_hr5),
+                format!("{:.4}", r.exploit_mrr5),
+                format!("{:.4}", r.explore_hr5),
+                format!("{:.4}", r.explore_mrr5),
+            ]
+        })
+        .collect();
+    println!(
+        "Exploration/exploitation slices ({}; {} exploit cases, {} explore cases)",
+        scale.name(),
+        split_sizes.0,
+        split_sizes.1
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &["Method", "exploit HR@5", "exploit MRR@5", "explore HR@5", "explore MRR@5"],
+            &table
+        )
+    );
+    match write_json(&format!("slices_{}", scale.name()), &rows) {
+        Ok(path) => eprintln!("[slices] wrote {}", path.display()),
+        Err(e) => eprintln!("[slices] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates Table I: statistics of the (synthetic) Fliggy dataset.
+
+use od_bench::{fliggy_dataset, markdown_table, write_json, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[table1] generating Fliggy dataset at scale {}", scale.name());
+    let ds = fliggy_dataset(scale);
+    let s = ds.statistics();
+    let rows = vec![
+        vec![
+            "# of samples".to_string(),
+            s.train_total.to_string(),
+            s.test_total.to_string(),
+        ],
+        vec![
+            "# of (O+, D+) samples".to_string(),
+            s.train_pos.to_string(),
+            s.test_pos.to_string(),
+        ],
+        vec![
+            "# of (O+, D-) and (O-, D+) samples".to_string(),
+            s.train_partial.to_string(),
+            s.test_partial.to_string(),
+        ],
+        vec![
+            "# of (O-, D-) samples".to_string(),
+            s.train_full.to_string(),
+            s.test_full.to_string(),
+        ],
+        vec![
+            "# of users".to_string(),
+            s.train_users.to_string(),
+            s.test_users.to_string(),
+        ],
+        vec![
+            "# of origin cities".to_string(),
+            s.num_cities.to_string(),
+            s.num_cities.to_string(),
+        ],
+        vec![
+            "# of destination cities".to_string(),
+            s.num_cities.to_string(),
+            s.num_cities.to_string(),
+        ],
+    ];
+    println!("Table I — statistics of the synthetic Fliggy dataset ({})", scale.name());
+    println!("{}", markdown_table(&["Properties", "Training", "Testing"], &rows));
+    match write_json(&format!("table1_{}", scale.name()), &s) {
+        Ok(path) => eprintln!("[table1] wrote {}", path.display()),
+        Err(e) => eprintln!("[table1] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Table II: statistics of the (synthetic) Foursquare-like and
+//! Gowalla-like check-in datasets.
+
+use od_bench::{checkin_dataset, markdown_table, write_json, Scale};
+use od_data::CheckinConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[table2] generating check-in datasets at scale {}", scale.name());
+    let mut rows = Vec::new();
+    let mut record = Vec::new();
+    for preset in [
+        CheckinConfig::foursquare as fn() -> CheckinConfig,
+        CheckinConfig::gowalla,
+    ] {
+        let ds = checkin_dataset(scale, preset);
+        let (users, pois, checkins) = ds.statistics();
+        rows.push(vec![
+            ds.config.name.clone(),
+            users.to_string(),
+            pois.to_string(),
+            checkins.to_string(),
+        ]);
+        record.push((ds.config.name.clone(), users, pois, checkins));
+    }
+    println!(
+        "Table II — statistics of the synthetic check-in datasets ({})",
+        scale.name()
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &["Dataset", "# of users", "# of POIs", "# of check-in records"],
+            &rows
+        )
+    );
+    match write_json(&format!("table2_{}", scale.name()), &record) {
+        Ok(path) => eprintln!("[table2] wrote {}", path.display()),
+        Err(e) => eprintln!("[table2] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates Table III: comparison of all eleven methods on the Fliggy
+//! dataset (AUC-O, AUC-D, HR@{1,5,10}, MRR@{5,10}). Also records per-method
+//! training/inference time consumed by `table5`.
+
+use od_bench::methods::run_fliggy_method;
+use od_bench::{fliggy_dataset, markdown_table, write_json, Method, Scale};
+use od_bench::report::{metric, opt_metric};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[table3] dataset at scale {}", scale.name());
+    let ds = fliggy_dataset(scale);
+    let mut results = Vec::new();
+    for method in Method::all() {
+        eprintln!("[table3] fitting {}", method.name());
+        let row = run_fliggy_method(method, &ds, scale);
+        eprintln!(
+            "[table3] {}: HR@5 {:.4}, MRR@5 {:.4} ({:.1}s train)",
+            row.name, row.hr5, row.mrr5, row.train_secs
+        );
+        results.push(row);
+    }
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                opt_metric(r.auc_o),
+                opt_metric(r.auc_d),
+                metric(r.hr1),
+                metric(r.hr5),
+                metric(r.hr10),
+                metric(r.mrr5),
+                metric(r.mrr10),
+            ]
+        })
+        .collect();
+    println!(
+        "Table III — comparison on the synthetic Fliggy dataset ({})",
+        scale.name()
+    );
+    println!(
+        "{}",
+        markdown_table(
+            &["Method", "AUC-O", "AUC-D", "HR@1", "HR@5", "HR@10", "MRR@5", "MRR@10"],
+            &rows
+        )
+    );
+    match write_json(&format!("table3_{}", scale.name()), &results) {
+        Ok(path) => eprintln!("[table3] wrote {}", path.display()),
+        Err(e) => eprintln!("[table3] could not write results: {e}"),
+    }
+}

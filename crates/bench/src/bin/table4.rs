@@ -1,0 +1,59 @@
+//! Regenerates Table IV: single-task method comparison on the
+//! Foursquare-like and Gowalla-like check-in datasets (the multi-task
+//! ODNET variants are excluded, as in the paper, because destination-only
+//! data cannot feed the joint O&D objective).
+
+use od_bench::methods::run_checkin_suite;
+use od_bench::report::{metric, opt_metric};
+use od_bench::{checkin_dataset, markdown_table, write_json, Scale};
+use od_data::CheckinConfig;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut suites = Vec::new();
+    for preset in [
+        CheckinConfig::foursquare as fn() -> CheckinConfig,
+        CheckinConfig::gowalla,
+    ] {
+        let ds = checkin_dataset(scale, preset);
+        eprintln!("[table4] running suite on {}", ds.config.name);
+        suites.push(run_checkin_suite(&ds, scale));
+    }
+    for suite in &suites {
+        let rows: Vec<Vec<String>> = suite
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    opt_metric(r.auc_d),
+                    metric(r.hr1),
+                    metric(r.hr5),
+                    metric(r.hr10),
+                    metric(r.mrr5),
+                    metric(r.mrr10),
+                ]
+            })
+            .collect();
+        println!(
+            "Table IV — comparison on the synthetic {} dataset ({})",
+            suite.dataset,
+            scale.name()
+        );
+        println!(
+            "{}",
+            markdown_table(
+                &["Method", "AUC", "HR@1", "HR@5", "HR@10", "MRR@5", "MRR@10"],
+                &rows
+            )
+        );
+    }
+    let record: Vec<(String, &Vec<od_bench::MethodResult>)> = suites
+        .iter()
+        .map(|s| (s.dataset.clone(), &s.rows))
+        .collect();
+    match write_json(&format!("table4_{}", scale.name()), &record) {
+        Ok(path) => eprintln!("[table4] wrote {}", path.display()),
+        Err(e) => eprintln!("[table4] could not write results: {e}"),
+    }
+}

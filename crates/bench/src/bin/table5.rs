@@ -1,0 +1,77 @@
+//! Regenerates Table V: training time and inference latency of every
+//! trainable method on the Fliggy dataset. Reuses `results/table3_*.json`
+//! when present (the timings are recorded there); otherwise re-runs the
+//! methods.
+
+use od_bench::methods::{run_fliggy_method, MethodResult};
+use od_bench::{fliggy_dataset, markdown_table, write_json, Method, Scale};
+use std::path::PathBuf;
+
+fn load_table3(scale: Scale) -> Option<Vec<MethodResult>> {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = root.join(format!("results/table3_{}.json", scale.name()));
+    let content = std::fs::read_to_string(path).ok()?;
+    // MethodResult is Serialize-only; re-parse the fields we need manually.
+    let value: serde_json::Value = serde_json::from_str(&content).ok()?;
+    let rows = value.as_array()?;
+    let mut out = Vec::new();
+    for row in rows {
+        out.push(MethodResult {
+            name: row.get("name")?.as_str()?.to_string(),
+            auc_o: row.get("auc_o")?.as_f64(),
+            auc_d: row.get("auc_d")?.as_f64(),
+            hr1: row.get("hr1")?.as_f64()?,
+            hr5: row.get("hr5")?.as_f64()?,
+            hr10: row.get("hr10")?.as_f64()?,
+            mrr5: row.get("mrr5")?.as_f64()?,
+            mrr10: row.get("mrr10")?.as_f64()?,
+            train_secs: row.get("train_secs")?.as_f64()?,
+            infer_ms: row.get("infer_ms")?.as_f64()?,
+        });
+    }
+    Some(out)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let results = match load_table3(scale) {
+        Some(rows) => {
+            eprintln!("[table5] reusing timings from results/table3_{}.json", scale.name());
+            rows
+        }
+        None => {
+            eprintln!("[table5] no table3 results found; re-running methods");
+            let ds = fliggy_dataset(scale);
+            Method::all()
+                .into_iter()
+                .map(|m| {
+                    eprintln!("[table5] fitting {}", m.name());
+                    run_fliggy_method(m, &ds, scale)
+                })
+                .collect()
+        }
+    };
+    // MostPop needs no training (the paper omits it from Table V).
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .filter(|r| r.name != "MostPop")
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{:.1}", r.train_secs),
+                format!("{:.2}", r.infer_ms),
+            ]
+        })
+        .collect();
+    println!("Table V — efficiency on the synthetic Fliggy dataset ({})", scale.name());
+    println!(
+        "{}",
+        markdown_table(&["Method", "Training Time (s)", "Inferring Time (ms)"], &rows)
+    );
+    match write_json(&format!("table5_{}", scale.name()), &results) {
+        Ok(path) => eprintln!("[table5] wrote {}", path.display()),
+        Err(e) => eprintln!("[table5] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,107 @@
+//! Result formatting: aligned text tables for stdout and JSON records
+//! under `results/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Render rows as a GitHub-flavoured markdown table. `headers` and each row
+/// must have equal lengths.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&render_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Write a serializable record to `results/<name>.json` (relative to the
+/// workspace root when run via cargo, else the current directory). Returns
+/// the written path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = root.join("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// Format an optional metric column ("-" when absent, as in the paper's
+/// MostPop row).
+pub fn opt_metric(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format a plain metric.
+pub fn metric(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_is_aligned() {
+        let t = markdown_table(
+            &["Method", "HR@5"],
+            &[
+                vec!["ODNET".into(), "0.7685".into()],
+                vec!["MostPop".into(), "0.3491".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("Method"));
+        assert!(lines[3].contains("MostPop"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_rejected() {
+        markdown_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(metric(0.12345), "0.1235");
+        assert_eq!(opt_metric(None), "-");
+        assert_eq!(opt_metric(Some(0.5)), "0.5000");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let path = write_json("test_report", &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&content).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,142 @@
+//! Candidate recall for serving — the multi-strategy recall of the paper's
+//! §VI-B: candidate origins come from the user's current city, nearby
+//! cities, and historical departure cities; candidate destinations from
+//! historical destinations, clicked destinations, and globally popular
+//! destinations. Assembled OD pairs are what the ranking model scores.
+
+use od_data::FliggyDataset;
+use od_hsg::{CityId, UserId};
+
+/// Assemble up to `max_pairs` candidate OD pairs for `user` at `day` using
+/// the production recall strategies.
+pub fn recall_candidates(
+    ds: &FliggyDataset,
+    user: UserId,
+    day: u32,
+    max_pairs: usize,
+) -> Vec<(CityId, CityId)> {
+    let lt = ds.long_term(user, day);
+    let st = ds.short_term(user, day);
+    let current = ds.current_city(user, day);
+    let home = ds.world.users[user.index()].home;
+
+    // Candidate origins: current city, home, nearby cities, historical Os.
+    let mut origins: Vec<CityId> = vec![current, home];
+    origins.extend(nearest_cities(ds, current, 2));
+    origins.extend(lt.iter().rev().take(3).map(|b| b.origin));
+    dedup_keep_order(&mut origins);
+
+    // Candidate destinations: historical Ds, clicked Ds, popular Ds.
+    let mut dests: Vec<CityId> = Vec::new();
+    dests.extend(lt.iter().rev().take(4).map(|b| b.dest));
+    dests.extend(st.iter().rev().take(4).map(|c| c.dest));
+    dests.extend(popular_cities(ds, 4));
+    // Return-leg recall: the origin of the most recent booking is a
+    // high-value destination candidate (the paper's Case 2).
+    if let Some(last) = lt.last() {
+        dests.insert(0, last.origin);
+    }
+    dedup_keep_order(&mut dests);
+
+    let mut pairs = Vec::with_capacity(max_pairs);
+    'outer: for &d in &dests {
+        for &o in &origins {
+            if o != d && !pairs.contains(&(o, d)) {
+                pairs.push((o, d));
+                if pairs.len() >= max_pairs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+fn dedup_keep_order(v: &mut Vec<CityId>) {
+    let mut seen = Vec::new();
+    v.retain(|c| {
+        if seen.contains(c) {
+            false
+        } else {
+            seen.push(*c);
+            true
+        }
+    });
+}
+
+/// The `k` nearest cities to `c` (by the world's coordinates).
+fn nearest_cities(ds: &FliggyDataset, c: CityId, k: usize) -> Vec<CityId> {
+    let base = ds.world.cities[c.index()].coords;
+    let mut order: Vec<CityId> = (0..ds.world.num_cities() as u32)
+        .map(CityId)
+        .filter(|&x| x != c)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let da = base.l2(ds.world.cities[a.index()].coords);
+        let db = base.l2(ds.world.cities[b.index()].coords);
+        da.partial_cmp(&db).expect("finite")
+    });
+    order.truncate(k);
+    order
+}
+
+/// The `k` most popular cities by the world's popularity prior (a proxy for
+/// the production "popular air lines" recall).
+fn popular_cities(ds: &FliggyDataset, k: usize) -> Vec<CityId> {
+    let mut order: Vec<CityId> = (0..ds.world.num_cities() as u32).map(CityId).collect();
+    order.sort_by(|&a, &b| {
+        ds.world.cities[b.index()]
+            .popularity
+            .partial_cmp(&ds.world.cities[a.index()].popularity)
+            .expect("finite")
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn recall_produces_valid_distinct_pairs() {
+        let ds = crate::fliggy_dataset(Scale::Smoke);
+        let user = ds.test.first().map(|s| s.user).unwrap_or(UserId(0));
+        let day = ds.train_end_day();
+        let pairs = recall_candidates(&ds, user, day, 30);
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() <= 30);
+        for (o, d) in &pairs {
+            assert_ne!(o, d);
+        }
+        let mut unique = pairs.clone();
+        unique.sort_by_key(|&(o, d)| (o.0, d.0));
+        unique.dedup();
+        assert_eq!(unique.len(), pairs.len(), "duplicate pairs recalled");
+    }
+
+    #[test]
+    fn recall_includes_return_leg_when_recent() {
+        let ds = crate::fliggy_dataset(Scale::Smoke);
+        // Find a user with a booking just before the cut.
+        let day = ds.train_end_day();
+        let user = (0..ds.world.num_users() as u32)
+            .map(UserId)
+            .find(|&u| !ds.long_term(u, day).is_empty())
+            .expect("some user has history");
+        let last = *ds.long_term(user, day).last().unwrap();
+        let pairs = recall_candidates(&ds, user, day, 40);
+        assert!(
+            pairs.iter().any(|&(_, d)| d == last.origin),
+            "return-leg destination missing from recall"
+        );
+    }
+
+    #[test]
+    fn recall_respects_cap() {
+        let ds = crate::fliggy_dataset(Scale::Smoke);
+        let pairs = recall_candidates(&ds, UserId(0), ds.train_end_day(), 5);
+        assert!(pairs.len() <= 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! Travel-intention module — the paper's stated future work (§VII: "we will
+//! consider to take travel intentions of users into account").
+//!
+//! Intentions (vacation, business trip, return home, …) are latent and
+//! short-lived; the observable trace is the user's *recent click stream*.
+//! The module learns a small set of **intent prototypes** and infers a soft
+//! intent vector per request: the mean short-term click embedding attends
+//! over the prototypes, and the attention-weighted prototype mix joins the
+//! per-task representation `q`. The prototype bottleneck forces the
+//! short-term signal through a discrete-ish intent space instead of leaking
+//! raw click averages, which is what makes the inferred intents
+//! interpretable (each prototype specializes).
+//!
+//! Enabled via [`crate::OdnetConfig::intents`] (> 0 prototypes); off by
+//! default, and benchmarked by the `ablation` binary.
+
+use od_tensor::nn::Embedding;
+use od_tensor::{Graph, ParamStore, Shape, Tensor, Value};
+use rand::Rng;
+
+/// A learned bank of intent prototypes with soft assignment.
+#[derive(Clone, Debug)]
+pub struct IntentModule {
+    prototypes: Embedding,
+    num_intents: usize,
+    dim: usize,
+}
+
+impl IntentModule {
+    /// Register `num_intents` prototype vectors of width `dim` under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        num_intents: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_intents > 0, "need at least one intent prototype");
+        IntentModule {
+            prototypes: Embedding::new(store, name, num_intents, dim, rng),
+            num_intents,
+            dim,
+        }
+    }
+
+    /// Number of prototypes.
+    pub fn num_intents(&self) -> usize {
+        self.num_intents
+    }
+
+    /// Infer the soft intent vector from short-term click embeddings
+    /// (`s×d`). Returns a length-`d` vector; zero when there are no recent
+    /// clicks (no evidence → no intent).
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        short_emb: Option<Value>,
+    ) -> Value {
+        let Some(short) = short_emb else {
+            return g.input(Tensor::zeros(Shape::Vector(self.dim)));
+        };
+        let all: Vec<usize> = (0..self.num_intents).collect();
+        let protos = self.prototypes.forward(g, store, &all); // k×d
+        let query = g.mean_rows(short); // d
+        let protos_t = g.transpose(protos); // d×k
+        let scores = g.matmul(query, protos_t); // 1×k
+        let assignment = g.softmax_rows(scores);
+        let mixed = g.matmul(assignment, protos); // 1×d
+        g.reshape(mixed, Shape::Vector(self.dim))
+    }
+
+    /// The soft assignment weights alone (diagnostics: which intent a
+    /// click stream expresses). Row of `num_intents` probabilities.
+    pub fn assignment(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        short_emb: Value,
+    ) -> Value {
+        let all: Vec<usize> = (0..self.num_intents).collect();
+        let protos = self.prototypes.forward(g, store, &all);
+        let query = g.mean_rows(short_emb);
+        let protos_t = g.transpose(protos);
+        let scores = g.matmul(query, protos_t);
+        g.softmax_rows(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const D: usize = 8;
+
+    fn module(store: &mut ParamStore) -> IntentModule {
+        IntentModule::new(store, "intent", 4, D, &mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn output_is_a_convex_prototype_mix() {
+        let mut store = ParamStore::new();
+        let m = module(&mut store);
+        assert_eq!(m.num_intents(), 4);
+        let mut g = Graph::new();
+        let clicks = g.input(init::gaussian(
+            Shape::Matrix(3, D),
+            0.0,
+            0.5,
+            &mut StdRng::seed_from_u64(9),
+        ));
+        let a = m.assignment(&mut g, &store, clicks);
+        let t = g.value(a);
+        assert_eq!(t.len(), 4);
+        assert!((t.sum() - 1.0).abs() < 1e-5);
+        assert!(t.as_slice().iter().all(|&w| w >= 0.0));
+        let intent = m.forward(&mut g, &store, Some(clicks));
+        assert_eq!(g.value(intent).shape(), Shape::Vector(D));
+    }
+
+    #[test]
+    fn no_clicks_means_zero_intent() {
+        let mut store = ParamStore::new();
+        let m = module(&mut store);
+        let mut g = Graph::new();
+        let v = m.forward(&mut g, &store, None);
+        assert_eq!(g.value(v).sum(), 0.0);
+    }
+
+    #[test]
+    fn different_click_streams_express_different_intents() {
+        let mut store = ParamStore::new();
+        let m = module(&mut store);
+        let run = |seed: u64, store: &ParamStore| {
+            let mut g = Graph::new();
+            let clicks = g.input(init::gaussian(
+                Shape::Matrix(3, D),
+                0.0,
+                1.0,
+                &mut StdRng::seed_from_u64(seed),
+            ));
+            let v = m.forward(&mut g, store, Some(clicks));
+            g.value(v).as_slice().to_vec()
+        };
+        assert_ne!(run(1, &store), run(2, &store));
+    }
+
+    #[test]
+    fn prototypes_receive_gradients() {
+        let mut store = ParamStore::new();
+        let m = module(&mut store);
+        let mut g = Graph::new();
+        let clicks = g.input(init::gaussian(
+            Shape::Matrix(2, D),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(4),
+        ));
+        let v = m.forward(&mut g, &store, Some(clicks));
+        let sq = g.mul(v, v);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        let id = store.lookup("intent").unwrap();
+        assert!(store.grad(id).sq_norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one intent")]
+    fn rejects_zero_prototypes() {
+        IntentModule::new(
+            &mut ParamStore::new(),
+            "i",
+            0,
+            4,
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

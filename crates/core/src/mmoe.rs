@@ -1,0 +1,306 @@
+//! O&D Joint Learning Component (paper §IV-C, Figure 5) — a Multi-gate
+//! Mixture-of-Experts head, plus the single-task head used by the STL
+//! ablation variants.
+//!
+//! Both heads emit *logits*; training applies the numerically stable
+//! BCE-with-logits (the fold of Eqs. 9–10), and serving applies the sigmoid
+//! to recover the paper's probabilities `p^O_c`, `p^D_c`.
+
+use od_tensor::nn::{Activation, Linear, Mlp};
+use od_tensor::{Graph, ParamStore, Value};
+use rand::Rng;
+
+/// The MMoE joint-learning head: `experts` expert networks shared by both
+/// tasks, two softmax gates (one per task), two tower networks.
+#[derive(Clone, Debug)]
+pub struct MmoeHead {
+    experts: Vec<Linear>,
+    gate_o: Linear,
+    gate_d: Linear,
+    tower_o: Mlp,
+    tower_d: Mlp,
+    expert_dim: usize,
+}
+
+impl MmoeHead {
+    /// Register the head under `name`. `input_dim` is `2·d_q` (the width of
+    /// `q⊕ = concat(q^O, q^D)`); `expert_dim` is `d_r`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        num_experts: usize,
+        expert_dim: usize,
+        tower_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_experts >= 1, "need at least one expert");
+        // Eq. 6: r_i = W^{expert_i} · q⊕. The paper calls the experts MLPs;
+        // we follow Eq. 6's linear form plus a ReLU (the minimal MLP).
+        let experts = (0..num_experts)
+            .map(|i| Linear::new(store, &format!("{name}.expert{i}"), input_dim, expert_dim, true, rng))
+            .collect();
+        // Eq. 7: r_g = softmax(W^{gate} · q⊕), bias-free as written.
+        let gate_o = Linear::new(store, &format!("{name}.gate_o"), input_dim, num_experts, false, rng);
+        let gate_d = Linear::new(store, &format!("{name}.gate_d"), input_dim, num_experts, false, rng);
+        // Towers: "nonlinear transformation of the input with a sigmoid
+        // layer" — one hidden ReLU layer, logit output.
+        let tower_dims = [expert_dim, tower_hidden, 1];
+        let tower_o = Mlp::new(
+            store,
+            &format!("{name}.tower_o"),
+            &tower_dims,
+            Activation::Relu,
+            Activation::None,
+            rng,
+        );
+        let tower_d = Mlp::new(
+            store,
+            &format!("{name}.tower_d"),
+            &tower_dims,
+            Activation::Relu,
+            Activation::None,
+            rng,
+        );
+        MmoeHead {
+            experts,
+            gate_o,
+            gate_d,
+            tower_o,
+            tower_d,
+            expert_dim,
+        }
+    }
+
+    /// Forward `q⊕` (a `1×2d_q` row or vector) to the pair of task logits
+    /// `(logit_O, logit_D)`, each `1×1`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, q_cat: Value) -> (Value, Value) {
+        // Expert outputs stacked into [experts × d_r].
+        let outs: Vec<Value> = self
+            .experts
+            .iter()
+            .map(|e| {
+                let lin = e.forward(g, store, q_cat);
+                g.relu(lin)
+            })
+            .collect();
+        let expert_matrix = g.concat_rows(&outs);
+        let mix = |g: &mut Graph, gate: &Linear, tower: &Mlp| -> Value {
+            let gate_logits = gate.forward(g, store, q_cat); // 1×experts
+            let weights = g.softmax_rows(gate_logits);
+            // Sum pooling with gate weights (Fig. 5): weights · experts.
+            let r = g.matmul(weights, expert_matrix); // 1×d_r
+            tower.forward(g, store, r) // 1×1 logit
+        };
+        let logit_o = mix(g, &self.gate_o, &self.tower_o);
+        let logit_d = mix(g, &self.gate_d, &self.tower_d);
+        (logit_o, logit_d)
+    }
+
+    /// Expert output width `d_r`.
+    pub fn expert_dim(&self) -> usize {
+        self.expert_dim
+    }
+
+    /// Gate weights for diagnostics/tests: `(gate_O, gate_D)` rows over
+    /// experts (each sums to 1).
+    pub fn gate_weights(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        q_cat: Value,
+    ) -> (Value, Value) {
+        let lo = self.gate_o.forward(g, store, q_cat);
+        let go = g.softmax_rows(lo);
+        let ld = self.gate_d.forward(g, store, q_cat);
+        let gd = g.softmax_rows(ld);
+        (go, gd)
+    }
+}
+
+/// Single-task head for the STL variants: two independent towers, one over
+/// `q^O` and one over `q^D`, with no shared parameters and no expert mixing
+/// — exactly "learning O and D in a separate manner".
+#[derive(Clone, Debug)]
+pub struct SingleTaskHead {
+    tower_o: Mlp,
+    tower_d: Mlp,
+}
+
+impl SingleTaskHead {
+    /// Register the head under `name`. `q_dim` is the width of each task's
+    /// own representation.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        q_dim: usize,
+        tower_hidden: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let dims = [q_dim, tower_hidden, 1];
+        SingleTaskHead {
+            tower_o: Mlp::new(
+                store,
+                &format!("{name}.tower_o"),
+                &dims,
+                Activation::Relu,
+                Activation::None,
+                rng,
+            ),
+            tower_d: Mlp::new(
+                store,
+                &format!("{name}.tower_d"),
+                &dims,
+                Activation::Relu,
+                Activation::None,
+                rng,
+            ),
+        }
+    }
+
+    /// Forward the two task representations independently to `(logit_O,
+    /// logit_D)`.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        q_o: Value,
+        q_d: Value,
+    ) -> (Value, Value) {
+        (
+            self.tower_o.forward(g, store, q_o),
+            self.tower_d.forward(g, store, q_d),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use od_tensor::{init, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const Q2: usize = 12;
+
+    fn head(store: &mut ParamStore) -> MmoeHead {
+        MmoeHead::new(store, "mmoe", Q2, 3, 6, 5, &mut StdRng::seed_from_u64(2))
+    }
+
+    fn q(g: &mut Graph, seed: u64) -> Value {
+        g.input(init::gaussian(
+            Shape::Matrix(1, Q2),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(seed),
+        ))
+    }
+
+    #[test]
+    fn logits_are_scalarish() {
+        let mut store = ParamStore::new();
+        let h = head(&mut store);
+        assert_eq!(h.expert_dim(), 6);
+        let mut g = Graph::new();
+        let qv = q(&mut g, 1);
+        let (lo, ld) = h.forward(&mut g, &store, qv);
+        assert_eq!(g.value(lo).len(), 1);
+        assert_eq!(g.value(ld).len(), 1);
+    }
+
+    #[test]
+    fn gate_outputs_sum_to_one() {
+        let mut store = ParamStore::new();
+        let h = head(&mut store);
+        let mut g = Graph::new();
+        let qv = q(&mut g, 3);
+        let (go, gd) = h.gate_weights(&mut g, &store, qv);
+        for gate in [go, gd] {
+            let t = g.value(gate);
+            assert_eq!(t.len(), 3);
+            assert!((t.sum() - 1.0).abs() < 1e-5);
+            assert!(t.as_slice().iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn tasks_see_different_mixtures() {
+        // The whole point of MMoE: the two gates can weight experts
+        // differently for the two tasks.
+        let mut store = ParamStore::new();
+        let h = head(&mut store);
+        let mut g = Graph::new();
+        let qv = q(&mut g, 4);
+        let (go, gd) = h.gate_weights(&mut g, &store, qv);
+        assert_ne!(g.value(go).as_slice(), g.value(gd).as_slice());
+    }
+
+    #[test]
+    fn gradients_reach_both_towers_and_all_experts() {
+        let mut store = ParamStore::new();
+        let h = head(&mut store);
+        let mut g = Graph::new();
+        let qv = q(&mut g, 5);
+        let (lo, ld) = h.forward(&mut g, &store, qv);
+        let s = g.add(lo, ld);
+        let loss = g.sum_all(s);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        for name in [
+            "mmoe.expert0.w",
+            "mmoe.expert1.w",
+            "mmoe.expert2.w",
+            "mmoe.gate_o.w",
+            "mmoe.gate_d.w",
+            "mmoe.tower_o.l0.w",
+            "mmoe.tower_d.l1.w",
+        ] {
+            let id = store.lookup(name).unwrap();
+            assert!(store.grad(id).sq_norm() > 0.0, "no grad at {name}");
+        }
+    }
+
+    #[test]
+    fn single_task_head_is_independent() {
+        let mut store = ParamStore::new();
+        let h = SingleTaskHead::new(&mut store, "stl", 6, 4, &mut StdRng::seed_from_u64(9));
+        let mut g = Graph::new();
+        let qo = g.input(init::gaussian(
+            Shape::Matrix(1, 6),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(10),
+        ));
+        let qd = g.input(init::gaussian(
+            Shape::Matrix(1, 6),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(11),
+        ));
+        let (lo, ld) = h.forward(&mut g, &store, qo, qd);
+        // Backprop through the O logit only: D-tower params must stay
+        // untouched (no parameter sharing between the tasks).
+        let loss = g.sum_all(lo);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        let od_grad = store.grad(store.lookup("stl.tower_d.l0.w").unwrap());
+        assert_eq!(od_grad.sq_norm(), 0.0);
+        let o_grad = store.grad(store.lookup("stl.tower_o.l0.w").unwrap());
+        assert!(o_grad.sq_norm() > 0.0);
+        let _ = ld;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn rejects_zero_experts() {
+        MmoeHead::new(
+            &mut ParamStore::new(),
+            "m",
+            4,
+            0,
+            4,
+            4,
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

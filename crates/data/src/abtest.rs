@@ -1,0 +1,310 @@
+//! Online A/B test simulator (paper §V-E, Figure 7).
+//!
+//! The paper ran a week-long production A/B test over 400k Fliggy users;
+//! offline we replay the same protocol against the ground-truth [`World`]'s
+//! click model: each simulated day, a fixed panel of users is served a
+//! top-k flight list by each method, every list slot is an impression, and
+//! clicks are drawn from the world's click probability. **Common random
+//! numbers** are used — the click coin-flip for a given (day, user, O, D)
+//! is a hash-seeded draw, identical across methods — so CTR differences
+//! reflect ranking quality, not sampling luck.
+
+use crate::fliggy::UserHistory;
+use crate::metrics::ctr;
+use crate::world::{Context, World};
+use od_hsg::{CityId, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated A/B test.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AbTestConfig {
+    /// Number of simulated days (paper: one week).
+    pub days: u32,
+    /// Users sampled into each day's panel.
+    pub users_per_day: usize,
+    /// List length served per user (impressions per user per day).
+    pub top_k: usize,
+    /// First simulation day of the test (after the training horizon).
+    pub start_day: u32,
+    /// Seed for panel sampling and the common-random-number hash.
+    pub seed: u64,
+}
+
+impl Default for AbTestConfig {
+    fn default() -> Self {
+        AbTestConfig {
+            days: 7,
+            users_per_day: 200,
+            top_k: 10,
+            start_day: 720,
+            seed: 0xAB7E57,
+        }
+    }
+}
+
+/// One day's outcome for one method.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DayOutcome {
+    /// Day offset within the test (0-based).
+    pub day: u32,
+    /// Impressions served.
+    pub impressions: u64,
+    /// Clicks received.
+    pub clicks: u64,
+}
+
+impl DayOutcome {
+    /// The day's CTR (Eq. 14).
+    pub fn ctr(&self) -> f64 {
+        ctr(self.clicks, self.impressions)
+    }
+}
+
+/// Result of running one method through the test.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AbTestResult {
+    /// Method display name.
+    pub method: String,
+    /// Per-day outcomes.
+    pub days: Vec<DayOutcome>,
+}
+
+impl AbTestResult {
+    /// Overall CTR across the whole test.
+    pub fn overall_ctr(&self) -> f64 {
+        let clicks: u64 = self.days.iter().map(|d| d.clicks).sum();
+        let imps: u64 = self.days.iter().map(|d| d.impressions).sum();
+        ctr(clicks, imps)
+    }
+}
+
+/// The simulator. Panels are fixed at construction so every method faces
+/// the same users on the same days.
+pub struct AbTestHarness<'w> {
+    world: &'w World,
+    config: AbTestConfig,
+    /// `panels[d]` = users served on day `d`.
+    panels: Vec<Vec<UserId>>,
+    /// Per-user booking histories; the click model's novelty and return
+    /// terms consume them when present.
+    histories: Option<&'w [UserHistory]>,
+}
+
+impl<'w> AbTestHarness<'w> {
+    /// Build the harness, sampling one user panel per day.
+    pub fn new(world: &'w World, config: AbTestConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let panels = (0..config.days)
+            .map(|_| {
+                (0..config.users_per_day)
+                    .map(|_| UserId(rng.gen_range(0..world.num_users()) as u32))
+                    .collect()
+            })
+            .collect();
+        AbTestHarness {
+            world,
+            config,
+            panels,
+            histories: None,
+        }
+    }
+
+    /// Attach per-user histories so the click model includes the novelty
+    /// and return-trip terms (recommended; without them the ground truth
+    /// clicks ignore trip context).
+    pub fn with_histories(mut self, histories: &'w [UserHistory]) -> Self {
+        self.histories = Some(histories);
+        self
+    }
+
+    /// The test configuration.
+    pub fn config(&self) -> &AbTestConfig {
+        &self.config
+    }
+
+    /// The user panel of a given day (0-based).
+    pub fn panel(&self, day: u32) -> &[UserId] {
+        &self.panels[day as usize]
+    }
+
+    /// Serve the whole test with `recommend(user, absolute_day, k)` and
+    /// collect per-day CTRs. Deterministic for a fixed harness and method.
+    pub fn run(
+        &self,
+        method: impl Into<String>,
+        mut recommend: impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)>,
+    ) -> AbTestResult {
+        let mut days = Vec::with_capacity(self.config.days as usize);
+        for d in 0..self.config.days {
+            let abs_day = self.config.start_day + d;
+            let mut impressions = 0u64;
+            let mut clicks = 0u64;
+            for &user in self.panel(d) {
+                let list = recommend(user, abs_day, self.config.top_k);
+                for &(o, dest) in list.iter().take(self.config.top_k) {
+                    impressions += 1;
+                    if self.click_draw(abs_day, user, o, dest) {
+                        clicks += 1;
+                    }
+                }
+            }
+            days.push(DayOutcome {
+                day: d,
+                impressions,
+                clicks,
+            });
+        }
+        AbTestResult {
+            method: method.into(),
+            days,
+        }
+    }
+
+    /// Common-random-number click draw: a hash of (seed, day, user, O, D)
+    /// seeds the Bernoulli draw, so every method sees the same coin for the
+    /// same impression.
+    fn click_draw(&self, day: u32, user: UserId, o: CityId, d: CityId) -> bool {
+        let history = self
+            .histories
+            .map(|h| h[user.index()].bookings.as_slice())
+            .unwrap_or(&[]);
+        let visible = &history[..history.partition_point(|b| b.day < day)];
+        let ctx = Context {
+            day,
+            last_booking: visible.last().copied(),
+            recent_history: visible,
+        };
+        let p = self.world.click_probability(user, o, d, ctx);
+        let mut h = self.config.seed;
+        for v in [day as u64, user.0 as u64, o.0 as u64, d.0 as u64] {
+            // SplitMix64-style mixing.
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+        }
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(100, 20, &mut StdRng::seed_from_u64(9))
+    }
+
+    fn config() -> AbTestConfig {
+        AbTestConfig {
+            days: 3,
+            users_per_day: 40,
+            top_k: 5,
+            start_day: 700,
+            seed: 42,
+        }
+    }
+
+    /// An "oracle" that serves the k truly-best pairs per user.
+    fn oracle(world: &World) -> impl Fn(UserId, u32, usize) -> Vec<(CityId, CityId)> + '_ {
+        move |user, day, k| {
+            let ctx = Context {
+                day,
+                last_booking: None,
+                recent_history: &[],
+            };
+            let n = world.num_cities();
+            let mut pairs: Vec<(f32, (CityId, CityId))> = Vec::new();
+            for o in 0..n {
+                for d in 0..n {
+                    if o == d {
+                        continue;
+                    }
+                    let (o, d) = (CityId(o as u32), CityId(d as u32));
+                    pairs.push((world.utility(user, o, d, ctx), (o, d)));
+                }
+            }
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            pairs.into_iter().take(k).map(|(_, p)| p).collect()
+        }
+    }
+
+    /// A random recommender.
+    fn random(world: &World, seed: u64) -> impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)> + '_ {
+        let mut rng = StdRng::seed_from_u64(seed);
+        move |_, _, k| {
+            let n = world.num_cities() as u32;
+            (0..k)
+                .map(|_| {
+                    loop {
+                        let o = CityId(rng.gen_range(0..n));
+                        let d = CityId(rng.gen_range(0..n));
+                        if o != d {
+                            return (o, d);
+                        }
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn impressions_equal_panel_times_k() {
+        let w = world();
+        let h = AbTestHarness::new(&w, config());
+        let result = h.run("oracle", oracle(&w));
+        for day in &result.days {
+            assert_eq!(day.impressions, 40 * 5);
+        }
+        assert_eq!(result.days.len(), 3);
+    }
+
+    #[test]
+    fn oracle_beats_random() {
+        let w = world();
+        let h = AbTestHarness::new(&w, config());
+        let good = h.run("oracle", oracle(&w)).overall_ctr();
+        let bad = h.run("random", random(&w, 1)).overall_ctr();
+        assert!(
+            good > bad + 0.05,
+            "oracle CTR {good} must clearly beat random {bad}"
+        );
+    }
+
+    #[test]
+    fn panels_are_identical_across_runs() {
+        let w = world();
+        let h1 = AbTestHarness::new(&w, config());
+        let h2 = AbTestHarness::new(&w, config());
+        for d in 0..3 {
+            assert_eq!(h1.panel(d), h2.panel(d));
+        }
+    }
+
+    #[test]
+    fn common_random_numbers_make_runs_deterministic() {
+        let w = world();
+        let h = AbTestHarness::new(&w, config());
+        let a = h.run("oracle", oracle(&w));
+        let b = h.run("oracle", oracle(&w));
+        for (x, y) in a.days.iter().zip(&b.days) {
+            assert_eq!(x.clicks, y.clicks);
+        }
+    }
+
+    #[test]
+    fn ctr_values_are_probabilities() {
+        let w = world();
+        let h = AbTestHarness::new(&w, config());
+        let r = h.run("oracle", oracle(&w));
+        for d in &r.days {
+            let c = d.ctr();
+            assert!((0.0..=1.0).contains(&c));
+        }
+        assert!((0.0..=1.0).contains(&r.overall_ctr()));
+    }
+}

@@ -1,0 +1,437 @@
+//! Foursquare/Gowalla-like LBSN check-in datasets.
+//!
+//! The public dumps are not redistributable offline, so these generators
+//! produce destination-only check-in sequences with the statistical shape
+//! that matters for Table IV: power-law POI popularity, user mobility
+//! radius, and pattern-clustered POIs so that graph-based exploration
+//! (STL+G) still pays off while multi-task O&D learning is inapplicable
+//! (there is no origin side — exactly why the paper evaluates only
+//! single-task models on these datasets).
+
+use crate::cities::{generate_cities, City};
+use od_hsg::{CityId, EdgeType, GeoPoint, HsgBuilder, Hsg, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Gumbel};
+use serde::{Deserialize, Serialize};
+
+/// Generation parameters for a check-in dataset.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckinConfig {
+    /// Dataset display name (`"foursquare"` / `"gowalla"`).
+    pub name: String,
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of POIs.
+    pub num_pois: usize,
+    /// Simulation horizon in days.
+    pub horizon_days: u32,
+    /// Min/max check-ins per user.
+    pub checkins_per_user: (usize, usize),
+    /// Check-ins inside the trailing window become test cases.
+    pub test_window_days: u32,
+    /// How strongly users stay near their previous location (Gowalla users
+    /// roam wider than Foursquare users).
+    pub mobility: f32,
+    /// Negative POIs ranked against each true next POI at evaluation.
+    pub eval_negatives: usize,
+    /// Negative samples per positive for AUC-style training.
+    pub train_negatives: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CheckinConfig {
+    /// Foursquare-like preset: denser check-ins, tighter mobility.
+    pub fn foursquare() -> Self {
+        CheckinConfig {
+            name: "foursquare".into(),
+            num_users: 600,
+            num_pois: 120,
+            horizon_days: 540,
+            checkins_per_user: (8, 24),
+            test_window_days: 45,
+            mobility: 1.1,
+            eval_negatives: 49,
+            train_negatives: 4,
+            seed: 0x405,
+        }
+    }
+
+    /// Gowalla-like preset: more POIs relative to check-ins, wider roaming.
+    pub fn gowalla() -> Self {
+        CheckinConfig {
+            name: "gowalla".into(),
+            num_users: 600,
+            num_pois: 180,
+            horizon_days: 540,
+            checkins_per_user: (6, 18),
+            test_window_days: 45,
+            mobility: 0.6,
+            eval_negatives: 49,
+            train_negatives: 4,
+            seed: 0x60A11A,
+        }
+    }
+
+    /// Miniature preset for tests.
+    pub fn tiny() -> Self {
+        CheckinConfig {
+            name: "tiny".into(),
+            num_users: 50,
+            num_pois: 20,
+            horizon_days: 240,
+            checkins_per_user: (5, 10),
+            test_window_days: 30,
+            mobility: 1.0,
+            eval_negatives: 9,
+            train_negatives: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// One check-in event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkin {
+    /// Simulation day.
+    pub day: u32,
+    /// Visited POI.
+    pub poi: CityId,
+}
+
+/// A labelled next-POI training sample.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PoiSample {
+    /// The checking-in user.
+    pub user: UserId,
+    /// Decision day.
+    pub day: u32,
+    /// Candidate POI.
+    pub poi: CityId,
+    /// 1.0 iff `poi` is the true next check-in.
+    pub label: f32,
+}
+
+/// A next-POI ranking case (truth among sampled negatives).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoiEvalCase {
+    /// The checking-in user.
+    pub user: UserId,
+    /// Decision day.
+    pub day: u32,
+    /// Candidate POIs; `candidates[true_index]` is the true next POI.
+    pub candidates: Vec<CityId>,
+    /// Index of the truth.
+    pub true_index: usize,
+}
+
+/// A generated LBSN dataset.
+#[derive(Clone, Debug)]
+pub struct CheckinDataset {
+    /// POI universe (reuses the city generator: patterns + popularity).
+    pub pois: Vec<City>,
+    /// Per-user time-ordered check-in sequences.
+    pub histories: Vec<Vec<Checkin>>,
+    /// Training samples.
+    pub train: Vec<PoiSample>,
+    /// Testing samples.
+    pub test: Vec<PoiSample>,
+    /// Ranking cases built from test positives.
+    pub eval_cases: Vec<PoiEvalCase>,
+    /// The generating configuration.
+    pub config: CheckinConfig,
+    /// Per-user latent pattern preferences (ground truth; diagnostics only).
+    pattern_prefs: Vec<[f32; 5]>,
+}
+
+impl CheckinDataset {
+    /// Generate a dataset from the configuration.
+    pub fn generate(config: CheckinConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pois = generate_cities(config.num_pois, &mut rng);
+        let mut pattern_prefs = Vec::with_capacity(config.num_users);
+        for _ in 0..config.num_users {
+            let mut prefs = [0.0f32; 5];
+            for p in &mut prefs {
+                *p = rng.gen_range(0.0..1.0);
+            }
+            prefs[rng.gen_range(0..5)] += 1.2;
+            pattern_prefs.push(prefs);
+        }
+        let mut histories = Vec::with_capacity(config.num_users);
+        for u in 0..config.num_users {
+            histories.push(roll_out(&pois, &pattern_prefs[u], &config, &mut rng));
+        }
+        let train_end = config.horizon_days - config.test_window_days;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        let mut eval_cases = Vec::new();
+        for (u, hist) in histories.iter().enumerate() {
+            let user = UserId(u as u32);
+            for (i, c) in hist.iter().enumerate() {
+                if i == 0 {
+                    continue;
+                }
+                let positive = PoiSample {
+                    user,
+                    day: c.day,
+                    poi: c.poi,
+                    label: 1.0,
+                };
+                let bucket = if c.day < train_end { &mut train } else { &mut test };
+                bucket.push(positive);
+                for _ in 0..config.train_negatives {
+                    let neg = loop {
+                        let p = CityId(rng.gen_range(0..config.num_pois as u32));
+                        if p != c.poi {
+                            break p;
+                        }
+                    };
+                    bucket.push(PoiSample {
+                        poi: neg,
+                        label: 0.0,
+                        ..positive
+                    });
+                }
+                if c.day >= train_end {
+                    eval_cases.push(make_eval_case(&positive, &config, &mut rng));
+                }
+            }
+        }
+        CheckinDataset {
+            pois,
+            histories,
+            train,
+            test,
+            eval_cases,
+            config,
+            pattern_prefs,
+        }
+    }
+
+    /// First day of the test window.
+    pub fn train_end_day(&self) -> u32 {
+        self.config.horizon_days - self.config.test_window_days
+    }
+
+    /// Check-ins of `user` strictly before `day` (the model-visible history).
+    pub fn history_before(&self, user: UserId, day: u32) -> &[Checkin] {
+        let h = &self.histories[user.index()];
+        let end = h.partition_point(|c| c.day < day);
+        &h[..end]
+    }
+
+    /// Build the user-POI interaction graph (arrive edges only — LBSN data
+    /// has no origin side) from training-period check-ins.
+    pub fn hsg(&self) -> Hsg {
+        let coords: Vec<GeoPoint> = self.pois.iter().map(|p| p.coords).collect();
+        let mut b = HsgBuilder::new(self.config.num_users, coords);
+        let cut = self.train_end_day();
+        for (u, hist) in self.histories.iter().enumerate() {
+            for c in hist {
+                if c.day < cut {
+                    b.add_edge(UserId(u as u32), c.poi, EdgeType::Arrive);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Table-II-style statistics: `(users, pois, check-ins)`.
+    pub fn statistics(&self) -> (usize, usize, usize) {
+        let checkins = self.histories.iter().map(Vec::len).sum();
+        (self.config.num_users, self.config.num_pois, checkins)
+    }
+
+    /// Ground-truth pattern preferences (diagnostics only — models never see
+    /// this).
+    pub fn pattern_prefs(&self, user: UserId) -> &[f32; 5] {
+        &self.pattern_prefs[user.index()]
+    }
+}
+
+/// Latent check-in utility: pattern preference + popularity − travel
+/// distance from the current location, Gumbel-perturbed at choice time.
+fn poi_utility(
+    pois: &[City],
+    prefs: &[f32; 5],
+    current: Option<CityId>,
+    candidate: usize,
+    mobility: f32,
+) -> f32 {
+    let poi = &pois[candidate];
+    let mut u = 1.6 * prefs[poi.pattern.index()] + 1.0 * poi.popularity;
+    if let Some(cur) = current {
+        if cur.index() == candidate {
+            return f32::NEG_INFINITY; // no self-repeat
+        }
+        let d = pois[cur.index()].coords.l2(poi.coords) as f32;
+        u -= mobility * 0.35 * d.min(12.0);
+    }
+    u
+}
+
+fn roll_out(
+    pois: &[City],
+    prefs: &[f32; 5],
+    config: &CheckinConfig,
+    rng: &mut StdRng,
+) -> Vec<Checkin> {
+    let n = rng.gen_range(config.checkins_per_user.0..=config.checkins_per_user.1);
+    let gumbel = Gumbel::new(0.0f32, 1.0).expect("valid gumbel");
+    let mut out = Vec::with_capacity(n);
+    let mut day = rng.gen_range(0..30u32);
+    // Scale inter-check-in gaps to the horizon so user activity spans it
+    // (and the trailing test window receives events at every config size).
+    let step_max = (2 * config.horizon_days / n.max(1) as u32).max(6);
+    let mut current: Option<CityId> = None;
+    for _ in 0..n {
+        if day >= config.horizon_days {
+            break;
+        }
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for cand in 0..pois.len() {
+            let score = poi_utility(pois, prefs, current, cand, config.mobility)
+                + gumbel.sample(rng);
+            if score > best_score {
+                best_score = score;
+                best = cand;
+            }
+        }
+        let poi = CityId(best as u32);
+        out.push(Checkin { day, poi });
+        current = Some(poi);
+        day += rng.gen_range(3..step_max);
+    }
+    out
+}
+
+fn make_eval_case(positive: &PoiSample, config: &CheckinConfig, rng: &mut StdRng) -> PoiEvalCase {
+    let mut candidates = Vec::with_capacity(config.eval_negatives + 1);
+    while candidates.len() < config.eval_negatives {
+        let p = CityId(rng.gen_range(0..config.num_pois as u32));
+        if p != positive.poi && !candidates.contains(&p) {
+            candidates.push(p);
+        }
+    }
+    let true_index = rng.gen_range(0..=candidates.len());
+    candidates.insert(true_index, positive.poi);
+    PoiEvalCase {
+        user: positive.user,
+        day: positive.day,
+        candidates,
+        true_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> CheckinDataset {
+        CheckinDataset::generate(CheckinConfig::tiny())
+    }
+
+    #[test]
+    fn splits_and_labels() {
+        let ds = dataset();
+        let cut = ds.train_end_day();
+        assert!(ds.train.iter().all(|s| s.day < cut));
+        assert!(ds.test.iter().all(|s| s.day >= cut));
+        let pos = ds.train.iter().filter(|s| s.label > 0.5).count();
+        let neg = ds.train.iter().filter(|s| s.label < 0.5).count();
+        assert_eq!(neg, pos * ds.config.train_negatives);
+    }
+
+    #[test]
+    fn histories_ordered_no_self_repeat() {
+        let ds = dataset();
+        for h in &ds.histories {
+            assert!(h.windows(2).all(|w| w[0].day <= w[1].day));
+            assert!(h.windows(2).all(|w| w[0].poi != w[1].poi));
+        }
+    }
+
+    #[test]
+    fn history_before_is_strict() {
+        let ds = dataset();
+        let h = &ds.histories[0];
+        if let Some(third) = h.get(2) {
+            let visible = ds.history_before(UserId(0), third.day);
+            assert!(visible.iter().all(|c| c.day < third.day));
+        }
+    }
+
+    #[test]
+    fn eval_cases_well_formed() {
+        let ds = dataset();
+        assert!(!ds.eval_cases.is_empty());
+        for case in &ds.eval_cases {
+            assert_eq!(case.candidates.len(), ds.config.eval_negatives + 1);
+            let truth = case.candidates[case.true_index];
+            assert_eq!(case.candidates.iter().filter(|&&c| c == truth).count(), 1);
+        }
+    }
+
+    #[test]
+    fn hsg_has_only_arrive_edges() {
+        let ds = dataset();
+        let g = ds.hsg();
+        assert_eq!(g.num_users(), ds.config.num_users);
+        assert_eq!(g.num_cities(), ds.config.num_pois);
+        // No departure edges in LBSN data.
+        for u in 0..g.num_users() {
+            assert!(g
+                .user_neighbor_cities(UserId(u as u32), od_hsg::Metapath::RHO1)
+                .is_empty());
+        }
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn presets_differ_as_documented() {
+        let f = CheckinConfig::foursquare();
+        let g = CheckinConfig::gowalla();
+        // Gowalla: more POIs, wider roaming (lower mobility penalty).
+        assert!(g.num_pois > f.num_pois);
+        assert!(g.mobility < f.mobility);
+    }
+
+    #[test]
+    fn statistics_count_checkins() {
+        let ds = dataset();
+        let (users, pois, checkins) = ds.statistics();
+        assert_eq!(users, ds.config.num_users);
+        assert_eq!(pois, ds.config.num_pois);
+        assert_eq!(checkins, ds.histories.iter().map(Vec::len).sum::<usize>());
+        assert!(checkins > 0);
+    }
+
+    #[test]
+    fn users_revisit_preferred_patterns() {
+        // The learnable signal: a user's favourite pattern should dominate
+        // their check-ins more often than chance (1/5).
+        let ds = dataset();
+        let mut favored = 0;
+        let mut total = 0;
+        for (u, h) in ds.histories.iter().enumerate() {
+            let prefs = ds.pattern_prefs(UserId(u as u32));
+            let fav = prefs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            for c in h {
+                total += 1;
+                if ds.pois[c.poi.index()].pattern.index() == fav {
+                    favored += 1;
+                }
+            }
+        }
+        let share = favored as f64 / total as f64;
+        assert!(share > 0.3, "favourite-pattern share {share} ≤ chance");
+    }
+}

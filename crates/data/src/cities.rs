@@ -1,0 +1,268 @@
+//! The synthetic city universe.
+//!
+//! The Fliggy dataset is proprietary, so the reproduction generates a city
+//! map with the structure the paper's motivating examples rely on:
+//!
+//! - cities carry a **pattern** (seaside, mountain, metro, …) so that
+//!   destination exploration ("users who liked Sanya may like Qingdao,
+//!   another seaside city") is learnable from co-visitation;
+//! - a minority of cities are **hubs** with cheaper outbound flights, so
+//!   that origin exploration ("fly from nearby Shanghai instead of Ningbo")
+//!   pays off;
+//! - coordinates are laid out in pattern clusters plus jitter, so that the
+//!   Eq. 2 inverse-distance weights carry signal.
+
+use od_hsg::{CityId, GeoPoint};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Thematic pattern of a city — the latent attribute behind the paper's
+/// "cities with the same pattern" destination-exploration example.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Coastal vacation cities (Sanya, Qingdao, Dalian…).
+    Seaside,
+    /// Mountain/scenery cities.
+    Mountain,
+    /// Large business metros (usually hubs).
+    Metro,
+    /// Historic/cultural cities (Xi'an…).
+    Historic,
+    /// Tourist cities (Dali, Kunming…).
+    Tourist,
+}
+
+impl Pattern {
+    /// All patterns in dense order.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::Seaside,
+        Pattern::Mountain,
+        Pattern::Metro,
+        Pattern::Historic,
+        Pattern::Tourist,
+    ];
+
+    /// Dense index for preference vectors.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+}
+
+/// A synthetic city.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct City {
+    /// Stable id, also the HSG city-node index.
+    pub id: CityId,
+    /// Synthetic display name, e.g. `"metro-3"`.
+    pub name: String,
+    /// Longitude/latitude.
+    pub coords: GeoPoint,
+    /// Thematic pattern.
+    pub pattern: Pattern,
+    /// Hub cities have denser, cheaper outbound routes.
+    pub is_hub: bool,
+    /// Base attractiveness (popularity prior), roughly Zipf-distributed.
+    pub popularity: f32,
+}
+
+/// Generate a city universe of `n` cities.
+///
+/// Layout: each pattern owns a spatial cluster center; its cities scatter
+/// around it. Every ~6th metro city is a hub. Popularity follows a Zipf-like
+/// `1/(rank+1)^0.8` profile shuffled across cities.
+pub fn generate_cities(n: usize, rng: &mut impl Rng) -> Vec<City> {
+    assert!(n >= Pattern::ALL.len(), "need at least one city per pattern");
+    // Cluster centers spread out on a synthetic map ~ China's extent.
+    let centers = [
+        (118.0, 26.0), // seaside: southeast coast
+        (103.0, 30.0), // mountain: southwest
+        (116.0, 36.0), // metro: east-central
+        (109.0, 34.0), // historic: central
+        (101.0, 25.0), // tourist: Yunnan-like
+    ];
+    let mut cities = Vec::with_capacity(n);
+    let mut pattern_counts = [0usize; 5];
+    for i in 0..n {
+        let pattern = Pattern::ALL[i % Pattern::ALL.len()];
+        let pi = pattern.index();
+        let (clon, clat) = centers[pi];
+        let coords = GeoPoint {
+            lon: clon + rng.gen_range(-4.0..4.0),
+            lat: clat + rng.gen_range(-3.0..3.0),
+        };
+        // Hubs: the first metro city of every block of 6 cities.
+        let is_hub = pattern == Pattern::Metro && pattern_counts[pi] % 2 == 0;
+        pattern_counts[pi] += 1;
+        cities.push(City {
+            id: CityId(i as u32),
+            name: format!("{:?}-{}", pattern, pattern_counts[pi]).to_lowercase(),
+            coords,
+            pattern,
+            is_hub,
+            popularity: 0.0,
+        });
+    }
+    // Zipf-ish popularity assigned to a random permutation of cities, with
+    // hubs boosted (big metros are popular in reality).
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    for (rank, &idx) in order.iter().enumerate() {
+        cities[idx].popularity = 1.0 / (rank as f32 + 1.0).powf(0.8);
+    }
+    for c in &mut cities {
+        if c.is_hub {
+            c.popularity = (c.popularity * 2.0).min(1.0);
+        }
+    }
+    cities
+}
+
+/// Generate a rail-corridor city universe: `n` stations along a main line
+/// (think Beijing–Shanghai HSR) with spur jitter. Patterns rotate along the
+/// corridor so pattern clusters are *segments* of the line; hubs are the
+/// large interchange stations every ~8 stops. Used by the paper's §VII
+/// generalization claim ("ODNET can also be directly applied to achieve
+/// high-quality train recommendation").
+pub fn generate_corridor_cities(n: usize, rng: &mut impl Rng) -> Vec<City> {
+    assert!(n >= Pattern::ALL.len(), "need at least one city per pattern");
+    let mut cities = Vec::with_capacity(n);
+    let mut pattern_counts = [0usize; 5];
+    for i in 0..n {
+        let t = i as f64 / (n - 1).max(1) as f64;
+        // Main line from (116, 40) to (121, 31) with small spur offsets.
+        let coords = GeoPoint {
+            lon: 116.0 + 5.0 * t + rng.gen_range(-0.4..0.4),
+            lat: 40.0 - 9.0 * t + rng.gen_range(-0.3..0.3),
+        };
+        // Segments of the corridor share a pattern (cultural region).
+        let pattern = Pattern::ALL[(i * Pattern::ALL.len() / n).min(4)];
+        let pi = pattern.index();
+        let is_hub = i % 8 == 0;
+        pattern_counts[pi] += 1;
+        cities.push(City {
+            id: CityId(i as u32),
+            name: format!("station-{i}-{:?}", pattern).to_lowercase(),
+            coords,
+            pattern,
+            is_hub,
+            popularity: 0.0,
+        });
+    }
+    // Popularity decays away from the corridor endpoints (termini dominate).
+    for (i, c) in cities.iter_mut().enumerate() {
+        let t = i as f64 / (n - 1).max(1) as f64;
+        let endpointness = (1.0 - (2.0 * t - 1.0).abs()) as f32; // 0 at ends, 1 mid
+        c.popularity = (1.0 - 0.6 * endpointness) * rng.gen_range(0.5..1.0);
+        if c.is_hub {
+            c.popularity = (c.popularity * 1.5).min(1.0);
+        }
+    }
+    cities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_indices_are_dense() {
+        for (i, p) in Pattern::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_with_all_patterns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cities = generate_cities(40, &mut rng);
+        assert_eq!(cities.len(), 40);
+        for p in Pattern::ALL {
+            assert!(
+                cities.iter().any(|c| c.pattern == p),
+                "missing pattern {p:?}"
+            );
+        }
+        // Ids are dense and in order.
+        for (i, c) in cities.iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn has_hubs_and_only_metro_hubs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cities = generate_cities(50, &mut rng);
+        let hubs: Vec<_> = cities.iter().filter(|c| c.is_hub).collect();
+        assert!(!hubs.is_empty(), "no hubs generated");
+        assert!(hubs.iter().all(|c| c.pattern == Pattern::Metro));
+        assert!(hubs.len() < cities.len() / 4, "too many hubs");
+    }
+
+    #[test]
+    fn popularity_is_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cities = generate_cities(30, &mut rng);
+        assert!(cities.iter().all(|c| c.popularity > 0.0 && c.popularity <= 1.0));
+        // Popularity is skewed: the max should dominate the median.
+        let mut pops: Vec<f32> = cities.iter().map(|c| c.popularity).collect();
+        pops.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(pops[pops.len() - 1] > 4.0 * pops[pops.len() / 2]);
+    }
+
+    #[test]
+    fn same_pattern_cities_cluster_spatially() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cities = generate_cities(50, &mut rng);
+        // Mean intra-pattern distance should be below mean inter-pattern
+        // distance — this is what makes Eq. 2 spatial weights informative.
+        let (mut intra, mut inter) = ((0.0, 0usize), (0.0, 0usize));
+        for a in &cities {
+            for b in &cities {
+                if a.id >= b.id {
+                    continue;
+                }
+                let d = a.coords.l2(b.coords);
+                if a.pattern == b.pattern {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} !< inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city per pattern")]
+    fn rejects_tiny_universe() {
+        generate_cities(3, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn corridor_cities_lie_along_the_line() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cities = generate_corridor_cities(24, &mut rng);
+        assert_eq!(cities.len(), 24);
+        // Longitudes increase monotonically up to jitter.
+        for w in cities.windows(4) {
+            assert!(w[3].coords.lon > w[0].coords.lon - 0.5);
+        }
+        // Hubs every ~8 stations.
+        assert!(cities.iter().filter(|c| c.is_hub).count() >= 3);
+        // Neighboring stations share patterns (segments).
+        let same_neighbor = cities
+            .windows(2)
+            .filter(|w| w[0].pattern == w[1].pattern)
+            .count();
+        assert!(same_neighbor > cities.len() / 2);
+    }
+}

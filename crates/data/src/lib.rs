@@ -1,0 +1,42 @@
+//! # od-data — datasets, metrics, and the A/B simulator
+//!
+//! The paper evaluates on three datasets (proprietary Fliggy logs and the
+//! Foursquare/Gowalla LBSN dumps) and a production A/B test. None of those
+//! are available offline, so this crate builds their closest synthetic
+//! equivalents from one ground-truth [`World`] model whose latent utility
+//! plants exactly the phenomena the paper's model exploits:
+//!
+//! - **Origin exploration** — hub cities have cheaper outbound fares, so
+//!   departing from a nearby hub beats the home city for price-sensitive
+//!   users (the paper's Ningbo→Shanghai example).
+//! - **Destination exploration** — destinations carry latent *patterns*
+//!   (seaside, mountain, …); a user who liked one seaside city will like
+//!   others (the Sanya→Qingdao example).
+//! - **O&D unity** — route price couples O and D, and a strong return-trip
+//!   bonus makes the best OD pair depend on the previous booking (the
+//!   Beijing⇄Chengdu return-ticket example).
+//!
+//! Modules: [`world`] (ground truth + choice model), [`fliggy`] (OD booking
+//! dataset, Table I shape), [`checkin`] (Foursquare/Gowalla-like, Table II
+//! shape), [`metrics`] (AUC/HR@k/MRR@k/CTR), [`stats`] (the `x_st` temporal
+//! features), and [`abtest`] (the Figure 7 CTR simulator).
+
+#![warn(missing_docs)]
+
+pub mod abtest;
+pub mod checkin;
+pub mod cities;
+pub mod fliggy;
+pub mod metrics;
+pub mod stats;
+pub mod world;
+
+pub use abtest::{AbTestConfig, AbTestHarness, AbTestResult, DayOutcome};
+pub use checkin::{Checkin, CheckinConfig, CheckinDataset, PoiEvalCase, PoiSample};
+pub use cities::{generate_cities, generate_corridor_cities, City, Pattern};
+pub use fliggy::{
+    DatasetStatistics, EvalCase, FliggyConfig, FliggyDataset, OdSample, UserHistory,
+};
+pub use metrics::{auc, ctr, rank_of_truth, RankingAccumulator, RankingMetrics};
+pub use stats::{Side, TemporalStats, TEMPORAL_FEATURES};
+pub use world::{Booking, Click, Context, PriceModel, UserProfile, World};

@@ -1,0 +1,244 @@
+//! Evaluation metrics: AUC, HR@k, MRR@k (paper §V-A.2) and CTR (Eq. 14).
+
+/// Area under the ROC curve via the rank-sum statistic, with tied scores
+/// handled by midranks. Returns 0.5 when either class is empty.
+pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc input length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Midrank assignment.
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = midrank;
+        }
+        i = j + 1;
+    }
+    let pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] > 0.5).collect();
+    let n_pos = pos.len() as f64;
+    let n_neg = (labels.len() - pos.len()) as f64;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return 0.5;
+    }
+    let rank_sum: f64 = pos.iter().map(|&i| ranks[i]).sum();
+    (rank_sum - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Outcome of ranking one evaluation case: the 0-based position of the true
+/// item in the descending-score order (`None` if it wasn't among the
+/// candidates, which cannot happen for our generated cases).
+pub fn rank_of_truth(scores: &[f32], true_index: usize) -> usize {
+    let true_score = scores[true_index];
+    // Position = number of candidates strictly better, counting earlier ties
+    // as better (pessimistic, avoids inflating metrics on degenerate models
+    // that emit constant scores).
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| s > true_score || (s == true_score && i < true_index))
+        .count()
+}
+
+/// Accumulates ranking outcomes into HR@k and MRR@k.
+#[derive(Clone, Debug, Default)]
+pub struct RankingAccumulator {
+    ranks: Vec<usize>,
+}
+
+impl RankingAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the 0-based rank of one case's true item.
+    pub fn push(&mut self, rank: usize) {
+        self.ranks.push(rank);
+    }
+
+    /// Number of recorded cases.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether no cases were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Hit ratio at `k` (Eq. 12): share of cases whose true item landed in
+    /// the top-k.
+    pub fn hr_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hits = self.ranks.iter().filter(|&&r| r < k).count();
+        hits as f64 / self.ranks.len() as f64
+    }
+
+    /// Mean reciprocal rank at `k` (Eq. 13): `1/(rank+1)` for cases in the
+    /// top-k, 0 otherwise.
+    pub fn mrr_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .ranks
+            .iter()
+            .map(|&r| if r < k { 1.0 / (r as f64 + 1.0) } else { 0.0 })
+            .sum();
+        total / self.ranks.len() as f64
+    }
+}
+
+/// Click-through rate (Eq. 14): clicks / impressions.
+pub fn ctr(clicks: u64, impressions: u64) -> f64 {
+    if impressions == 0 {
+        0.0
+    } else {
+        clicks as f64 / impressions as f64
+    }
+}
+
+/// The standard metric bundle reported by the paper's Tables III/IV.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankingMetrics {
+    /// HR@1 (= MRR@1).
+    pub hr1: f64,
+    /// HR@5.
+    pub hr5: f64,
+    /// HR@10.
+    pub hr10: f64,
+    /// MRR@5.
+    pub mrr5: f64,
+    /// MRR@10.
+    pub mrr10: f64,
+}
+
+impl RankingMetrics {
+    /// Extract the bundle from an accumulator.
+    pub fn from_accumulator(acc: &RankingAccumulator) -> Self {
+        RankingMetrics {
+            hr1: acc.hr_at(1),
+            hr5: acc.hr_at(5),
+            hr10: acc.hr_at(10),
+            mrr5: acc.mrr_at(5),
+            mrr10: acc.mrr_at(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(auc(&scores, &labels), 1.0);
+        let inverted = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(auc(&inverted, &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied → midranks → AUC exactly 0.5.
+        let scores = [0.5; 6];
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value_with_tie() {
+        // scores: pos {0.8, 0.5}, neg {0.5, 0.2}.
+        // Pairs: (0.8 vs 0.5)=1, (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5,
+        // (0.5 vs 0.2)=1 → AUC = 3.5/4.
+        let scores = [0.8, 0.5, 0.5, 0.2];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_degenerates_to_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn rank_of_truth_counts_strictly_better() {
+        let scores = [0.3, 0.9, 0.5, 0.1];
+        assert_eq!(rank_of_truth(&scores, 1), 0); // best
+        assert_eq!(rank_of_truth(&scores, 2), 1);
+        assert_eq!(rank_of_truth(&scores, 3), 3); // worst
+    }
+
+    #[test]
+    fn rank_of_truth_ties_are_pessimistic() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(rank_of_truth(&scores, 0), 0);
+        assert_eq!(rank_of_truth(&scores, 2), 2);
+    }
+
+    #[test]
+    fn hr_and_mrr_basic() {
+        let mut acc = RankingAccumulator::new();
+        acc.push(0); // hit@1, rr 1
+        acc.push(3); // hit@5, rr 1/4
+        acc.push(12); // miss@10
+        assert_eq!(acc.len(), 3);
+        assert!((acc.hr_at(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.hr_at(5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.hr_at(10) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc.mrr_at(5) - (1.0 + 0.25) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_at_one_equals_hr_at_one() {
+        // The paper notes MRR@k = HR@k for k = 1.
+        let mut acc = RankingAccumulator::new();
+        for r in [0, 2, 0, 7, 1] {
+            acc.push(r);
+        }
+        assert_eq!(acc.mrr_at(1), acc.hr_at(1));
+    }
+
+    #[test]
+    fn hr_monotone_in_k() {
+        let mut acc = RankingAccumulator::new();
+        for r in [0, 1, 4, 9, 15, 3] {
+            acc.push(r);
+        }
+        let mut prev = 0.0;
+        for k in 1..20 {
+            let h = acc.hr_at(k);
+            assert!(h >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn ctr_division() {
+        assert_eq!(ctr(25, 100), 0.25);
+        assert_eq!(ctr(0, 0), 0.0);
+        assert_eq!(ctr(5, 0), 0.0);
+    }
+
+    #[test]
+    fn metrics_bundle() {
+        let mut acc = RankingAccumulator::new();
+        acc.push(0);
+        acc.push(6);
+        let m = RankingMetrics::from_accumulator(&acc);
+        assert_eq!(m.hr1, 0.5);
+        assert_eq!(m.hr5, 0.5);
+        assert_eq!(m.hr10, 1.0);
+        assert!((m.mrr10 - (1.0 + 1.0 / 7.0) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Temporal statistics of cities — the `x_st` feature vector of the PEC
+//! (paper §IV-B: "statistics of temporal information of each city, such as
+//! the number of visits to a city in the last month or in the same period of
+//! history").
+
+use crate::world::Booking;
+use od_hsg::CityId;
+use serde::{Deserialize, Serialize};
+
+/// Which side of the OD pair a city is being scored for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Candidate origin city.
+    Origin,
+    /// Candidate destination city.
+    Dest,
+}
+
+/// Number of features produced per (city, day, side) query.
+pub const TEMPORAL_FEATURES: usize = 4;
+
+/// Per-city visit-day indexes built from the *training-period* bookings
+/// (never from test data), supporting O(log n) windowed counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TemporalStats {
+    /// Sorted booking days per city, origin side.
+    origin_days: Vec<Vec<u32>>,
+    /// Sorted booking days per city, destination side.
+    dest_days: Vec<Vec<u32>>,
+    total_bookings: usize,
+}
+
+impl TemporalStats {
+    /// Build from a booking log over `num_cities` cities.
+    pub fn from_bookings<'a>(
+        num_cities: usize,
+        bookings: impl IntoIterator<Item = &'a Booking>,
+    ) -> Self {
+        let mut origin_days = vec![Vec::new(); num_cities];
+        let mut dest_days = vec![Vec::new(); num_cities];
+        let mut total = 0;
+        for b in bookings {
+            origin_days[b.origin.index()].push(b.day);
+            dest_days[b.dest.index()].push(b.day);
+            total += 1;
+        }
+        for v in origin_days.iter_mut().chain(dest_days.iter_mut()) {
+            v.sort_unstable();
+        }
+        TemporalStats {
+            origin_days,
+            dest_days,
+            total_bookings: total,
+        }
+    }
+
+    fn days(&self, city: CityId, side: Side) -> &[u32] {
+        match side {
+            Side::Origin => &self.origin_days[city.index()],
+            Side::Dest => &self.dest_days[city.index()],
+        }
+    }
+
+    /// Count visits to `city` (on `side`) in the half-open day window
+    /// `[lo, hi)`.
+    pub fn count_window(&self, city: CityId, side: Side, lo: u32, hi: u32) -> usize {
+        let days = self.days(city, side);
+        let start = days.partition_point(|&d| d < lo);
+        let end = days.partition_point(|&d| d < hi);
+        end - start
+    }
+
+    /// The `x_st` feature vector for scoring `city` on `side` at decision
+    /// day `day`:
+    /// 1. log1p(visits in the last 30 days),
+    /// 2. log1p(visits in the same 30-day window one year earlier),
+    /// 3. log1p(all visits before `day`),
+    /// 4. the city's share of total traffic (popularity prior).
+    pub fn features(&self, city: CityId, side: Side, day: u32) -> [f32; TEMPORAL_FEATURES] {
+        let last_month = self.count_window(city, side, day.saturating_sub(30), day) as f32;
+        let year_ago_window = if day >= 360 {
+            self.count_window(city, side, day - 360 - 15, day - 360 + 15) as f32
+        } else {
+            0.0
+        };
+        let to_date = self.count_window(city, side, 0, day) as f32;
+        let share = if self.total_bookings > 0 {
+            self.days(city, side).len() as f32 / self.total_bookings as f32
+        } else {
+            0.0
+        };
+        [
+            last_month.ln_1p(),
+            year_ago_window.ln_1p(),
+            to_date.ln_1p(),
+            share,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booking(day: u32, o: u32, d: u32) -> Booking {
+        Booking {
+            day,
+            origin: CityId(o),
+            dest: CityId(d),
+        }
+    }
+
+    #[test]
+    fn window_counts_are_half_open() {
+        let log = [booking(10, 0, 1), booking(20, 0, 1), booking(30, 0, 1)];
+        let ts = TemporalStats::from_bookings(2, log.iter());
+        assert_eq!(ts.count_window(CityId(0), Side::Origin, 10, 30), 2);
+        assert_eq!(ts.count_window(CityId(0), Side::Origin, 0, 100), 3);
+        assert_eq!(ts.count_window(CityId(0), Side::Origin, 11, 20), 0);
+        // City 1 only ever appears as destination.
+        assert_eq!(ts.count_window(CityId(1), Side::Origin, 0, 100), 0);
+        assert_eq!(ts.count_window(CityId(1), Side::Dest, 0, 100), 3);
+    }
+
+    #[test]
+    fn features_reflect_recency() {
+        let mut log = Vec::new();
+        // 5 visits to city 0 in days 400–404, 2 old visits around day 30.
+        for d in 400..405 {
+            log.push(booking(d, 5, 0));
+        }
+        log.push(booking(30, 5, 0));
+        log.push(booking(31, 5, 0));
+        let ts = TemporalStats::from_bookings(6, log.iter());
+        let f = ts.features(CityId(0), Side::Dest, 405);
+        assert!((f[0] - (5.0f32).ln_1p()).abs() < 1e-6, "last month");
+        // Same period last year: day 405-360=45 ± 15 → window [30, 60) has 2.
+        assert!((f[1] - (2.0f32).ln_1p()).abs() < 1e-6, "year ago");
+        assert!((f[2] - (7.0f32).ln_1p()).abs() < 1e-6, "to date");
+        assert!(f[3] > 0.0 && f[3] <= 1.0);
+    }
+
+    #[test]
+    fn early_days_have_no_year_ago_feature() {
+        let log = [booking(10, 0, 1)];
+        let ts = TemporalStats::from_bookings(2, log.iter());
+        let f = ts.features(CityId(1), Side::Dest, 100);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn empty_log_is_all_zero() {
+        let ts = TemporalStats::from_bookings(3, [].iter());
+        let f = ts.features(CityId(2), Side::Origin, 50);
+        assert_eq!(f, [0.0; TEMPORAL_FEATURES]);
+    }
+}

@@ -1,0 +1,496 @@
+//! The ground-truth world model.
+//!
+//! Everything downstream — history rollout, training samples, and the online
+//! A/B click simulator — draws from one latent utility model, so offline
+//! ranking quality and simulated CTR measure the same underlying preference
+//! structure (as they do in the paper's production system). The utility
+//! plants exactly the paper's two challenges:
+//!
+//! 1. **Exploration of O&D** — the origin term rewards departing from a
+//!    nearby *hub* when its flights are cheaper than the home city's, and
+//!    the destination term is driven by a *pattern* preference shared across
+//!    cities, so unvisited same-pattern cities are genuinely good choices.
+//! 2. **Unity of O&D** — the price term couples O and D through the route
+//!    price matrix, and a strong *return-trip* bonus makes the best (O, D)
+//!    depend jointly on the previous booking.
+
+use crate::cities::{City, Pattern};
+use od_hsg::{CityId, UserId};
+use rand::Rng;
+use rand_distr::{Distribution, Gumbel};
+use serde::{Deserialize, Serialize};
+
+/// Days per simulated month (the generator uses a 12×30-day calendar).
+pub const DAYS_PER_MONTH: u32 = 30;
+
+/// A synthetic user profile — the latent preferences the models must learn.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Stable id, also the HSG user-node index.
+    pub id: UserId,
+    /// Home (resident) city.
+    pub home: CityId,
+    /// Preference weight per [`Pattern`] (higher = more liked).
+    pub pattern_prefs: [f32; 5],
+    /// How strongly price reduces utility (≥ 0).
+    pub price_sensitivity: f32,
+    /// Willingness to depart from a non-home city (≥ 0).
+    pub origin_flexibility: f32,
+    /// Month (0–11) of a yearly vacation habit, if any.
+    pub seasonal_month: Option<u8>,
+    /// Pattern preferred during the seasonal month.
+    pub seasonal_pattern: Pattern,
+}
+
+/// One historical booking event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Booking {
+    /// Simulation day (0 = start of the 2-year window).
+    pub day: u32,
+    /// Origin city.
+    pub origin: CityId,
+    /// Destination city.
+    pub dest: CityId,
+}
+
+/// One short-term click event (same payload, different meaning).
+pub type Click = Booking;
+
+/// Route price model: `price(o, d)` grows with distance and drops for hub
+/// origins — the paper's Figure 1 phenomenon (Shanghai→Sanya cheaper than
+/// Ningbo→Sanya).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PriceModel {
+    n: usize,
+    /// Row-major `price[o][d]`, normalized to roughly [0, 1].
+    prices: Vec<f32>,
+}
+
+impl PriceModel {
+    /// Build from the city universe with per-route noise.
+    pub fn new(cities: &[City], rng: &mut impl Rng) -> Self {
+        let n = cities.len();
+        let mut prices = vec![0.0f32; n * n];
+        // Normalize distances by the map diagonal so prices land in [0, ~1].
+        let mut max_d = 1e-9;
+        for a in cities {
+            for b in cities {
+                max_d = f64::max(max_d, a.coords.l2(b.coords));
+            }
+        }
+        for (i, a) in cities.iter().enumerate() {
+            for (j, b) in cities.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dist = (a.coords.l2(b.coords) / max_d) as f32;
+                let mut p = 0.25 + 0.75 * dist.powf(0.7);
+                if a.is_hub {
+                    // Dense competition out of hubs → cheaper fares.
+                    p *= 0.65;
+                }
+                p *= rng.gen_range(0.9..1.1);
+                prices[i * n + j] = p;
+            }
+        }
+        PriceModel { n, prices }
+    }
+
+    /// Price of the route `o → d` (0 for o == d).
+    pub fn price(&self, o: CityId, d: CityId) -> f32 {
+        self.prices[o.index() * self.n + d.index()]
+    }
+}
+
+/// Context the utility depends on besides the (O, D) pair itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Context<'a> {
+    /// Simulation day of the decision.
+    pub day: u32,
+    /// The user's most recent booking, if any (drives the return-trip term).
+    pub last_booking: Option<Booking>,
+    /// The user's recent booking history (drives the novelty term: travellers
+    /// avoid destinations they visited recently, which is what makes
+    /// *exploring* unvisited same-pattern cities necessary).
+    pub recent_history: &'a [Booking],
+}
+
+/// The ground-truth world: cities, users, prices, and the latent utility.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// City universe.
+    pub cities: Vec<City>,
+    /// User population.
+    pub users: Vec<UserProfile>,
+    /// Route prices.
+    pub prices: PriceModel,
+}
+
+/// Weights of the utility terms (fixed; models must discover them from
+/// behaviour, not from this struct).
+mod weights {
+    pub const HOME_ORIGIN: f32 = 2.0;
+    pub const ORIGIN_DISTANCE: f32 = 0.9;
+    pub const PATTERN: f32 = 1.6;
+    pub const POPULARITY: f32 = 0.8;
+    pub const PRICE: f32 = 2.4;
+    pub const SEASONAL: f32 = 1.6;
+    pub const RETURN_TRIP: f32 = 3.5;
+    /// Days within which a reverse trip counts as a "return ticket".
+    pub const RETURN_WINDOW: u32 = 21;
+    /// Penalty for re-visiting a destination seen within NOVELTY_WINDOW —
+    /// vacationers seek new places, so the next trip is usually an
+    /// *unvisited* city of a liked pattern (the exploration signal).
+    pub const NOVELTY: f32 = 1.8;
+    pub const NOVELTY_WINDOW: u32 = 150;
+}
+
+impl World {
+    /// Generate a world with `num_users` users over `num_cities` cities.
+    pub fn generate(num_users: usize, num_cities: usize, rng: &mut impl Rng) -> Self {
+        let cities = crate::cities::generate_cities(num_cities, rng);
+        World::from_cities(cities, num_users, rng)
+    }
+
+    /// Build a world over a caller-supplied city universe (e.g. the rail
+    /// corridor of [`crate::cities::generate_corridor_cities`]) — the §VII
+    /// generalization hook.
+    pub fn from_cities(cities: Vec<City>, num_users: usize, rng: &mut impl Rng) -> Self {
+        let num_cities = cities.len();
+        let prices = PriceModel::new(&cities, rng);
+        let users = (0..num_users)
+            .map(|i| {
+                let home = CityId(rng.gen_range(0..num_cities) as u32);
+                let mut pattern_prefs = [0.0f32; 5];
+                for p in &mut pattern_prefs {
+                    *p = rng.gen_range(0.0..1.0);
+                }
+                // Sharpen: each user strongly prefers one or two patterns,
+                // which is what makes pattern-based exploration learnable.
+                let fav = rng.gen_range(0..5);
+                pattern_prefs[fav] += 1.2;
+                let seasonal_month = if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0..12u8))
+                } else {
+                    None
+                };
+                UserProfile {
+                    id: UserId(i as u32),
+                    home,
+                    pattern_prefs,
+                    price_sensitivity: rng.gen_range(0.4..1.6),
+                    origin_flexibility: rng.gen_range(0.2..1.4),
+                    seasonal_month,
+                    seasonal_pattern: Pattern::ALL[rng.gen_range(0..5)],
+                }
+            })
+            .collect();
+        World {
+            cities,
+            users,
+            prices,
+        }
+    }
+
+    /// Number of cities.
+    pub fn num_cities(&self) -> usize {
+        self.cities.len()
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The latent utility of user `u` booking the flight `o → d` in context
+    /// `ctx`. Deterministic; decision noise is added at choice time.
+    pub fn utility(&self, u: UserId, o: CityId, d: CityId, ctx: Context<'_>) -> f32 {
+        if o == d {
+            return f32::NEG_INFINITY;
+        }
+        let user = &self.users[u.index()];
+        let oc = &self.cities[o.index()];
+        let dc = &self.cities[d.index()];
+
+        // The user's physical location: their last destination if the trip
+        // is recent (they are still away), otherwise home.
+        let base_city = match ctx.last_booking {
+            Some(last) if ctx.day.saturating_sub(last.day) <= weights::RETURN_WINDOW => last.dest,
+            _ => user.home,
+        };
+        let base = &self.cities[base_city.index()];
+
+        // Origin: the current city is best, nearby cities usable in
+        // proportion to the user's flexibility; distance on the map scale.
+        let origin_term = if o == base_city {
+            weights::HOME_ORIGIN
+        } else {
+            let dist = base.coords.l2(oc.coords) as f32;
+            user.origin_flexibility - weights::ORIGIN_DISTANCE * dist.min(6.0)
+        };
+
+        // Destination: pattern preference + popularity prior.
+        let mut dest_term = weights::PATTERN * user.pattern_prefs[dc.pattern.index()]
+            + weights::POPULARITY * dc.popularity;
+        if let Some(m) = user.seasonal_month {
+            let month = (ctx.day / DAYS_PER_MONTH) % 12;
+            if month == m as u32 && dc.pattern == user.seasonal_pattern {
+                dest_term += weights::SEASONAL;
+            }
+        }
+
+        // Price couples O and D (hub origins are cheaper — exploration pays).
+        let price_term = -user.price_sensitivity * weights::PRICE * self.prices.price(o, d);
+
+        // Novelty: recently visited destinations lose appeal (going *home*
+        // is exempt — return legs are driven by the return term below).
+        let mut novelty_term = 0.0;
+        if d != user.home {
+            let revisits = ctx
+                .recent_history
+                .iter()
+                .filter(|b| {
+                    b.dest == d && ctx.day.saturating_sub(b.day) <= weights::NOVELTY_WINDOW
+                })
+                .count();
+            novelty_term = -weights::NOVELTY * (revisits.min(2) as f32);
+        }
+
+        // Return-trip demand: the strongest O&D-unity signal.
+        let return_term = match ctx.last_booking {
+            Some(last)
+                if last.origin == d
+                    && last.dest == o
+                    && ctx.day.saturating_sub(last.day) <= weights::RETURN_WINDOW =>
+            {
+                weights::RETURN_TRIP
+            }
+            _ => 0.0,
+        };
+
+        origin_term + dest_term + price_term + return_term + novelty_term
+    }
+
+    /// Sample one booking by Gumbel-perturbed utility maximization over all
+    /// (O, D) pairs (equivalent to a softmax choice with temperature
+    /// `temperature`).
+    pub fn sample_choice(
+        &self,
+        u: UserId,
+        ctx: Context<'_>,
+        temperature: f32,
+        rng: &mut impl Rng,
+    ) -> (CityId, CityId) {
+        let gumbel = Gumbel::new(0.0f32, 1.0).expect("valid gumbel");
+        let n = self.num_cities();
+        let mut best = (CityId(0), CityId(1));
+        let mut best_score = f32::NEG_INFINITY;
+        for o in 0..n {
+            for d in 0..n {
+                if o == d {
+                    continue;
+                }
+                let (o, d) = (CityId(o as u32), CityId(d as u32));
+                let score = self.utility(u, o, d, ctx) + temperature * gumbel.sample(rng);
+                if score > best_score {
+                    best_score = score;
+                    best = (o, d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Ground-truth click probability for an impression of `o → d` shown to
+    /// `u` — a squashed utility, used by the A/B simulator.
+    pub fn click_probability(&self, u: UserId, o: CityId, d: CityId, ctx: Context<'_>) -> f32 {
+        let util = self.utility(u, o, d, ctx);
+        // Center the sigmoid so that typical good offers land around 0.2–0.5
+        // CTR and bad ones near zero, mirroring industrial CTR magnitudes.
+        1.0 / (1.0 + (-(util - 2.5)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(50, 30, &mut StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn generate_populates_everything() {
+        let w = world();
+        assert_eq!(w.num_users(), 50);
+        assert_eq!(w.num_cities(), 30);
+        assert!(w.users.iter().all(|u| u.home.index() < 30));
+    }
+
+    #[test]
+    fn self_loop_is_impossible() {
+        let w = world();
+        let ctx = Context::default();
+        assert_eq!(
+            w.utility(UserId(0), CityId(3), CityId(3), ctx),
+            f32::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn home_origin_beats_far_origin() {
+        let w = world();
+        let u = UserId(0);
+        let home = w.users[0].home;
+        // Pick the city farthest from home as the bad origin.
+        let far = (0..w.num_cities())
+            .map(|i| CityId(i as u32))
+            .filter(|&c| c != home)
+            .max_by(|&a, &b| {
+                let ha = w.cities[home.index()].coords.l2(w.cities[a.index()].coords);
+                let hb = w.cities[home.index()].coords.l2(w.cities[b.index()].coords);
+                ha.partial_cmp(&hb).unwrap()
+            })
+            .unwrap();
+        let dest = (0..w.num_cities())
+            .map(|i| CityId(i as u32))
+            .find(|&c| c != home && c != far)
+            .unwrap();
+        let ctx = Context::default();
+        assert!(w.utility(u, home, dest, ctx) > w.utility(u, far, dest, ctx));
+    }
+
+    #[test]
+    fn return_trip_bonus_applies_within_window() {
+        let w = world();
+        let u = UserId(1);
+        let (a, b) = (CityId(0), CityId(5));
+        let last = Booking {
+            day: 100,
+            origin: a,
+            dest: b,
+        };
+        let ctx_with = Context {
+            day: 110,
+            last_booking: Some(last),
+            recent_history: &[],
+        };
+        let ctx_late = Context {
+            day: 100 + 60,
+            last_booking: Some(last),
+            recent_history: &[],
+        };
+        let ctx_without = Context {
+            day: 110,
+            last_booking: None,
+            recent_history: &[],
+        };
+        let with = w.utility(u, b, a, ctx_with);
+        let late = w.utility(u, b, a, ctx_late);
+        let without = w.utility(u, b, a, ctx_without);
+        assert!(with > without + 3.0);
+        assert!((late - without).abs() < 1e-6, "window must expire");
+        // Within the window the reverse leg (b → a) must dominate repeating
+        // the outbound leg (a → b): the user is *at* b and wants to return.
+        let repeat = w.utility(u, a, b, ctx_with);
+        assert!(with > repeat + 3.0, "return {with} must beat repeat {repeat}");
+    }
+
+    #[test]
+    fn hub_origin_is_cheaper_on_average() {
+        let w = world();
+        let hubs: Vec<usize> = (0..w.num_cities()).filter(|&i| w.cities[i].is_hub).collect();
+        let non_hubs: Vec<usize> = (0..w.num_cities())
+            .filter(|&i| !w.cities[i].is_hub)
+            .collect();
+        assert!(!hubs.is_empty());
+        let avg = |set: &[usize]| -> f32 {
+            let mut total = 0.0;
+            let mut count = 0;
+            for &o in set {
+                for d in 0..w.num_cities() {
+                    if d != o {
+                        total += w.prices.price(CityId(o as u32), CityId(d as u32));
+                        count += 1;
+                    }
+                }
+            }
+            total / count as f32
+        };
+        assert!(avg(&hubs) < avg(&non_hubs) * 0.85);
+    }
+
+    #[test]
+    fn sample_choice_returns_valid_pairs_and_tracks_utility() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ctx = Context::default();
+        // At low temperature the choice should be near-greedy: its utility
+        // must be close to the max utility.
+        let (o, d) = w.sample_choice(UserId(2), ctx, 0.05, &mut rng);
+        assert_ne!(o, d);
+        let chosen = w.utility(UserId(2), o, d, ctx);
+        let max = (0..w.num_cities())
+            .flat_map(|a| (0..w.num_cities()).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| w.utility(UserId(2), CityId(a as u32), CityId(b as u32), ctx))
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(chosen > max - 1.0, "chosen {chosen} vs max {max}");
+    }
+
+    #[test]
+    fn click_probability_is_a_probability_and_monotone_in_utility() {
+        let w = world();
+        let ctx = Context::default();
+        let mut pairs: Vec<(f32, f32)> = Vec::new();
+        for o in 0..10 {
+            for d in 0..10 {
+                if o == d {
+                    continue;
+                }
+                let (o, d) = (CityId(o), CityId(d));
+                let p = w.click_probability(UserId(3), o, d, ctx);
+                assert!((0.0..=1.0).contains(&p));
+                pairs.push((w.utility(UserId(3), o, d, ctx), p));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w2 in pairs.windows(2) {
+            assert!(w2[0].1 <= w2[1].1 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn seasonal_bonus_only_in_month() {
+        let w = world();
+        // Find a seasonal user.
+        let user = w
+            .users
+            .iter()
+            .find(|u| u.seasonal_month.is_some())
+            .expect("some user is seasonal");
+        let m = user.seasonal_month.unwrap() as u32;
+        // A destination with the seasonal pattern.
+        let dest = w
+            .cities
+            .iter()
+            .find(|c| c.pattern == user.seasonal_pattern && c.id != user.home)
+            .expect("a seasonal-pattern city exists");
+        let origin = user.home;
+        let in_month = Context {
+            day: m * DAYS_PER_MONTH + 5,
+            last_booking: None,
+            recent_history: &[],
+        };
+        let off_month = Context {
+            day: ((m + 6) % 12) * DAYS_PER_MONTH + 5,
+            last_booking: None,
+            recent_history: &[],
+        };
+        let u_in = w.utility(user.id, origin, dest.id, in_month);
+        let u_off = w.utility(user.id, origin, dest.id, off_month);
+        assert!(u_in > u_off + 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the Fliggy dataset generator: structural
+//! invariants must hold for arbitrary (small) configurations.
+
+use od_data::{FliggyConfig, FliggyDataset};
+use proptest::prelude::*;
+
+fn configs() -> impl Strategy<Value = FliggyConfig> {
+    (
+        20usize..80,   // users
+        6usize..20,    // cities
+        200u32..500,   // horizon
+        2usize..5,     // min bookings
+        0u64..1000,    // seed
+    )
+        .prop_map(|(users, cities, horizon, min_bookings, seed)| FliggyConfig {
+            num_users: users,
+            num_cities: cities,
+            horizon_days: horizon,
+            test_window_days: horizon / 8,
+            bookings_per_user: (min_bookings, min_bookings + 4),
+            eval_negatives: 9,
+            seed,
+            ..FliggyConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generator_invariants(config in configs()) {
+        let cut = config.horizon_days - config.test_window_days;
+        let ds = FliggyDataset::generate(config.clone());
+
+        // Sample mix is exactly 1 : partial : full per positive.
+        let s = ds.statistics();
+        prop_assert_eq!(s.train_partial, s.train_pos * config.partial_negatives);
+        prop_assert_eq!(s.train_full, s.train_pos * config.full_negatives);
+
+        // Split boundary.
+        prop_assert!(ds.train.iter().all(|x| x.day < cut));
+        prop_assert!(ds.test.iter().all(|x| x.day >= cut));
+
+        // Labels are consistent with the positive pair of each (user, day).
+        for sample in ds.train.iter().take(200) {
+            prop_assert!(sample.origin != sample.dest || sample.label_o + sample.label_d == 0.0);
+            prop_assert!(sample.origin.index() < config.num_cities);
+            prop_assert!(sample.dest.index() < config.num_cities);
+        }
+
+        // Histories are time-ordered and within the horizon.
+        for h in &ds.histories {
+            prop_assert!(h.bookings.windows(2).all(|w| w[0].day <= w[1].day));
+            prop_assert!(h.bookings.iter().all(|b| b.day < config.horizon_days));
+            prop_assert!(h.bookings.iter().all(|b| b.origin != b.dest));
+        }
+
+        // Eval cases: exactly one truth, valid pairs, right size.
+        for case in &ds.eval_cases {
+            prop_assert_eq!(case.candidates.len(), config.eval_negatives + 1);
+            prop_assert!(case.true_index < case.candidates.len());
+            let truth = case.candidates[case.true_index];
+            prop_assert_eq!(
+                case.candidates.iter().filter(|&&c| c == truth).count(),
+                1
+            );
+            prop_assert!(case.candidates.iter().all(|(o, d)| o != d));
+        }
+
+        // HSG interactions never leak the test window.
+        let max_train_bookings: usize = ds
+            .histories
+            .iter()
+            .map(|h| h.bookings.iter().filter(|b| b.day < cut).count())
+            .sum();
+        prop_assert_eq!(ds.hsg_interactions().len(), max_train_bookings);
+    }
+
+    #[test]
+    fn same_seed_same_dataset(config in configs()) {
+        let a = FliggyDataset::generate(config.clone());
+        let b = FliggyDataset::generate(config);
+        prop_assert_eq!(a.train.len(), b.train.len());
+        prop_assert_eq!(a.eval_cases.len(), b.eval_cases.len());
+        for (x, y) in a.train.iter().zip(&b.train).take(100) {
+            prop_assert_eq!((x.user, x.day, x.origin, x.dest), (y.user, y.day, y.origin, y.dest));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(mut config in configs()) {
+        config.num_users = config.num_users.max(40);
+        let a = FliggyDataset::generate(config.clone());
+        config.seed = config.seed.wrapping_add(1);
+        let b = FliggyDataset::generate(config);
+        // Some booking must differ (overwhelmingly likely).
+        let same = a
+            .histories
+            .iter()
+            .zip(&b.histories)
+            .all(|(x, y)| x.bookings == y.bookings);
+        prop_assert!(!same, "seed change produced identical data");
+    }
+}

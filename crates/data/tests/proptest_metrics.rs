@@ -1,0 +1,101 @@
+//! Property-based tests of the evaluation metrics: invariances and bounds
+//! that must hold for arbitrary score/label vectors.
+
+use od_data::{auc, rank_of_truth, RankingAccumulator};
+use proptest::prelude::*;
+
+fn scores_and_labels() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    prop::collection::vec((0.0f32..1.0, prop::bool::ANY), 2..40).prop_map(|v| {
+        let scores: Vec<f32> = v.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<f32> = v.iter().map(|(_, l)| *l as u32 as f32).collect();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn auc_is_bounded((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transform((scores, labels) in scores_and_labels()) {
+        let a = auc(&scores, &labels);
+        // Strictly monotone transform must not change AUC.
+        let transformed: Vec<f32> = scores.iter().map(|s| (3.0 * s + 1.0).exp()).collect();
+        let b = auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn auc_negation_flips((scores, labels) in scores_and_labels()) {
+        let has_both = labels.iter().any(|&l| l > 0.5) && labels.iter().any(|&l| l < 0.5);
+        prop_assume!(has_both);
+        let a = auc(&scores, &labels);
+        let negated: Vec<f32> = scores.iter().map(|s| -s).collect();
+        let b = auc(&negated, &labels);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_single_class_is_half(scores in prop::collection::vec(0.0f32..1.0, 1..20)) {
+        let ones = vec![1.0; scores.len()];
+        prop_assert_eq!(auc(&scores, &ones), 0.5);
+        let zeros = vec![0.0; scores.len()];
+        prop_assert_eq!(auc(&scores, &zeros), 0.5);
+    }
+
+    #[test]
+    fn rank_of_truth_is_bounded(
+        scores in prop::collection::vec(0.0f32..1.0, 1..30),
+        idx_seed in 0usize..100,
+    ) {
+        let idx = idx_seed % scores.len();
+        let rank = rank_of_truth(&scores, idx);
+        prop_assert!(rank < scores.len());
+        // The max-scoring (first on ties) candidate ranks 0.
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .unwrap()
+            .0;
+        prop_assert_eq!(rank_of_truth(&scores, best), 0);
+    }
+
+    #[test]
+    fn hr_is_monotone_and_mrr_bounded_by_hr(ranks in prop::collection::vec(0usize..40, 1..50)) {
+        let mut acc = RankingAccumulator::new();
+        for r in &ranks {
+            acc.push(*r);
+        }
+        let mut prev = 0.0;
+        for k in 1..45 {
+            let hr = acc.hr_at(k);
+            prop_assert!(hr >= prev);
+            prop_assert!((0.0..=1.0).contains(&hr));
+            // MRR@k ≤ HR@k (each hit contributes at most 1 to both).
+            prop_assert!(acc.mrr_at(k) <= hr + 1e-12);
+            prev = hr;
+        }
+        // MRR@1 == HR@1 (paper note).
+        prop_assert_eq!(acc.mrr_at(1), acc.hr_at(1));
+    }
+
+    #[test]
+    fn mrr_is_monotone_in_k(ranks in prop::collection::vec(0usize..30, 1..40)) {
+        let mut acc = RankingAccumulator::new();
+        for r in &ranks {
+            acc.push(*r);
+        }
+        let mut prev = 0.0;
+        for k in 1..35 {
+            let m = acc.mrr_at(k);
+            prop_assert!(m >= prev - 1e-12);
+            prev = m;
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Compressed sparse row adjacency — the storage format for each
+//! (source type, edge type) relation of the HSG.
+
+use serde::{Deserialize, Serialize};
+
+/// Immutable CSR adjacency: `offsets.len() == num_sources + 1`, and the
+/// neighbors of source `i` are `targets[offsets[i]..offsets[i+1]]`.
+/// Neighbor lists are sorted and deduplicated; `counts` keeps the edge
+/// multiplicity (how many raw interactions collapsed into each edge) —
+/// repeat bookings are a strength signal consumed by weighted neighbor
+/// sampling.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list `(source, target)`. Duplicate edges collapse
+    /// into one edge with its multiplicity recorded.
+    pub fn from_edges(num_sources: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_sources];
+        for (s, t) in edges {
+            adj[s as usize].push(t);
+        }
+        let mut offsets = Vec::with_capacity(num_sources + 1);
+        let mut targets = Vec::new();
+        let mut counts = Vec::new();
+        offsets.push(0);
+        for mut list in adj {
+            list.sort_unstable();
+            let mut i = 0;
+            while i < list.len() {
+                let mut j = i;
+                while j + 1 < list.len() && list[j + 1] == list[i] {
+                    j += 1;
+                }
+                targets.push(list[i]);
+                counts.push((j - i + 1) as u32);
+                i = j + 1;
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            offsets,
+            targets,
+            counts,
+        }
+    }
+
+    /// An adjacency with `num_sources` sources and no edges.
+    pub fn empty(num_sources: usize) -> Self {
+        Csr {
+            offsets: vec![0; num_sources + 1],
+            targets: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Number of source nodes.
+    pub fn num_sources(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of (deduplicated) edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted, deduplicated neighbor list of `source`.
+    pub fn neighbors(&self, source: usize) -> &[u32] {
+        let lo = self.offsets[source] as usize;
+        let hi = self.offsets[source + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Edge multiplicities aligned with [`Csr::neighbors`].
+    pub fn counts(&self, source: usize) -> &[u32] {
+        let lo = self.offsets[source] as usize;
+        let hi = self.offsets[source + 1] as usize;
+        &self.counts[lo..hi]
+    }
+
+    /// Out-degree of `source`.
+    pub fn degree(&self, source: usize) -> usize {
+        (self.offsets[source + 1] - self.offsets[source]) as usize
+    }
+
+    /// Whether an edge `source → target` exists (binary search).
+    pub fn contains(&self, source: usize, target: u32) -> bool {
+        self.neighbors(source).binary_search(&target).is_ok()
+    }
+
+    /// Iterate over all `(source, target)` pairs.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_sources()).flat_map(move |s| {
+            self.neighbors(s)
+                .iter()
+                .map(move |&t| (s as u32, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_deduped_lists() {
+        let csr = Csr::from_edges(3, vec![(0, 2), (0, 1), (0, 2), (2, 0)]);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.num_sources(), 3);
+        // Multiplicities: (0,2) appeared twice.
+        assert_eq!(csr.counts(0), &[1, 2]);
+        assert_eq!(csr.counts(2), &[1]);
+    }
+
+    #[test]
+    fn degree_and_contains() {
+        let csr = Csr::from_edges(2, vec![(0, 5), (0, 9), (1, 3)]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 1);
+        assert!(csr.contains(0, 5));
+        assert!(!csr.contains(0, 3));
+    }
+
+    #[test]
+    fn empty_adjacency() {
+        let csr = Csr::empty(4);
+        assert_eq!(csr.num_sources(), 4);
+        assert_eq!(csr.num_edges(), 0);
+        for s in 0..4 {
+            assert!(csr.neighbors(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn iter_edges_round_trips() {
+        let edges = vec![(0u32, 1u32), (1, 0), (1, 2)];
+        let csr = Csr::from_edges(3, edges.clone());
+        let collected: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(collected, edges);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let csr = Csr::from_edges(2, vec![(0, 1), (1, 0)]);
+        let json = serde_json::to_string(&csr).unwrap();
+        let back: Csr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, csr);
+    }
+}

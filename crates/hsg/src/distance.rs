@@ -1,0 +1,223 @@
+//! City coordinates, the distance matrix `D` of Definition 1, and the
+//! inverse-distance spatial weights of Eq. 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Geographic coordinates of a city in degrees.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Latitude in degrees.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// The paper's distance (Def. 1): the L2 norm over longitude/latitude
+    /// values of the two cities.
+    pub fn l2(self, other: GeoPoint) -> f64 {
+        let dl = self.lon - other.lon;
+        let dp = self.lat - other.lat;
+        (dl * dl + dp * dp).sqrt()
+    }
+
+    /// Great-circle distance in kilometres (haversine). Not used by the
+    /// model (the paper specifies L2), but exposed for data generation and
+    /// diagnostics.
+    pub fn haversine_km(self, other: GeoPoint) -> f64 {
+        const R: f64 = 6371.0;
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+}
+
+/// Symmetric city-city distance matrix (the `D ∈ R^{n×n}` of Def. 1) with
+/// precomputed spatial weights `w_ij` (Eq. 2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major pairwise L2 distances.
+    dist: Vec<f32>,
+    /// Row-major spatial weights of Eq. 2: `w_ii = 0`,
+    /// `w_ij = (1/d_ij) / Σ_p (1/d_ip)` for `i ≠ j`. Each row sums to 1
+    /// (for n ≥ 2).
+    weights: Vec<f32>,
+}
+
+impl DistanceMatrix {
+    /// Minimum distance clamp — coincident cities would otherwise produce an
+    /// infinite inverse-distance weight.
+    const MIN_DIST: f64 = 1e-6;
+
+    /// Build from per-city coordinates using the paper's L2 distance.
+    pub fn from_coords(coords: &[GeoPoint]) -> Self {
+        let n = coords.len();
+        let mut dist = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = coords[i].l2(coords[j]).max(Self::MIN_DIST) as f32;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        let weights = Self::weights_from_dist(n, &dist);
+        DistanceMatrix { n, dist, weights }
+    }
+
+    /// Build directly from a full row-major distance matrix (tests,
+    /// alternative metrics). Diagonal entries are ignored for weighting.
+    pub fn from_raw(n: usize, dist: Vec<f32>) -> Self {
+        assert_eq!(dist.len(), n * n, "distance matrix must be n×n");
+        let weights = Self::weights_from_dist(n, &dist);
+        DistanceMatrix { n, dist, weights }
+    }
+
+    fn weights_from_dist(n: usize, dist: &[f32]) -> Vec<f32> {
+        let mut weights = vec![0.0f32; n * n];
+        for i in 0..n {
+            let mut denom = 0.0f64;
+            for p in 0..n {
+                if p != i {
+                    denom += 1.0 / dist[i * n + p].max(Self::MIN_DIST as f32) as f64;
+                }
+            }
+            if denom == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                if j != i {
+                    let inv = 1.0 / dist[i * n + j].max(Self::MIN_DIST as f32) as f64;
+                    weights[i * n + j] = (inv / denom) as f32;
+                }
+            }
+        }
+        weights
+    }
+
+    /// Number of cities.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix covers no cities.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Pairwise distance `d_ij`.
+    pub fn distance(&self, i: usize, j: usize) -> f32 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Spatial weight `w_ij` of Eq. 2.
+    pub fn weight(&self, i: usize, j: usize) -> f32 {
+        self.weights[i * self.n + j]
+    }
+
+    /// The full weight row for city `i` (sums to 1 for n ≥ 2).
+    pub fn weight_row(&self, i: usize) -> &[f32] {
+        &self.weights[i * self.n..(i + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_cities() -> Vec<GeoPoint> {
+        vec![
+            GeoPoint { lon: 0.0, lat: 0.0 },
+            GeoPoint { lon: 3.0, lat: 0.0 },
+            GeoPoint { lon: 0.0, lat: 4.0 },
+        ]
+    }
+
+    #[test]
+    fn l2_distance_matches_geometry() {
+        let c = square_cities();
+        assert_eq!(c[0].l2(c[1]), 3.0);
+        assert_eq!(c[0].l2(c[2]), 4.0);
+        assert_eq!(c[1].l2(c[2]), 5.0);
+        assert_eq!(c[0].l2(c[0]), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_value() {
+        // Beijing → Shanghai ≈ 1068 km.
+        let beijing = GeoPoint {
+            lon: 116.4,
+            lat: 39.9,
+        };
+        let shanghai = GeoPoint {
+            lon: 121.47,
+            lat: 31.23,
+        };
+        let d = beijing.haversine_km(shanghai);
+        assert!((d - 1068.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let m = DistanceMatrix::from_coords(&square_cities());
+        for i in 0..3 {
+            assert_eq!(m.distance(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.distance(i, j), m.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn eq2_weights_diagonal_zero_rows_sum_to_one() {
+        let m = DistanceMatrix::from_coords(&square_cities());
+        for i in 0..3 {
+            assert_eq!(m.weight(i, i), 0.0);
+            let sum: f32 = m.weight_row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn nearer_city_gets_larger_weight() {
+        // From city 0, city 1 (d=3) must outweigh city 2 (d=4).
+        let m = DistanceMatrix::from_coords(&square_cities());
+        assert!(m.weight(0, 1) > m.weight(0, 2));
+        // Exact Eq. 2 check: w_01 = (1/3)/(1/3 + 1/4).
+        let expected = (1.0 / 3.0) / (1.0 / 3.0 + 1.0 / 4.0);
+        assert!((m.weight(0, 1) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coincident_cities_are_clamped_not_infinite() {
+        let coords = vec![
+            GeoPoint { lon: 1.0, lat: 1.0 },
+            GeoPoint { lon: 1.0, lat: 1.0 },
+            GeoPoint { lon: 2.0, lat: 2.0 },
+        ];
+        let m = DistanceMatrix::from_coords(&coords);
+        assert!(m.weight(0, 1).is_finite());
+        assert!(m.weight(0, 1) > m.weight(0, 2));
+    }
+
+    #[test]
+    fn single_city_has_empty_weights() {
+        let m = DistanceMatrix::from_coords(&[GeoPoint { lon: 0.0, lat: 0.0 }]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.weight(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_raw_validates_size() {
+        let m = DistanceMatrix::from_raw(2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(m.weight(0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be n×n")]
+    fn from_raw_rejects_bad_size() {
+        DistanceMatrix::from_raw(2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Strongly-typed identifiers for the two node types and two edge types of
+//! the HSG (paper Definition 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a user-type node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Index of a city-type node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CityId(pub u32);
+
+impl UserId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CityId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for CityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A node of either type — the domain of the mapping function φ in Def. 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Node {
+    /// A user-type node.
+    User(UserId),
+    /// A city-type node.
+    City(CityId),
+}
+
+/// The two edge types ψ of Def. 1. A *departure* edge links a user to a city
+/// they departed from (the flight's O); an *arrive* edge links a user to a
+/// city they arrived at (the flight's D).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EdgeType {
+    /// User departed from the city (origin side).
+    Departure,
+    /// User arrived at the city (destination side).
+    Arrive,
+}
+
+impl EdgeType {
+    /// Both edge types, in a fixed order usable for array indexing.
+    pub const ALL: [EdgeType; 2] = [EdgeType::Departure, EdgeType::Arrive];
+
+    /// Dense index (0 = departure, 1 = arrive).
+    pub fn index(self) -> usize {
+        match self {
+            EdgeType::Departure => 0,
+            EdgeType::Arrive => 1,
+        }
+    }
+}
+
+/// The two metapath families of Def. 2: ρ₁ alternates user/city nodes over
+/// departure edges, ρ₂ over arrive edges. A metapath is fully determined by
+/// its edge type, so this is a thin semantic alias.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Metapath(pub EdgeType);
+
+impl Metapath {
+    /// ρ₁: the departure metapath (origin-aware exploration).
+    pub const RHO1: Metapath = Metapath(EdgeType::Departure);
+    /// ρ₂: the arrive metapath (destination-aware exploration).
+    pub const RHO2: Metapath = Metapath(EdgeType::Arrive);
+
+    /// The uniform edge type along this metapath.
+    pub fn edge_type(self) -> EdgeType {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_type_indices_are_dense() {
+        assert_eq!(EdgeType::Departure.index(), 0);
+        assert_eq!(EdgeType::Arrive.index(), 1);
+        assert_eq!(EdgeType::ALL[0], EdgeType::Departure);
+        assert_eq!(EdgeType::ALL[1], EdgeType::Arrive);
+    }
+
+    #[test]
+    fn metapath_aliases() {
+        assert_eq!(Metapath::RHO1.edge_type(), EdgeType::Departure);
+        assert_eq!(Metapath::RHO2.edge_type(), EdgeType::Arrive);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", UserId(3)), "u3");
+        assert_eq!(format!("{:?}", CityId(7)), "c7");
+        assert_eq!(format!("{:?}", Node::User(UserId(1))), "User(u1)");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(UserId(1) < UserId(2));
+        assert!(CityId(0) < CityId(9));
+        assert_eq!(CityId(4).index(), 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! # od-hsg — the Heterogeneous Spatial Graph
+//!
+//! Implements the paper's Definitions 1–3: a heterogeneous graph with
+//! user/city node types and departure/arrive edge types, an L2
+//! longitude/latitude distance matrix with the Eq. 2 inverse-distance
+//! spatial weights, metapath-based neighbor-city queries (ρ₁ over departure
+//! edges, ρ₂ over arrive edges), and capped uniform neighbor sampling
+//! (the paper restricts each node's neighborhood to 5).
+//!
+//! The graph is built from historical booking interactions:
+//!
+//! ```
+//! use od_hsg::{HsgBuilder, Interaction, UserId, CityId, GeoPoint, Metapath};
+//!
+//! let coords = vec![
+//!     GeoPoint { lon: 121.47, lat: 31.23 }, // Shanghai
+//!     GeoPoint { lon: 109.51, lat: 18.25 }, // Sanya
+//!     GeoPoint { lon: 120.38, lat: 36.07 }, // Qingdao
+//! ];
+//! let mut builder = HsgBuilder::new(1, coords);
+//! builder.add_interaction(Interaction {
+//!     user: UserId(0), origin: CityId(0), dest: CityId(1),
+//! });
+//! builder.add_interaction(Interaction {
+//!     user: UserId(0), origin: CityId(0), dest: CityId(2),
+//! });
+//! let hsg = builder.build();
+//! // Sanya and Qingdao become each other's metapath-ρ₂ neighbor cities:
+//! assert_eq!(hsg.city_neighbor_cities(CityId(1), Metapath::RHO2), vec![2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod csr;
+mod distance;
+mod graph;
+mod ids;
+
+pub use csr::Csr;
+pub use distance::{DistanceMatrix, GeoPoint};
+pub use graph::{Hsg, HsgBuilder, Interaction, NeighborTable};
+pub use ids::{CityId, EdgeType, Metapath, Node, UserId};

@@ -1,0 +1,148 @@
+//! Property-based tests of HSG invariants over randomly generated
+//! interaction sets.
+
+use od_hsg::{CityId, EdgeType, GeoPoint, HsgBuilder, Interaction, Metapath, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const USERS: usize = 8;
+const CITIES: usize = 12;
+
+fn interactions() -> impl Strategy<Value = Vec<Interaction>> {
+    prop::collection::vec(
+        (0..USERS as u32, 0..CITIES as u32, 0..CITIES as u32),
+        1..60,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .filter(|(_, o, d)| o != d)
+            .map(|(u, o, d)| Interaction {
+                user: UserId(u),
+                origin: CityId(o),
+                dest: CityId(d),
+            })
+            .collect()
+    })
+}
+
+fn build(interactions: &[Interaction]) -> od_hsg::Hsg {
+    let coords = (0..CITIES)
+        .map(|i| GeoPoint {
+            lon: (i % 4) as f64 * 1.5,
+            lat: (i / 4) as f64 * 2.0,
+        })
+        .collect();
+    let mut b = HsgBuilder::new(USERS, coords);
+    for &it in interactions {
+        b.add_interaction(it);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn user_neighbors_match_interactions(its in interactions()) {
+        let g = build(&its);
+        for u in 0..USERS as u32 {
+            let expected_o: std::collections::BTreeSet<u32> = its
+                .iter()
+                .filter(|it| it.user.0 == u)
+                .map(|it| it.origin.0)
+                .collect();
+            let got: Vec<u32> = g
+                .user_neighbor_cities(UserId(u), Metapath::RHO1)
+                .to_vec();
+            prop_assert_eq!(got, expected_o.into_iter().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn city_neighbor_relation_is_symmetric(its in interactions()) {
+        // Along one metapath, c' ∈ N¹(c) ⇔ c ∈ N¹(c') (they share a user).
+        let g = build(&its);
+        for rho in [Metapath::RHO1, Metapath::RHO2] {
+            for c in 0..CITIES as u32 {
+                for &c2 in &g.city_neighbor_cities(CityId(c), rho) {
+                    let back = g.city_neighbor_cities(CityId(c2), rho);
+                    prop_assert!(
+                        back.contains(&c),
+                        "asymmetric neighborhood {c} → {c2}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn city_neighbors_exclude_self_and_are_sorted(its in interactions()) {
+        let g = build(&its);
+        for c in 0..CITIES as u32 {
+            let n = g.city_neighbor_cities(CityId(c), Metapath::RHO2);
+            prop_assert!(!n.contains(&c));
+            prop_assert!(n.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sampled_tables_are_subsets_within_cap(its in interactions(), cap in 1usize..6) {
+        let g = build(&its);
+        let mut rng = StdRng::seed_from_u64(42);
+        for rho in [Metapath::RHO1, Metapath::RHO2] {
+            let table = g.neighbor_table(rho, cap, &mut rng);
+            for u in 0..USERS as u32 {
+                let sampled = table.of_user(UserId(u));
+                let full = g.user_neighbor_cities(UserId(u), rho);
+                prop_assert!(sampled.len() <= cap);
+                prop_assert!(sampled.len() == full.len().min(cap));
+                for c in sampled {
+                    prop_assert!(full.contains(&c.0));
+                }
+            }
+            for c in 0..CITIES as u32 {
+                let sampled = table.of_city(CityId(c));
+                let full = g.city_neighbor_cities(CityId(c), rho);
+                prop_assert!(sampled.len() <= cap);
+                for s in sampled {
+                    prop_assert!(full.contains(&s.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_counts_are_bounded_by_interactions(its in interactions()) {
+        prop_assume!(!its.is_empty());
+        let g = build(&its);
+        // Deduplication means at most 2 edges per interaction, and every
+        // interaction contributes at least its own pair once.
+        prop_assert!(g.num_edges() <= 2 * its.len());
+        prop_assert!(g.num_edges() >= 2);
+    }
+
+    #[test]
+    fn spatial_weight_rows_sum_to_one(its in interactions()) {
+        let g = build(&its);
+        let d = g.distances();
+        for i in 0..CITIES {
+            let sum: f32 = d.weight_row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {i} sums to {sum}");
+            prop_assert_eq!(d.weight(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn degrees_match_neighbor_lengths(its in interactions()) {
+        let g = build(&its);
+        for u in 0..USERS as u32 {
+            for et in EdgeType::ALL {
+                let len = g
+                    .user_neighbor_cities(UserId(u), Metapath(et))
+                    .len();
+                prop_assert_eq!(g.degree(od_hsg::Node::User(UserId(u)), et), len);
+            }
+        }
+    }
+}

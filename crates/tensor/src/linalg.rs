@@ -1,0 +1,263 @@
+//! Pure linear-algebra kernels shared by the forward and backward passes.
+//!
+//! Kernels take matrix *views* (`rows/cols` of [`Tensor`]), so vectors are
+//! treated as `1×n` rows throughout. The matmul uses an ikj loop order with a
+//! row-major accumulator, which is cache-friendly enough for the model sizes
+//! in this reproduction (embedding dims ≤ 256, batch ≤ a few hundred).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Matrix product `a · b` on the matrix views of the operands.
+///
+/// # Panics
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Matrix product `aᵀ · b`, avoiding an explicit transpose of `a`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k, k2,
+        "matmul_tn outer dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Matrix product `a · bᵀ`, avoiding an explicit transpose of `b`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(
+        k, k2,
+        "matmul_nt inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            out[i * n + j] = dot(arow, brow);
+        }
+    }
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Transpose of the matrix view.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (r, c) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; r * c];
+    let ad = a.as_slice();
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = ad[i * c + j];
+        }
+    }
+    Tensor::new(Shape::Matrix(c, r), out)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Row-wise softmax of the matrix view (numerically stabilized by the
+/// row max).
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    let (r, c) = (a.rows(), a.cols());
+    let mut out = a.as_slice().to_vec();
+    for i in 0..r {
+        softmax_in_place(&mut out[i * c..(i + 1) * c]);
+    }
+    Tensor::new(a.shape(), out).reshape(a.shape())
+}
+
+/// Numerically-stable softmax of a slice, in place.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    // All-(-inf) rows would yield sum = 0; keep the output defined.
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    } else {
+        let u = 1.0 / xs.len() as f32;
+        xs.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+/// Sum over rows of the matrix view, producing a `1×cols` row vector tensor.
+pub fn sum_rows(a: &Tensor) -> Tensor {
+    let (r, c) = (a.rows(), a.cols());
+    let mut out = vec![0.0f32; c];
+    for i in 0..r {
+        for (o, &v) in out.iter_mut().zip(a.row(i)) {
+            *o += v;
+        }
+    }
+    Tensor::new(Shape::Vector(c), out)
+}
+
+/// Mean over rows of the matrix view, producing a length-`cols` vector.
+pub fn mean_rows(a: &Tensor) -> Tensor {
+    let r = a.rows().max(1) as f32;
+    sum_rows(a).map(|v| v / r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2x3() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    fn t3x2() -> Tensor {
+        Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]])
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let c = matmul(&t2x3(), &t3x2());
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = t3x2(); // aᵀ is 2x3
+        let b = t3x2();
+        let via_tn = matmul_tn(&a, &b);
+        let explicit = matmul(&transpose(&a), &b);
+        assert_eq!(via_tn, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t2x3();
+        let b = t2x3(); // bᵀ is 3x2
+        let via_nt = matmul_nt(&a, &b);
+        let explicit = matmul(&a, &transpose(&b));
+        assert_eq!(via_nt, explicit);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        matmul(&t2x3(), &t2x3());
+    }
+
+    #[test]
+    fn vector_is_row_in_matmul() {
+        let v = Tensor::vector(&[1.0, 0.0, -1.0]);
+        let c = matmul(&v, &t3x2());
+        assert_eq!(c.as_slice(), &[-4.0, -4.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = t2x3();
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a).at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let s = softmax_rows(&Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]));
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        assert!(s.at(0, 2) > s.at(0, 1) && s.at(0, 1) > s.at(0, 0));
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::vector(&[1.0, 2.0, 3.0]);
+        let b = Tensor::vector(&[1001.0, 1002.0, 1003.0]);
+        let sa = softmax_rows(&a);
+        let sb = softmax_rows(&b);
+        for (x, y) in sa.as_slice().iter().zip(sb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_degenerate_rows() {
+        let mut xs = [f32::NEG_INFINITY, f32::NEG_INFINITY];
+        softmax_in_place(&mut xs);
+        assert_eq!(xs, [0.5, 0.5]);
+        softmax_in_place(&mut []);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let a = t2x3();
+        assert_eq!(sum_rows(&a).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(mean_rows(&a).as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

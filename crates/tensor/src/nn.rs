@@ -1,0 +1,625 @@
+//! Neural-network layers composed from autograd primitives.
+//!
+//! Each layer owns [`ParamId`]s into a shared [`ParamStore`] and exposes a
+//! `forward` that records onto a caller-provided [`Graph`]. This mirrors the
+//! paper's building blocks: fully-connected layers (Algorithm 1 line 5,
+//! towers, experts), embeddings (user/city id features), multi-head
+//! self-attention (PEC encoding layer, Eq. 3), dot-product attention
+//! (PEC attention layer, Eqs. 4–5), and LSTM cells (for the RNN baselines).
+
+use crate::graph::{Graph, Value};
+use crate::init;
+use crate::param::{ParamId, ParamStore};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Post-linear nonlinearity choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation on the graph.
+    pub fn apply(self, g: &mut Graph, x: Value) -> Value {
+        match self {
+            Activation::None => x,
+            Activation::Relu => g.relu(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Tanh => g.tanh(x),
+        }
+    }
+}
+
+/// Fully-connected layer `y = x·W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a linear layer's parameters under `name` (keys `{name}.w`,
+    /// `{name}.b`), initialized per the paper's N(0, 0.05²).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            init::paper_default(Shape::Matrix(in_dim, out_dim), rng),
+        );
+        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(Shape::Vector(out_dim))));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `x` is `[n × in_dim]` (or a vector treated as one row); output is
+    /// `[n × out_dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Value) -> Value {
+        debug_assert_eq!(
+            g.value(x).cols(),
+            self.in_dim,
+            "Linear input dim mismatch"
+        );
+        let w = g.param(store, self.w);
+        let y = g.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = g.param(store, b);
+                g.add_row(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Multi-layer perceptron with a shared hidden activation; the last layer's
+/// activation is supplied separately (e.g. `None` to emit logits).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Build an MLP through the given layer widths, e.g. `&[64, 32, 1]`
+    /// makes two layers 64→32→1.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, mut x: Value) -> Value {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, store, x);
+            x = if i == last {
+                self.output_activation.apply(g, x)
+            } else {
+                self.hidden_activation.apply(g, x)
+            };
+        }
+        x
+    }
+
+    /// Output dimension of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+}
+
+/// Embedding table: a `[vocab × dim]` matrix addressed by row gather.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register an embedding table under `name` initialized per the paper.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = store.register(
+            name.to_string(),
+            init::paper_default(Shape::Matrix(vocab, dim), rng),
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The parameter id of the underlying table.
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+
+    /// Look up a batch of ids, producing `[ids.len() × dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, ids: &[usize]) -> Value {
+        let table = g.param(store, self.table);
+        g.gather_rows(table, ids)
+    }
+
+    /// Look up one id as a vector.
+    pub fn forward_one(&self, g: &mut Graph, store: &ParamStore, id: usize) -> Value {
+        let rows = self.forward(g, store, &[id]);
+        g.row(rows, 0)
+    }
+}
+
+/// Multi-head self-attention (Vaswani et al.), the encoding layer of the
+/// paper's PEC (Eq. 3). `d_k = d / heads`, per-head projections plus an
+/// output projection `W^O`.
+#[derive(Clone, Debug)]
+pub struct MultiHeadSelfAttention {
+    wq: Vec<ParamId>,
+    wk: Vec<ParamId>,
+    wv: Vec<ParamId>,
+    wo: ParamId,
+    dim: usize,
+    heads: usize,
+    dk: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Register the projection matrices for `heads` heads over model width
+    /// `dim` (`dim` must be divisible by `heads`).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        let dk = dim / heads;
+        let mut wq = Vec::with_capacity(heads);
+        let mut wk = Vec::with_capacity(heads);
+        let mut wv = Vec::with_capacity(heads);
+        for h in 0..heads {
+            wq.push(store.register(
+                format!("{name}.h{h}.wq"),
+                init::paper_default(Shape::Matrix(dim, dk), rng),
+            ));
+            wk.push(store.register(
+                format!("{name}.h{h}.wk"),
+                init::paper_default(Shape::Matrix(dim, dk), rng),
+            ));
+            wv.push(store.register(
+                format!("{name}.h{h}.wv"),
+                init::paper_default(Shape::Matrix(dim, dk), rng),
+            ));
+        }
+        let wo = store.register(
+            format!("{name}.wo"),
+            init::paper_default(Shape::Matrix(heads * dk, dim), rng),
+        );
+        MultiHeadSelfAttention {
+            wq,
+            wk,
+            wv,
+            wo,
+            dim,
+            heads,
+            dk,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Self-attend over a `[t × dim]` sequence, returning `[t × dim]`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, e: Value) -> Value {
+        debug_assert_eq!(g.value(e).cols(), self.dim, "MHA input dim mismatch");
+        let scale = 1.0 / (self.dk as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let wq = g.param(store, self.wq[h]);
+            let wk = g.param(store, self.wk[h]);
+            let wv = g.param(store, self.wv[h]);
+            let q = g.matmul(e, wq);
+            let k = g.matmul(e, wk);
+            let v = g.matmul(e, wv);
+            let kt = g.transpose(k);
+            let scores = g.matmul(q, kt);
+            let scaled = g.scale(scores, scale);
+            let attn = g.softmax_rows(scaled);
+            head_outputs.push(g.matmul(attn, v));
+        }
+        let concat = g.concat_cols(&head_outputs);
+        let wo = g.param(store, self.wo);
+        g.matmul(concat, wo)
+    }
+}
+
+/// Dot-product attention with a learnable bilinear form — the PEC attention
+/// layer (Eqs. 4–5): `eᵢ* = v_sᵀ W* ê_Lⁱ`, weights `softmax(e*)`, output
+/// `Σ ē ᵢ* ê_Lⁱ`.
+#[derive(Clone, Debug)]
+pub struct BilinearAttention {
+    w: ParamId,
+    dim: usize,
+}
+
+impl BilinearAttention {
+    /// Register the `d × d` bilinear matrix `W*`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut impl Rng) -> Self {
+        let w = store.register(
+            format!("{name}.w"),
+            init::paper_default(Shape::Matrix(dim, dim), rng),
+        );
+        BilinearAttention { w, dim }
+    }
+
+    /// `query` is a length-`dim` vector (or `1×dim`), `keys` is `[t × dim]`;
+    /// returns the attention-pooled `1×dim` summary (Eq. 5's `v_L`).
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, query: Value, keys: Value) -> Value {
+        debug_assert_eq!(g.value(query).cols(), self.dim);
+        debug_assert_eq!(g.value(keys).cols(), self.dim);
+        let w = g.param(store, self.w);
+        let u = g.matmul(query, w); // 1×d
+        let kt = g.transpose(keys); // d×t
+        let scores = g.matmul(u, kt); // 1×t
+        let weights = g.softmax_rows(scores);
+        g.matmul(weights, keys) // 1×d
+    }
+}
+
+/// A single LSTM cell (Hochreiter & Schmidhuber), the recurrence of the RNN
+/// baselines (LSTM/STGN/LSTPM/STOD-PPA). Gate order in the packed weight is
+/// `[input, forget, output, candidate]`.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    wx: ParamId,
+    wh: ParamId,
+    b: ParamId,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Hidden and cell state for an LSTM step.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmState {
+    /// Hidden state `h`, a length-`hidden` vector.
+    pub h: Value,
+    /// Cell state `c`, a length-`hidden` vector.
+    pub c: Value,
+}
+
+impl LstmCell {
+    /// Register the cell parameters under `name`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let wx = store.register(
+            format!("{name}.wx"),
+            init::paper_default(Shape::Matrix(input_dim, 4 * hidden_dim), rng),
+        );
+        let wh = store.register(
+            format!("{name}.wh"),
+            init::paper_default(Shape::Matrix(hidden_dim, 4 * hidden_dim), rng),
+        );
+        // Forget-gate bias starts at 1 (standard trick to let gradients flow
+        // through long sequences early in training).
+        let mut bias = Tensor::zeros(Shape::Vector(4 * hidden_dim));
+        for i in hidden_dim..2 * hidden_dim {
+            bias.as_mut_slice()[i] = 1.0;
+        }
+        let b = store.register(format!("{name}.b"), bias);
+        LstmCell {
+            wx,
+            wh,
+            b,
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Hidden width of the cell.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// A zero initial state recorded on the graph. States are vectors
+    /// (matching the output shape of single-row slices).
+    pub fn zero_state(&self, g: &mut Graph) -> LstmState {
+        let h = g.input(Tensor::zeros(Shape::Vector(self.hidden_dim)));
+        let c = g.input(Tensor::zeros(Shape::Vector(self.hidden_dim)));
+        LstmState { h, c }
+    }
+
+    /// One recurrence step: `x` is `1×input_dim`.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Value,
+        state: LstmState,
+    ) -> LstmState {
+        debug_assert_eq!(g.value(x).cols(), self.input_dim, "LSTM input dim");
+        let wx = g.param(store, self.wx);
+        let wh = g.param(store, self.wh);
+        let b = g.param(store, self.b);
+        let xg = g.matmul(x, wx);
+        let hg = g.matmul(state.h, wh);
+        let pre = g.add(xg, hg);
+        let gates = g.add_row(pre, b);
+        let hd = self.hidden_dim;
+        let i_pre = g.slice_cols(gates, 0, hd);
+        let f_pre = g.slice_cols(gates, hd, 2 * hd);
+        let o_pre = g.slice_cols(gates, 2 * hd, 3 * hd);
+        let c_pre = g.slice_cols(gates, 3 * hd, 4 * hd);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let o = g.sigmoid(o_pre);
+        let c_tilde = g.tanh(c_pre);
+        let fc = g.mul(f, state.c);
+        let ic = g.mul(i, c_tilde);
+        let c = g.add(fc, ic);
+        let ct = g.tanh(c);
+        let h = g.mul(o, ct);
+        LstmState { h, c }
+    }
+
+    /// Run the cell over a `[t × input_dim]` sequence, returning the final
+    /// hidden state (a length-`hidden` vector).
+    pub fn run(&self, g: &mut Graph, store: &ParamStore, seq: Value) -> Value {
+        let t = g.value(seq).rows();
+        let mut state = self.zero_state(g);
+        for i in 0..t {
+            let xi = g.row(seq, i);
+            state = self.step(g, store, xi, state);
+        }
+        state.h
+    }
+}
+
+/// Sample an inverted-dropout mask (0 with probability `p`, `1/(1−p)`
+/// otherwise) and apply it. Call only in training mode.
+pub fn dropout(g: &mut Graph, x: Value, p: f32, rng: &mut impl Rng) -> Value {
+    assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+    if p == 0.0 {
+        return x;
+    }
+    let keep = 1.0 - p;
+    let shape = g.value(x).shape();
+    let mask = Tensor::new(
+        shape,
+        (0..shape.len())
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect(),
+    );
+    g.mask_mul(x, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 4, 3, true, &mut rng());
+        assert_eq!((lin.in_dim(), lin.out_dim()), (4, 3));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(Shape::Matrix(5, 4)));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), Shape::Matrix(5, 3));
+        // Zero input + zero bias → zero output.
+        assert_eq!(g.value(y).sum(), 0.0);
+    }
+
+    #[test]
+    fn mlp_stacks_layers() {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[8, 16, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng(),
+        );
+        assert_eq!(mlp.out_dim(), 1);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(Shape::Matrix(2, 8)));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), Shape::Matrix(2, 1));
+        // Sigmoid output lies in (0, 1).
+        assert!(g.value(y).as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_dim() {
+        Mlp::new(
+            &mut ParamStore::new(),
+            "m",
+            &[4],
+            Activation::Relu,
+            Activation::None,
+            &mut rng(),
+        );
+    }
+
+    #[test]
+    fn embedding_lookup_matches_table() {
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "emb", 10, 4, &mut rng());
+        assert_eq!((emb.vocab(), emb.dim()), (10, 4));
+        let table = store.value(emb.table()).clone();
+        let mut g = Graph::new();
+        let rows = emb.forward(&mut g, &store, &[3, 7, 3]);
+        assert_eq!(g.value(rows).shape(), Shape::Matrix(3, 4));
+        assert_eq!(g.value(rows).row(0), table.row(3));
+        assert_eq!(g.value(rows).row(1), table.row(7));
+        assert_eq!(g.value(rows).row(2), table.row(3));
+    }
+
+    #[test]
+    fn mha_preserves_sequence_shape() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(&mut store, "mha", 8, 4, &mut rng());
+        assert_eq!(mha.heads(), 4);
+        let mut g = Graph::new();
+        let e = g.input(init::paper_default(Shape::Matrix(6, 8), &mut rng()));
+        let out = mha.forward(&mut g, &store, e);
+        assert_eq!(g.value(out).shape(), Shape::Matrix(6, 8));
+        assert!(g.value(out).all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must divide by heads")]
+    fn mha_rejects_indivisible_heads() {
+        MultiHeadSelfAttention::new(&mut ParamStore::new(), "m", 10, 3, &mut rng());
+    }
+
+    #[test]
+    fn bilinear_attention_pools_to_query_shape() {
+        let mut store = ParamStore::new();
+        let attn = BilinearAttention::new(&mut store, "attn", 6, &mut rng());
+        let mut g = Graph::new();
+        let q = g.input(init::paper_default(Shape::Matrix(1, 6), &mut rng()));
+        let keys = g.input(init::paper_default(Shape::Matrix(4, 6), &mut rng()));
+        let out = attn.forward(&mut g, &store, q, keys);
+        assert_eq!(g.value(out).shape(), Shape::Matrix(1, 6));
+    }
+
+    #[test]
+    fn bilinear_attention_output_is_convex_combination() {
+        // With identical keys, the output must equal that key regardless of
+        // the learned weights.
+        let mut store = ParamStore::new();
+        let attn = BilinearAttention::new(&mut store, "attn", 3, &mut rng());
+        let mut g = Graph::new();
+        let q = g.input(Tensor::matrix(1, 3, &[1.0, -1.0, 0.5]));
+        let key_row: &[f32] = &[2.0, 3.0, 4.0];
+        let keys = g.input(Tensor::from_rows(&[key_row; 5]));
+        let out = attn.forward(&mut g, &store, q, keys);
+        for (o, e) in g.value(out).as_slice().iter().zip(&[2.0, 3.0, 4.0]) {
+            assert!((o - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lstm_run_produces_hidden_state() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 4, 6, &mut rng());
+        assert_eq!(cell.hidden_dim(), 6);
+        let mut g = Graph::new();
+        let seq = g.input(init::paper_default(Shape::Matrix(5, 4), &mut rng()));
+        let h = cell.run(&mut g, &store, seq);
+        assert_eq!(g.value(h).shape(), Shape::Vector(6));
+        assert!(g.value(h).all_finite());
+        // Hidden state is bounded by tanh × sigmoid.
+        assert!(g.value(h).as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn lstm_gradients_flow_to_all_params() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 4, &mut rng());
+        let mut g = Graph::new();
+        let seq = g.input(init::gaussian(Shape::Matrix(4, 3), 0.0, 1.0, &mut rng()));
+        let h = cell.run(&mut g, &store, seq);
+        let loss = g.sum_all(h);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        for id in store.ids().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).sq_norm() > 0.0,
+                "no gradient reached {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(&[1.0, 2.0]));
+        let y = dropout(&mut g, x, 0.0, &mut rng());
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_roughly() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(Shape::Vector(10_000)));
+        let y = dropout(&mut g, x, 0.5, &mut rng());
+        let mean = g.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.05, "dropout mean {mean}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Shape arithmetic for dense row-major tensors.
+//!
+//! The engine is deliberately restricted to ranks 0..=2: every quantity the
+//! ODNET reproduction manipulates is a scalar, a vector, or a matrix (batches
+//! of sequences are handled as per-sample matrices). Keeping the rank small
+//! makes the autograd rules easy to audit against the paper's equations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense tensor: `[]` (scalar), `[n]` (vector) or `[r, c]`
+/// (matrix, row-major).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// A single value.
+    Scalar,
+    /// A vector of `n` elements.
+    Vector(usize),
+    /// A matrix with `rows × cols` elements stored row-major.
+    Matrix(usize, usize),
+}
+
+impl Shape {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(r, c) => r * c,
+        }
+    }
+
+    /// True when the shape holds no elements (zero-length vector or a matrix
+    /// with an empty dimension).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rank (number of axes): 0, 1, or 2.
+    pub fn rank(&self) -> usize {
+        match self {
+            Shape::Scalar => 0,
+            Shape::Vector(_) => 1,
+            Shape::Matrix(_, _) => 2,
+        }
+    }
+
+    /// Number of rows when viewed as a matrix: scalars and vectors are a
+    /// single row.
+    pub fn rows(&self) -> usize {
+        match *self {
+            Shape::Scalar | Shape::Vector(_) => 1,
+            Shape::Matrix(r, _) => r,
+        }
+    }
+
+    /// Number of columns when viewed as a matrix.
+    pub fn cols(&self) -> usize {
+        match *self {
+            Shape::Scalar => 1,
+            Shape::Vector(n) => n,
+            Shape::Matrix(_, c) => c,
+        }
+    }
+
+    /// The shape of the transpose.
+    pub fn transposed(&self) -> Shape {
+        match *self {
+            Shape::Matrix(r, c) => Shape::Matrix(c, r),
+            other => other,
+        }
+    }
+
+    /// Shape of the matrix product `self · rhs`, or `None` when the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, rhs: &Shape) -> Option<Shape> {
+        let (m, k1) = (self.rows(), self.cols());
+        let (k2, n) = (rhs.rows(), rhs.cols());
+        if k1 != k2 {
+            return None;
+        }
+        Some(Shape::Matrix(m, n))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Scalar => write!(f, "[]"),
+            Shape::Vector(n) => write!(f, "[{n}]"),
+            Shape::Matrix(r, c) => write!(f, "[{r}, {c}]"),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_counts_elements() {
+        assert_eq!(Shape::Scalar.len(), 1);
+        assert_eq!(Shape::Vector(7).len(), 7);
+        assert_eq!(Shape::Matrix(3, 4).len(), 12);
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert!(Shape::Vector(0).is_empty());
+        assert!(Shape::Matrix(0, 5).is_empty());
+        assert!(Shape::Matrix(5, 0).is_empty());
+        assert!(!Shape::Scalar.is_empty());
+    }
+
+    #[test]
+    fn rank_is_axis_count() {
+        assert_eq!(Shape::Scalar.rank(), 0);
+        assert_eq!(Shape::Vector(2).rank(), 1);
+        assert_eq!(Shape::Matrix(2, 2).rank(), 2);
+    }
+
+    #[test]
+    fn rows_cols_view() {
+        assert_eq!((Shape::Scalar.rows(), Shape::Scalar.cols()), (1, 1));
+        assert_eq!((Shape::Vector(5).rows(), Shape::Vector(5).cols()), (1, 5));
+        assert_eq!(
+            (Shape::Matrix(2, 3).rows(), Shape::Matrix(2, 3).cols()),
+            (2, 3)
+        );
+    }
+
+    #[test]
+    fn transpose_swaps_matrix_axes_only() {
+        assert_eq!(Shape::Matrix(2, 3).transposed(), Shape::Matrix(3, 2));
+        assert_eq!(Shape::Vector(4).transposed(), Shape::Vector(4));
+        assert_eq!(Shape::Scalar.transposed(), Shape::Scalar);
+    }
+
+    #[test]
+    fn matmul_shape_checks_inner_dim() {
+        assert_eq!(
+            Shape::Matrix(2, 3).matmul(&Shape::Matrix(3, 5)),
+            Some(Shape::Matrix(2, 5))
+        );
+        assert_eq!(Shape::Matrix(2, 3).matmul(&Shape::Matrix(4, 5)), None);
+        // Vector is treated as a 1×n row.
+        assert_eq!(
+            Shape::Vector(3).matmul(&Shape::Matrix(3, 2)),
+            Some(Shape::Matrix(1, 2))
+        );
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(format!("{}", Shape::Matrix(2, 3)), "[2, 3]");
+        assert_eq!(format!("{:?}", Shape::Vector(9)), "[9]");
+    }
+}

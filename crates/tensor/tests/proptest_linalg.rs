@@ -1,0 +1,106 @@
+//! Property-based tests of the linear-algebra kernels: algebraic identities
+//! that must hold (within f32 tolerance) for arbitrary matrices.
+
+use od_tensor::{matmul, matmul_nt, matmul_tn, softmax_rows, sum_rows, transpose, Tensor};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Tensor::matrix(rows, cols, &v))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_associates((a, b, c) in (mat(3, 4), mat(4, 2), mat(2, 5))) {
+        let ab_c = matmul(&matmul(&a, &b), &c);
+        let a_bc = matmul(&a, &matmul(&b, &c));
+        prop_assert!(close(&ab_c, &a_bc, 1e-4));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul((a, b) in (mat(3, 4), mat(4, 2))) {
+        // (AB)ᵀ = Bᵀ Aᵀ.
+        let left = transpose(&matmul(&a, &b));
+        let right = matmul(&transpose(&b), &transpose(&a));
+        prop_assert!(close(&left, &right, 1e-5));
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match((a, b) in (mat(4, 3), mat(4, 5))) {
+        // matmul_tn(a, b) = aᵀ·b ; matmul_nt over transposed b agrees.
+        let fused = matmul_tn(&a, &b);
+        let explicit = matmul(&transpose(&a), &b);
+        prop_assert!(close(&fused, &explicit, 1e-5));
+        let fused_nt = matmul_nt(&transpose(&a), &transpose(&b));
+        prop_assert!(close(&fused_nt, &explicit, 1e-5));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in mat(4, 4)) {
+        let i = Tensor::eye(4);
+        prop_assert!(close(&matmul(&a, &i), &a, 1e-6));
+        prop_assert!(close(&matmul(&i, &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in mat(5, 7)) {
+        let s = softmax_rows(&a);
+        for r in 0..5 {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(a in mat(2, 6)) {
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let argmax_in = a.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
+            let argmax_out = s.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert_eq!(argmax_in, argmax_out);
+        }
+    }
+
+    #[test]
+    fn sum_rows_is_linear((a, b) in (mat(3, 4), mat(3, 4))) {
+        let sum_of_sums = {
+            let mut s = sum_rows(&a);
+            s.axpy(1.0, &sum_rows(&b));
+            s
+        };
+        let sum_of_total = sum_rows(&a.zip(&b, |x, y| x + y));
+        prop_assert!(close(&sum_of_sums, &sum_of_total, 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes((a, b, c) in (mat(3, 4), mat(4, 2), mat(4, 2))) {
+        // A(B + C) = AB + AC.
+        let bc = b.zip(&c, |x, y| x + y);
+        let left = matmul(&a, &bc);
+        let mut right = matmul(&a, &b);
+        right.axpy(1.0, &matmul(&a, &c));
+        prop_assert!(close(&left, &right, 1e-4));
+    }
+}

@@ -1,0 +1,225 @@
+//! `odnet` — command-line interface to the ODNET reproduction.
+//!
+//! ```text
+//! odnet train --variant odnet --users 400 --cities 30 --epochs 5 --out model.json
+//! odnet eval  --model model.json
+//! odnet recommend --model model.json --user 7 --top 5
+//! ```
+//!
+//! The synthetic dataset is regenerated deterministically from the
+//! parameters embedded in the model file, so `eval` and `recommend` need no
+//! separate data artifact.
+
+use od_bench::recall_candidates;
+use od_data::{FliggyConfig, FliggyDataset};
+use od_hsg::{HsgBuilder, UserId};
+use odnet_core::{
+    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// The on-disk bundle: everything needed to rebuild dataset + model.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ModelFile {
+    data_config: FliggyConfig,
+    variant: String,
+    checkpoint: String,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "recommend" => cmd_recommend(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+odnet — ODNET (ICDE 2022) reproduction CLI
+
+USAGE:
+  odnet train     --out FILE [--variant odnet|odnet-g|stl+g|stl-g]
+                  [--users N] [--cities N] [--epochs N] [--seed N]
+  odnet eval      --model FILE
+  odnet recommend --model FILE --user ID [--top K]
+";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_variant(name: &str) -> Result<Variant, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "odnet" => Ok(Variant::Odnet),
+        "odnet-g" => Ok(Variant::OdnetG),
+        "stl+g" | "stlplusg" => Ok(Variant::StlPlusG),
+        "stl-g" | "stlg" => Ok(Variant::StlG),
+        other => Err(format!(
+            "unknown variant {other:?} (expected odnet, odnet-g, stl+g, stl-g)"
+        )),
+    }
+}
+
+fn build_dataset(cfg: &FliggyConfig) -> FliggyDataset {
+    FliggyDataset::generate(cfg.clone())
+}
+
+fn build_hsg(ds: &FliggyDataset) -> od_hsg::Hsg {
+    let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+    let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+    for it in ds.hsg_interactions() {
+        b.add_interaction(it);
+    }
+    b.build()
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("--out FILE is required")?;
+    let variant = parse_variant(flags.get("variant").map(String::as_str).unwrap_or("odnet"))?;
+    let data_config = FliggyConfig {
+        num_users: get_usize(flags, "users", 400)?,
+        num_cities: get_usize(flags, "cities", 30)?,
+        seed: get_usize(flags, "seed", 0xF11667)? as u64,
+        ..FliggyConfig::default()
+    };
+    let model_config = OdnetConfig {
+        epochs: get_usize(flags, "epochs", 5)?,
+        ..OdnetConfig::default()
+    };
+    eprintln!(
+        "generating dataset ({} users, {} cities)…",
+        data_config.num_users, data_config.num_cities
+    );
+    let ds = build_dataset(&data_config);
+    let fx = FeatureExtractor::new(model_config.max_long_seq, model_config.max_short_seq);
+    let hsg = variant.uses_graph().then(|| build_hsg(&ds));
+    let mut model = OdNetModel::new(
+        variant,
+        model_config,
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        hsg,
+    );
+    eprintln!("training {} ({} weights)…", variant.name(), model.num_weights());
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let report = train(&mut model, &groups);
+    eprintln!(
+        "done in {:.1}s; losses {:?}",
+        report.wall_time.as_secs_f64(),
+        report.epoch_losses
+    );
+    let bundle = ModelFile {
+        data_config,
+        variant: variant.name().to_string(),
+        checkpoint: model.save_json(ds.world.num_users(), ds.world.num_cities()),
+    };
+    let json = serde_json::to_string(&bundle).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("saved model to {out}");
+    Ok(())
+}
+
+fn load_bundle(flags: &HashMap<String, String>) -> Result<(FliggyDataset, OdNetModel), String> {
+    let path = flags.get("model").ok_or("--model FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bundle: ModelFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let ds = build_dataset(&bundle.data_config);
+    let variant = parse_variant(&bundle.variant)?;
+    let hsg = variant.uses_graph().then(|| build_hsg(&ds));
+    let model = OdNetModel::load_json(&bundle.checkpoint, hsg).map_err(|e| e.to_string())?;
+    Ok((ds, model))
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (ds, model) = load_bundle(flags)?;
+    let fx = FeatureExtractor::new(model.config.max_long_seq, model.config.max_short_seq);
+    eprintln!("evaluating {} on {} cases…", model.variant.name(), ds.eval_cases.len());
+    let eval = evaluate_on_fliggy(&model, &ds, &fx);
+    println!(
+        "AUC-O {:.4}\nAUC-D {:.4}\nHR@1  {:.4}\nHR@5  {:.4}\nHR@10 {:.4}\nMRR@5 {:.4}\nMRR@10 {:.4}\ntheta {:.4}",
+        eval.auc_o,
+        eval.auc_d,
+        eval.ranking.hr1,
+        eval.ranking.hr5,
+        eval.ranking.hr10,
+        eval.ranking.mrr5,
+        eval.ranking.mrr10,
+        model.theta(),
+    );
+    Ok(())
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (ds, model) = load_bundle(flags)?;
+    let user = UserId(get_usize(flags, "user", 0)? as u32);
+    if user.index() >= ds.world.num_users() {
+        return Err(format!(
+            "user {} out of range (dataset has {} users)",
+            user.index(),
+            ds.world.num_users()
+        ));
+    }
+    let top = get_usize(flags, "top", 5)?;
+    let day = ds.train_end_day();
+    let fx = FeatureExtractor::new(model.config.max_long_seq, model.config.max_short_seq);
+    let candidates = recall_candidates(&ds, user, day, 30);
+    let group = fx.group_for_serving(&ds, user, day, &candidates);
+    let scores = model.score_group(&group);
+    let mut ranked: Vec<(f32, (od_hsg::CityId, od_hsg::CityId))> = scores
+        .iter()
+        .zip(&candidates)
+        .map(|(&(po, pd), &pair)| (model.serving_score(po, pd), pair))
+        .collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    println!("top-{top} flights for user {} (day {day}):", user.index());
+    for (i, (score, (o, d))) in ranked.iter().take(top).enumerate() {
+        println!(
+            "  {}. {} -> {}   score {score:.4}",
+            i + 1,
+            ds.world.cities[o.index()].name,
+            ds.world.cities[d.index()].name
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! # odnet-repro — workspace façade
+//!
+//! Re-exports the public API of the ODNET (ICDE 2022) reproduction so
+//! examples and downstream users need a single dependency:
+//!
+//! - [`tensor`] — the from-scratch autograd substrate (`od-tensor`);
+//! - [`hsg`] — the Heterogeneous Spatial Graph (`od-hsg`);
+//! - [`data`] — synthetic datasets, metrics, A/B simulator (`od-data`);
+//! - [`core`] — the ODNET model, trainer, evaluator (`odnet-core`);
+//! - [`baselines`] — the paper's seven comparison methods (`od-baselines`).
+//!
+//! See `examples/quickstart.rs` for the end-to-end train → evaluate →
+//! serve loop.
+
+#![warn(missing_docs)]
+
+pub use od_baselines as baselines;
+pub use od_data as data;
+pub use od_hsg as hsg;
+pub use od_tensor as tensor;
+pub use odnet_core as core;

@@ -1,0 +1,88 @@
+//! Cross-crate integration: every baseline runs through the shared
+//! train/evaluate pipeline on both dataset families, and the cheap sanity
+//! orderings hold (trained models beat chance; graph/exploitation signals
+//! register).
+
+use od_baselines::{BaselineConfig, CityMeta, GbdtBaseline, GbdtConfig, LstmBaseline, MostPop};
+use od_bench::{checkin_dataset, fliggy_dataset, Scale};
+use od_data::CheckinConfig;
+use odnet_core::{
+    evaluate_on_checkin, evaluate_on_fliggy, train, FeatureExtractor, OdScorer,
+};
+
+fn fx() -> FeatureExtractor {
+    FeatureExtractor::new(8, 5)
+}
+
+#[test]
+fn gbdt_beats_mostpop_on_fliggy() {
+    let ds = fliggy_dataset(Scale::Smoke);
+    let fx = fx();
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let coords: Vec<od_hsg::GeoPoint> = ds.world.cities.iter().map(|c| c.coords).collect();
+    let meta = CityMeta::from_groups(coords, &groups);
+
+    let mostpop = MostPop::new(meta.clone());
+    let pop_eval = evaluate_on_fliggy(&mostpop, &ds, &fx);
+
+    let gbdt = GbdtBaseline::fit(meta, &groups, GbdtConfig::tiny());
+    let gbdt_eval = evaluate_on_fliggy(&gbdt, &ds, &fx);
+
+    assert!(
+        gbdt_eval.ranking.mrr5 > pop_eval.ranking.mrr5,
+        "GBDT MRR@5 {} must beat MostPop {}",
+        gbdt_eval.ranking.mrr5,
+        pop_eval.ranking.mrr5
+    );
+    assert!(gbdt_eval.auc_o > 0.6, "GBDT AUC-O {}", gbdt_eval.auc_o);
+}
+
+#[test]
+fn lstm_trains_on_fliggy_above_chance() {
+    let ds = fliggy_dataset(Scale::Smoke);
+    let fx = fx();
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let mut cfg = BaselineConfig::tiny();
+    cfg.epochs = 3;
+    let mut lstm = LstmBaseline::new(cfg, ds.world.num_users(), ds.world.num_cities());
+    train(&mut lstm, &groups);
+    let eval = evaluate_on_fliggy(&lstm, &ds, &fx);
+    assert!(eval.auc_d > 0.6, "LSTM AUC-D {} near chance", eval.auc_d);
+}
+
+#[test]
+fn checkin_pipeline_runs_for_neural_and_rule_methods() {
+    let ds = checkin_dataset(Scale::Smoke, CheckinConfig::gowalla);
+    let fx = fx();
+    let groups = fx.checkin_groups(&ds, &ds.train);
+    assert!(!groups.is_empty());
+    let coords: Vec<od_hsg::GeoPoint> = ds.pois.iter().map(|p| p.coords).collect();
+    let meta = CityMeta::from_groups(coords, &groups);
+
+    let mostpop = MostPop::new(meta.clone());
+    let pop_eval = evaluate_on_checkin(&mostpop, &ds, &fx);
+    assert!(pop_eval.ranking.hr10 > 0.0);
+
+    let mut cfg = BaselineConfig::tiny();
+    cfg.epochs = 2;
+    let mut lstm = LstmBaseline::new(cfg, ds.config.num_users, ds.config.num_pois);
+    train(&mut lstm, &groups);
+    let eval = evaluate_on_checkin(&lstm, &ds, &fx);
+    assert!((0.0..=1.0).contains(&eval.auc_d));
+    assert!(eval.ranking.hr10 >= eval.ranking.hr1);
+}
+
+#[test]
+fn scorer_names_are_table_exact() {
+    // The table generators key on these names; lock them.
+    let ds = fliggy_dataset(Scale::Smoke);
+    let fx = fx();
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let coords: Vec<od_hsg::GeoPoint> = ds.world.cities.iter().map(|c| c.coords).collect();
+    let meta = CityMeta::from_groups(coords, &groups);
+    assert_eq!(MostPop::new(meta.clone()).name(), "MostPop");
+    assert_eq!(
+        GbdtBaseline::fit(meta, &groups[..20.min(groups.len())].to_vec(), GbdtConfig::tiny()).name(),
+        "GBDT"
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration tests of the `odnet` CLI binary: train → eval → recommend
+//! round-trips through a real process and a real checkpoint file.
+
+use std::process::Command;
+
+fn odnet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_odnet"))
+}
+
+fn tmp_model_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("odnet_cli_test_{tag}_{}.json", std::process::id()));
+    p
+}
+
+#[test]
+fn train_eval_recommend_round_trip() {
+    let model = tmp_model_path("roundtrip");
+    let out = odnet()
+        .args([
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--variant",
+            "odnet-g",
+            "--users",
+            "80",
+            "--cities",
+            "12",
+            "--epochs",
+            "1",
+        ])
+        .output()
+        .expect("spawn odnet train");
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists(), "model file not written");
+
+    let out = odnet()
+        .args(["eval", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("spawn odnet eval");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("AUC-O"), "eval output missing metrics: {stdout}");
+    assert!(stdout.contains("HR@5"));
+
+    let out = odnet()
+        .args([
+            "recommend",
+            "--model",
+            model.to_str().unwrap(),
+            "--user",
+            "3",
+            "--top",
+            "4",
+        ])
+        .output()
+        .expect("spawn odnet recommend");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top-4 flights"), "got: {stdout}");
+    // Four ranked lines with arrows.
+    assert_eq!(stdout.matches("->").count(), 4, "got: {stdout}");
+
+    let _ = std::fs::remove_file(model);
+}
+
+#[test]
+fn helpful_errors_and_usage() {
+    // No command → usage on stderr, nonzero exit.
+    let out = odnet().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown command.
+    let out = odnet().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+
+    // eval without --model.
+    let out = odnet().arg("eval").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+
+    // recommend with out-of-range user.
+    let model = tmp_model_path("range");
+    let ok = odnet()
+        .args([
+            "train", "--out", model.to_str().unwrap(), "--variant", "stl-g", "--users", "40",
+            "--cities", "10", "--epochs", "1",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    let out = odnet()
+        .args(["recommend", "--model", model.to_str().unwrap(), "--user", "9999"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    let _ = std::fs::remove_file(model);
+}
+
+#[test]
+fn help_prints_usage_successfully() {
+    let out = odnet().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("odnet train"));
+}

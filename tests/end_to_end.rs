@@ -1,0 +1,206 @@
+//! Cross-crate integration: full train → evaluate → serve pipelines over
+//! the synthetic datasets, asserting the learnability floor that every
+//! paper experiment rests on.
+
+use od_bench::recall_candidates;
+use od_data::{FliggyConfig, FliggyDataset};
+use od_hsg::HsgBuilder;
+use odnet_core::{
+    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant,
+};
+
+fn tiny_dataset() -> FliggyDataset {
+    FliggyDataset::generate(FliggyConfig {
+        num_users: 120,
+        num_cities: 16,
+        horizon_days: 500,
+        eval_negatives: 19,
+        ..FliggyConfig::default()
+    })
+}
+
+fn tiny_model_cfg() -> OdnetConfig {
+    OdnetConfig {
+        embed_dim: 8,
+        heads: 2,
+        epochs: 3,
+        workers: 2,
+        ..OdnetConfig::default()
+    }
+}
+
+fn build_model(variant: Variant, ds: &FliggyDataset) -> OdNetModel {
+    let hsg = variant.uses_graph().then(|| {
+        let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+        let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+        for it in ds.hsg_interactions() {
+            b.add_interaction(it);
+        }
+        b.build()
+    });
+    OdNetModel::new(
+        variant,
+        tiny_model_cfg(),
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        hsg,
+    )
+}
+
+#[test]
+fn odnet_trains_and_beats_chance_clearly() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let mut model = build_model(Variant::Odnet, &ds);
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let report = train(&mut model, &groups);
+    assert!(
+        report.final_loss() < report.epoch_losses[0],
+        "loss must decrease: {:?}",
+        report.epoch_losses
+    );
+    let eval = evaluate_on_fliggy(&model, &ds, &fx);
+    // Chance HR@5 with 19 negatives is 5/20 = 0.25; AUC chance is 0.5.
+    assert!(eval.auc_o > 0.65, "AUC-O {} too close to chance", eval.auc_o);
+    assert!(eval.auc_d > 0.65, "AUC-D {} too close to chance", eval.auc_d);
+    assert!(
+        eval.ranking.hr5 > 0.35,
+        "HR@5 {} too close to chance 0.25",
+        eval.ranking.hr5
+    );
+}
+
+#[test]
+fn serving_pipeline_produces_ranked_flights() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let mut model = build_model(Variant::OdnetG, &ds);
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    train(&mut model, &groups);
+    let day = ds.train_end_day();
+    for user in (0..10u32).map(od_hsg::UserId) {
+        let candidates = recall_candidates(&ds, user, day, 25);
+        assert!(!candidates.is_empty());
+        let group = fx.group_for_serving(&ds, user, day, &candidates);
+        let scores = model.score_group(&group);
+        assert_eq!(scores.len(), candidates.len());
+        let combined: Vec<f32> = scores
+            .iter()
+            .map(|&(po, pd)| model.serving_score(po, pd))
+            .collect();
+        assert!(combined.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+        // Scores must discriminate (not all equal).
+        let min = combined.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = combined.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max > min, "degenerate constant scores for user {user:?}");
+    }
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_scores() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let mut model = build_model(Variant::Odnet, &ds);
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    train(&mut model, &groups.iter().take(30).cloned().collect::<Vec<_>>());
+    let case = fx.group_from_eval_case(&ds, &ds.eval_cases[0]);
+    let before = model.score_group(&case);
+
+    // Serialize, restore into a fresh same-config model, compare.
+    let json = model.store.to_json();
+    let mut restored = build_model(Variant::Odnet, &ds);
+    restored.store = od_tensor::ParamStore::from_json(&json).expect("valid checkpoint");
+    let after = restored.score_group(&case);
+    assert_eq!(before, after, "checkpoint round-trip changed predictions");
+}
+
+#[test]
+fn fixed_seed_training_is_deterministic() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let groups: Vec<_> = fx
+        .groups_from_samples(&ds, &ds.train)
+        .into_iter()
+        .take(40)
+        .collect();
+    let score = |_: u32| -> Vec<(f32, f32)> {
+        let mut cfg = tiny_model_cfg();
+        cfg.workers = 1; // bit-exactness requires a fixed merge order
+        let mut model = OdNetModel::new(
+            Variant::OdnetG,
+            cfg,
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            None,
+        );
+        train(&mut model, &groups);
+        let case = fx.group_from_eval_case(&ds, &ds.eval_cases[0]);
+        model.score_group(&case)
+    };
+    assert_eq!(score(0), score(1), "same seed must give identical models");
+}
+
+#[test]
+fn all_four_variants_complete_the_pipeline() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let groups: Vec<_> = fx
+        .groups_from_samples(&ds, &ds.train)
+        .into_iter()
+        .take(50)
+        .collect();
+    for variant in [Variant::Odnet, Variant::OdnetG, Variant::StlPlusG, Variant::StlG] {
+        let mut model = build_model(variant, &ds);
+        let report = train(&mut model, &groups);
+        assert!(report.final_loss().is_finite(), "{variant:?} diverged");
+        let eval = evaluate_on_fliggy(&model, &ds, &fx);
+        assert!(eval.ranking.hr10 >= eval.ranking.hr5);
+        assert!((0.0..=1.0).contains(&eval.auc_o));
+    }
+}
+
+#[test]
+fn full_checkpoint_api_round_trips_a_graph_model() {
+    let ds = tiny_dataset();
+    let cfg = tiny_model_cfg();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let mut model = build_model(Variant::Odnet, &ds);
+    let groups: Vec<_> = fx
+        .groups_from_samples(&ds, &ds.train)
+        .into_iter()
+        .take(25)
+        .collect();
+    train(&mut model, &groups);
+    let case = fx.group_from_eval_case(&ds, &ds.eval_cases[0]);
+    let before = model.score_group(&case);
+    let theta_before = model.theta();
+
+    let json = model.save_json(ds.world.num_users(), ds.world.num_cities());
+    // Rebuild the HSG exactly as at training time (the checkpoint carries
+    // parameters only).
+    let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+    let mut b = od_hsg::HsgBuilder::new(ds.world.num_users(), coords);
+    for it in ds.hsg_interactions() {
+        b.add_interaction(it);
+    }
+    let restored = OdNetModel::load_json(&json, Some(b.build())).expect("valid checkpoint");
+    assert_eq!(restored.score_group(&case), before);
+    assert_eq!(restored.theta(), theta_before);
+    assert_eq!(restored.variant, Variant::Odnet);
+}
+
+#[test]
+fn checkpoint_load_rejects_missing_hsg_and_garbage() {
+    let ds = tiny_dataset();
+    let model = build_model(Variant::Odnet, &ds);
+    let json = model.save_json(ds.world.num_users(), ds.world.num_cities());
+    // Graph variant without HSG must fail loudly.
+    assert!(OdNetModel::load_json(&json, None).is_err());
+    // Garbage must fail as a parse error, not a panic.
+    assert!(OdNetModel::load_json("{not json", None).is_err());
+}
