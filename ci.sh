@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, the full test suite, and a smoke run of the
+# serving benchmark (which refreshes BENCH_serving.json at the repo root).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> serving bench (smoke)"
+CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench
+
+echo "CI OK"

@@ -86,13 +86,7 @@ impl Booster {
     }
 
     fn predict_margin(&self, features: &[f32]) -> f32 {
-        self.bias
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(features))
-                    .sum::<f32>()
+        self.bias + self.learning_rate * self.trees.iter().map(|t| t.predict(features)).sum::<f32>()
     }
 
     fn predict_proba(&self, features: &[f32]) -> f32 {

@@ -51,12 +51,7 @@ impl Default for TreeParams {
 impl RegressionTree {
     /// Convenience: bin `x` and fit (tests and one-off fits). Boosters bin
     /// once and call [`RegressionTree::fit_binned`] per round instead.
-    pub fn fit(
-        x: &[Vec<f32>],
-        grad: &[f32],
-        hess: &[f32],
-        params: TreeParams,
-    ) -> RegressionTree {
+    pub fn fit(x: &[Vec<f32>], grad: &[f32], hess: &[f32], params: TreeParams) -> RegressionTree {
         let binned = BinnedDataset::build(x);
         RegressionTree::fit_binned(&binned, grad, hess, params)
     }
@@ -201,10 +196,9 @@ fn best_split(
             if h_right == 0.0 {
                 break;
             }
-            let gain = g_left * g_left / (h_left + lambda)
-                + g_right * g_right / (h_right + lambda)
+            let gain = g_left * g_left / (h_left + lambda) + g_right * g_right / (h_right + lambda)
                 - parent_score;
-            if gain > 1e-9 && best.map_or(true, |(bg, _, _)| gain > bg) {
+            if gain > 1e-9 && best.is_none_or(|(bg, _, _)| gain > bg) {
                 best = Some((gain, f, b));
             }
         }

@@ -40,12 +40,16 @@ pub type LstmBaseline = TwoSideModel<LstmEncoder>;
 impl LstmBaseline {
     /// Build the baseline for a universe of `num_users` × `num_cities`.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_cities: usize) -> Self {
-        TwoSideModel::assemble("LSTM", cfg, num_users, num_cities, |store, name, cfg, rng| {
-            LstmEncoder {
+        TwoSideModel::assemble(
+            "LSTM",
+            cfg,
+            num_users,
+            num_cities,
+            |store, name, cfg, rng| LstmEncoder {
                 cell: LstmCell::new(store, name, cfg.embed_dim, cfg.hidden_dim, rng),
                 hidden: cfg.hidden_dim,
-            }
-        })
+            },
+        )
     }
 }
 

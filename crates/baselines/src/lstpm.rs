@@ -43,7 +43,12 @@ impl LstpmEncoder {
                 cfg.hidden_dim,
                 rng,
             ),
-            nonlocal: BilinearAttention::new(store, &format!("{name}.nonlocal"), cfg.hidden_dim, rng),
+            nonlocal: BilinearAttention::new(
+                store,
+                &format!("{name}.nonlocal"),
+                cfg.hidden_dim,
+                rng,
+            ),
             meta,
             hidden: cfg.hidden_dim,
         }

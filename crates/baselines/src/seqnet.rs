@@ -73,14 +73,7 @@ impl<E: SideEncoder> TwoSideModel<E> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
         let mut make_side = |store: &mut ParamStore, side: &str, rng: &mut StdRng| {
-            let tables = SideTables::new(
-                store,
-                &format!("{side}"),
-                num_users,
-                num_cities,
-                cfg.embed_dim,
-                rng,
-            );
+            let tables = SideTables::new(store, side, num_users, num_cities, cfg.embed_dim, rng);
             let encoder = make_encoder(store, &format!("{side}.enc"), &cfg, rng);
             let q_dim = encoder.out_dim() + 3 * cfg.embed_dim + odnet_core::XST_DIM;
             let tower = Mlp::new(
@@ -110,21 +103,22 @@ impl<E: SideEncoder> TwoSideModel<E> {
 
     /// Forward one group to per-candidate `(logit_O, logit_D)` nodes.
     pub fn forward_group(&self, g: &mut Graph, group: &GroupInput) -> (Vec<Value>, Vec<Value>) {
-        let run_side = |g: &mut Graph, side: &Side<E>, ids: (&[CityId], &[CityId]), days: (&[u32], &[u32])| {
-            let src = side.tables.begin(g, &self.store);
-            let input = SeqInput {
-                lt_ids: ids.0,
-                lt_days: days.0,
-                st_ids: ids.1,
-                st_days: days.1,
-                current_city: group.current_city,
-                day: group.day,
+        let run_side =
+            |g: &mut Graph, side: &Side<E>, ids: (&[CityId], &[CityId]), days: (&[u32], &[u32])| {
+                let src = side.tables.begin(g, &self.store);
+                let input = SeqInput {
+                    lt_ids: ids.0,
+                    lt_days: days.0,
+                    st_ids: ids.1,
+                    st_days: days.1,
+                    current_city: group.current_city,
+                    day: group.day,
+                };
+                let enc = side.encoder.encode(g, &self.store, &src, &input);
+                let e_user = src.user(g, group.user);
+                let e_lbs = src.city(g, group.current_city);
+                (src, enc, e_user, e_lbs)
             };
-            let enc = side.encoder.encode(g, &self.store, &src, &input);
-            let e_user = src.user(g, group.user);
-            let e_lbs = src.city(g, group.current_city);
-            (src, enc, e_user, e_lbs)
-        };
         let (src_o, enc_o, user_o, lbs_o) = run_side(
             g,
             &self.side_o,
@@ -224,8 +218,20 @@ pub(crate) mod test_support {
                         CandidateInput {
                             origin: cur,
                             dest: fav,
-                            xst_o: { let mut x = [0.0; odnet_core::XST_DIM]; x[0] = 0.5; x[2] = 0.5; x[3] = 0.1; x },
-                            xst_d: { let mut x = [0.0; odnet_core::XST_DIM]; x[0] = 0.5; x[2] = 0.5; x[3] = 0.1; x },
+                            xst_o: {
+                                let mut x = [0.0; odnet_core::XST_DIM];
+                                x[0] = 0.5;
+                                x[2] = 0.5;
+                                x[3] = 0.1;
+                                x
+                            },
+                            xst_d: {
+                                let mut x = [0.0; odnet_core::XST_DIM];
+                                x[0] = 0.5;
+                                x[2] = 0.5;
+                                x[3] = 0.1;
+                                x
+                            },
                             label_o: 1.0,
                             label_d: 1.0,
                         },
@@ -277,7 +283,9 @@ mod tests {
         let groups = test_support::learnable_groups(3, 8, 1);
         let scores = model.score_group(&groups[0]);
         assert_eq!(scores.len(), 2);
-        assert!(scores.iter().all(|(a, b)| (0.0..=1.0).contains(a) && (0.0..=1.0).contains(b)));
+        assert!(scores
+            .iter()
+            .all(|(a, b)| (0.0..=1.0).contains(a) && (0.0..=1.0).contains(b)));
         // Loss is a finite scalar.
         let mut g = Graph::new();
         let loss = model.group_loss(&mut g, &groups[0]);

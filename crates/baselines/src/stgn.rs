@@ -61,13 +61,7 @@ impl ExtraGate {
     }
 
     /// `σ(x·W + delta·u + b)` for a scalar `delta`.
-    fn forward(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Value,
-        delta: f32,
-    ) -> Value {
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Value, delta: f32) -> Value {
         let proj = self.wx.forward(g, store, x);
         let proj = g.reshape(proj, Shape::Vector(g.value(proj).len()));
         let u = g.param(store, self.u);
@@ -209,9 +203,13 @@ impl StgnBaseline {
     /// Build the baseline; `meta` supplies inter-city distances for the
     /// distance gate.
     pub fn new(cfg: BaselineConfig, num_users: usize, num_cities: usize, meta: CityMeta) -> Self {
-        TwoSideModel::assemble("STGN", cfg, num_users, num_cities, move |store, name, cfg, rng| {
-            StgnEncoder::new(store, name, cfg, meta.clone(), rng)
-        })
+        TwoSideModel::assemble(
+            "STGN",
+            cfg,
+            num_users,
+            num_cities,
+            move |store, name, cfg, rng| StgnEncoder::new(store, name, cfg, meta.clone(), rng),
+        )
     }
 }
 

@@ -88,33 +88,34 @@ impl StodPpaBaseline {
         let h = self.cfg.hidden_dim;
         let src = self.tables.begin(g, store);
         // Encode both sequences keeping all hidden states.
-        let encode = |g: &mut Graph, cell: &LstmCell, ids: &[od_hsg::CityId]| -> (Value, Option<Value>) {
-            if ids.is_empty() {
-                return (g.input(Tensor::zeros(Shape::Vector(h))), None);
-            }
-            let mut state = cell.zero_state(g);
-            let mut hiddens = Vec::with_capacity(ids.len());
-            for &c in ids {
-                let x = src.city(g, c);
-                state = cell.step(g, store, x, state);
-                hiddens.push(state.h);
-            }
-            let matrix = g.concat_rows(&hiddens);
-            (state.h, Some(matrix))
-        };
+        let encode =
+            |g: &mut Graph, cell: &LstmCell, ids: &[od_hsg::CityId]| -> (Value, Option<Value>) {
+                if ids.is_empty() {
+                    return (g.input(Tensor::zeros(Shape::Vector(h))), None);
+                }
+                let mut state = cell.zero_state(g);
+                let mut hiddens = Vec::with_capacity(ids.len());
+                for &c in ids {
+                    let x = src.city(g, c);
+                    state = cell.step(g, store, x, state);
+                    hiddens.push(state.h);
+                }
+                let matrix = g.concat_rows(&hiddens);
+                (state.h, Some(matrix))
+            };
         let (sum_o, hist_o) = encode(g, &self.lstm_o, &group.lt_origins);
         let (sum_d, hist_d) = encode(g, &self.lstm_d, &group.lt_dests);
         // OD relationship: each side's summary attends the other side's
         // hidden states.
-        let cross = |g: &mut Graph, attn: &BilinearAttention, query: Value, keys: Option<Value>| {
-            match keys {
+        let cross =
+            |g: &mut Graph, attn: &BilinearAttention, query: Value, keys: Option<Value>| match keys
+            {
                 Some(keys) => {
                     let pooled = attn.forward(g, store, query, keys);
                     g.reshape(pooled, Shape::Vector(h))
                 }
                 None => g.input(Tensor::zeros(Shape::Vector(h))),
-            }
-        };
+            };
         let od_rel = cross(g, &self.cross_od, sum_o, hist_d);
         let do_rel = cross(g, &self.cross_do, sum_d, hist_o);
         let e_user = src.user(g, group.user);

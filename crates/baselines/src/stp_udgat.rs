@@ -165,10 +165,7 @@ impl GatLayer {
             let act = g.relu(we_self);
             return g.reshape(act, Shape::Vector(dim));
         }
-        let nbr_rows: Vec<Value> = nbr_ids
-            .iter()
-            .map(|&j| lookup(g, CityId(j)))
-            .collect();
+        let nbr_rows: Vec<Value> = nbr_ids.iter().map(|&j| lookup(g, CityId(j))).collect();
         let nbrs = g.concat_rows(&nbr_rows); // m×d
         let w_nbrs = self.w.forward(g, store, nbrs); // m×d
         let a_self = g.param(store, self.a_self);
@@ -176,8 +173,8 @@ impl GatLayer {
         let s_self = g.matmul(we_self, a_self); // 1×1
         let s_nbrs = g.matmul(w_nbrs, a_nbr); // m×1
         let s_nbrs_t = g.transpose(s_nbrs); // 1×m
-        // Broadcast the self score over the neighbor row differentiably:
-        // (1×1) · (1×m row of ones) keeps the gradient path to a_self.
+                                            // Broadcast the self score over the neighbor row differentiably:
+                                            // (1×1) · (1×m row of ones) keeps the gradient path to a_self.
         let ones = g.input(Tensor::ones(Shape::Matrix(1, nbr_ids.len())));
         let self_row = g.matmul(s_self, ones); // 1×m
         let raw = g.add(s_nbrs_t, self_row);
@@ -221,10 +218,8 @@ impl StpUdgatBaseline {
     ) -> Self {
         const GRAPH_K: usize = 5;
         // Temporal: long-term destination transition sequences.
-        let sequences: Vec<&[CityId]> = train_groups
-            .iter()
-            .map(|g| g.lt_dests.as_slice())
-            .collect();
+        let sequences: Vec<&[CityId]> =
+            train_groups.iter().map(|g| g.lt_dests.as_slice()).collect();
         let temporal = CityGraph::temporal(num_cities, &sequences, GRAPH_K);
         // Preference: per user, union of visited cities.
         let mut per_user: HashMap<u32, Vec<CityId>> = HashMap::new();
@@ -355,9 +350,8 @@ impl GatSource<'_> {
             let v = self.raw(g, city);
             lookup_cache.insert(city.0, v);
         }
-        let mut lookup = |_g: &mut Graph, cc: CityId| -> Value {
-            *lookup_cache.get(&cc.0).expect("prefetched")
-        };
+        let mut lookup =
+            |_g: &mut Graph, cc: CityId| -> Value { *lookup_cache.get(&cc.0).expect("prefetched") };
         let hs = self
             .model
             .gat_s
@@ -473,8 +467,7 @@ mod tests {
     #[test]
     fn learns_a_repetition_pattern() {
         let train = learnable_groups(40, 8, 31);
-        let mut model =
-            StpUdgatBaseline::new(BaselineConfig::tiny(), 10, 8, &meta(8), &train);
+        let mut model = StpUdgatBaseline::new(BaselineConfig::tiny(), 10, 8, &meta(8), &train);
         assert_learns(&mut model, 31);
     }
 

@@ -103,14 +103,7 @@ fn bench_serving_recall(c: &mut Criterion) {
     let ds = od_bench::fliggy_dataset(Scale::Smoke);
     let day = ds.train_end_day();
     c.bench_function("serving_recall_30_pairs", |bencher| {
-        bencher.iter(|| {
-            black_box(od_bench::recall_candidates(
-                &ds,
-                UserId(3),
-                day,
-                30,
-            ))
-        })
+        bencher.iter(|| black_box(od_bench::recall_candidates(&ds, UserId(3), day, 30)))
     });
 }
 

@@ -1,0 +1,199 @@
+//! Serving hot-path benchmarks: per-candidate vs batched group scoring and
+//! naive vs tiled matmul kernels. Results land in `BENCH_serving.json` at
+//! the repository root, including the headline group-scoring speedup.
+//!
+//! Run with `cargo bench --bench serving_bench`; set `CRITERION_QUICK=1`
+//! (or pass `--quick`) for a fast smoke run.
+
+use criterion::{black_box, Criterion};
+use od_bench::Scale;
+use od_tensor::{init, Graph, Shape};
+use odnet_core::{FeatureExtractor, GroupInput, OdNetModel, OdnetConfig, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// `(per-candidate oracle, batched)` models with identical parameters, plus
+/// serving groups of different candidate counts.
+struct ServingFixture {
+    oracle: OdNetModel,
+    batched: OdNetModel,
+    groups: Vec<(usize, GroupInput)>,
+}
+
+fn serving_fixture() -> ServingFixture {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let hsg = od_bench::build_hsg(&ds);
+    let build = |per_candidate: bool| {
+        let cfg = OdnetConfig {
+            per_candidate_scoring: per_candidate,
+            workers: 1,
+            ..Scale::Smoke.model_config()
+        };
+        OdNetModel::new(
+            Variant::Odnet,
+            cfg,
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            Some(hsg.clone()),
+        )
+    };
+    let oracle = build(true);
+    let batched = build(false);
+    let cfg = Scale::Smoke.model_config();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let day = ds.train_end_day();
+    let user = (0..ds.world.num_users() as u32)
+        .map(od_hsg::UserId)
+        .find(|&u| !ds.long_term(u, day).is_empty())
+        .expect("some user has history");
+    let mut pairs = od_bench::recall_candidates(&ds, user, day, 64);
+    assert!(pairs.len() >= 8, "recall produced too few pairs to bench");
+    // The smoke world is small, so multi-strategy recall saturates below a
+    // production-sized rerank set; pad with further OD pairs up to 64 to
+    // bench the full serving batch width.
+    let mut seen: std::collections::HashSet<_> = pairs.iter().copied().collect();
+    'pad: for o in 0..ds.world.num_cities() as u32 {
+        for d in 0..ds.world.num_cities() as u32 {
+            if pairs.len() >= 64 {
+                break 'pad;
+            }
+            let pair = (od_hsg::CityId(o), od_hsg::CityId(d));
+            if o != d && seen.insert(pair) {
+                pairs.push(pair);
+            }
+        }
+    }
+    let groups = [7, 21.min(pairs.len()), pairs.len()]
+        .into_iter()
+        .map(|n| (n, fx.group_for_serving(&ds, user, day, &pairs[..n])))
+        .collect();
+    ServingFixture {
+        oracle,
+        batched,
+        groups,
+    }
+}
+
+fn bench_group_scoring(c: &mut Criterion, fix: &ServingFixture) {
+    for (n, group) in &fix.groups {
+        // The old hot path: one candidate at a time, fresh tape per group.
+        c.bench_function(&format!("score_group{n}_per_candidate"), |b| {
+            b.iter(|| black_box(fix.oracle.score_group(black_box(group))))
+        });
+        // The new hot path: stacked candidates on a reused tape.
+        c.bench_function(&format!("score_group{n}_batched"), |b| {
+            let mut tape = Graph::new();
+            b.iter(|| black_box(fix.batched.score_group_with(&mut tape, black_box(group))))
+        });
+    }
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    for size in [64usize, 128] {
+        let a = init::gaussian(Shape::Matrix(size, size), 0.0, 1.0, &mut rng);
+        let b = init::gaussian(Shape::Matrix(size, size), 0.0, 1.0, &mut rng);
+        c.bench_function(&format!("matmul_naive_{size}"), |bencher| {
+            bencher.iter(|| od_tensor::matmul_naive(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("matmul_tiled_{size}"), |bencher| {
+            bencher.iter(|| od_tensor::matmul(black_box(&a), black_box(&b)))
+        });
+    }
+}
+
+/// Ratio of two benchmark means, by name, when both exist.
+fn speedup(c: &Criterion, before: &str, after: &str) -> Option<f64> {
+    let mean = |name: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.mean_ns)
+    };
+    Some(mean(before)? / mean(after)?)
+}
+
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+#[derive(serde::Serialize)]
+struct SpeedupEntry {
+    name: String,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    generated_by: String,
+    scale: String,
+    threads_available: usize,
+    measurements: Vec<BenchEntry>,
+    speedups: Vec<SpeedupEntry>,
+}
+
+fn emit_json(c: &Criterion, fix: &ServingFixture) {
+    let mut speedups = Vec::new();
+    for (n, _) in &fix.groups {
+        if let Some(s) = speedup(
+            c,
+            &format!("score_group{n}_per_candidate"),
+            &format!("score_group{n}_batched"),
+        ) {
+            speedups.push(SpeedupEntry {
+                name: format!("group_scoring_{n}_candidates"),
+                speedup: s,
+            });
+        }
+    }
+    for size in [64, 128] {
+        if let Some(s) = speedup(
+            c,
+            &format!("matmul_naive_{size}"),
+            &format!("matmul_tiled_{size}"),
+        ) {
+            speedups.push(SpeedupEntry {
+                name: format!("matmul_{size}"),
+                speedup: s,
+            });
+        }
+    }
+    let report = Report {
+        generated_by: "cargo bench --bench serving_bench".to_string(),
+        scale: "smoke".to_string(),
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        measurements: c
+            .measurements()
+            .iter()
+            .map(|m| BenchEntry {
+                name: m.name.clone(),
+                mean_ns: m.mean_ns,
+                min_ns: m.min_ns,
+                max_ns: m.max_ns,
+                iters: m.iters,
+            })
+            .collect(),
+        speedups,
+    };
+    // cargo runs benches with the package dir as cwd; the report belongs at
+    // the repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, pretty + "\n").expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let fix = serving_fixture();
+    bench_group_scoring(&mut c, &fix);
+    bench_matmul_kernels(&mut c);
+    emit_json(&c, &fix);
+}

@@ -56,7 +56,11 @@ fn main() {
         });
     };
 
-    let caps: &[usize] = if scale == Scale::Smoke { &[1, 5] } else { &[1, 3, 5, 10] };
+    let caps: &[usize] = if scale == Scale::Smoke {
+        &[1, 5]
+    } else {
+        &[1, 3, 5, 10]
+    };
     for &cap in caps {
         let cfg = OdnetConfig {
             neighbor_cap: cap,
@@ -64,7 +68,11 @@ fn main() {
         };
         run("neighbor_cap", cap.to_string(), cfg, &mut rows);
     }
-    let experts: &[usize] = if scale == Scale::Smoke { &[1, 3] } else { &[1, 3, 6] };
+    let experts: &[usize] = if scale == Scale::Smoke {
+        &[1, 3]
+    } else {
+        &[1, 3, 6]
+    };
     for &e in experts {
         let cfg = OdnetConfig {
             experts: e,
@@ -107,7 +115,16 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["sweep", "setting", "AUC-O", "AUC-D", "HR@5", "MRR@5", "θ", "train (s)"],
+            &[
+                "sweep",
+                "setting",
+                "AUC-O",
+                "AUC-D",
+                "HR@5",
+                "MRR@5",
+                "θ",
+                "train (s)"
+            ],
             &table
         )
     );

@@ -18,13 +18,17 @@ fn main() {
     let ds = fliggy_dataset(scale);
     let hsg = build_hsg(&ds);
     let base = scale.model_config();
-    let heads_sweep: &[usize] = if scale == Scale::Smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let heads_sweep: &[usize] = if scale == Scale::Smoke {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    };
     let mut points = Vec::new();
     for &heads in heads_sweep {
         let mut cfg = base.clone();
         cfg.heads = heads;
         // embed_dim must divide by heads — round it up to a multiple.
-        if cfg.embed_dim % heads != 0 {
+        if !cfg.embed_dim.is_multiple_of(heads) {
             cfg.embed_dim = cfg.embed_dim.div_ceil(heads) * heads;
         }
         eprintln!("[fig6a] training ODNET with {heads} heads");
@@ -60,7 +64,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("Figure 6(a) — ODNET vs number of attention heads ({})", scale.name());
+    println!(
+        "Figure 6(a) — ODNET vs number of attention heads ({})",
+        scale.name()
+    );
     println!("{}", markdown_table(&["heads", "HR@5", "MRR@5"], &rows));
     match write_json(&format!("fig6a_{}", scale.name()), &points) {
         Ok(path) => eprintln!("[fig6a] wrote {}", path.display()),

@@ -82,7 +82,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Method", "exploit HR@5", "exploit MRR@5", "explore HR@5", "explore MRR@5"],
+            &[
+                "Method",
+                "exploit HR@5",
+                "exploit MRR@5",
+                "explore HR@5",
+                "explore MRR@5"
+            ],
             &table
         )
     );

@@ -4,7 +4,10 @@ use od_bench::{fliggy_dataset, markdown_table, write_json, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[table1] generating Fliggy dataset at scale {}", scale.name());
+    eprintln!(
+        "[table1] generating Fliggy dataset at scale {}",
+        scale.name()
+    );
     let ds = fliggy_dataset(scale);
     let s = ds.statistics();
     let rows = vec![
@@ -44,8 +47,14 @@ fn main() {
             s.num_cities.to_string(),
         ],
     ];
-    println!("Table I — statistics of the synthetic Fliggy dataset ({})", scale.name());
-    println!("{}", markdown_table(&["Properties", "Training", "Testing"], &rows));
+    println!(
+        "Table I — statistics of the synthetic Fliggy dataset ({})",
+        scale.name()
+    );
+    println!(
+        "{}",
+        markdown_table(&["Properties", "Training", "Testing"], &rows)
+    );
     match write_json(&format!("table1_{}", scale.name()), &s) {
         Ok(path) => eprintln!("[table1] wrote {}", path.display()),
         Err(e) => eprintln!("[table1] could not write results: {e}"),

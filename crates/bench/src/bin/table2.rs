@@ -6,7 +6,10 @@ use od_data::CheckinConfig;
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[table2] generating check-in datasets at scale {}", scale.name());
+    eprintln!(
+        "[table2] generating check-in datasets at scale {}",
+        scale.name()
+    );
     let mut rows = Vec::new();
     let mut record = Vec::new();
     for preset in [
@@ -30,7 +33,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Dataset", "# of users", "# of POIs", "# of check-in records"],
+            &[
+                "Dataset",
+                "# of users",
+                "# of POIs",
+                "# of check-in records"
+            ],
             &rows
         )
     );

@@ -3,8 +3,8 @@
 //! training/inference time consumed by `table5`.
 
 use od_bench::methods::run_fliggy_method;
-use od_bench::{fliggy_dataset, markdown_table, write_json, Method, Scale};
 use od_bench::report::{metric, opt_metric};
+use od_bench::{fliggy_dataset, markdown_table, write_json, Method, Scale};
 
 fn main() {
     let scale = Scale::from_args();

@@ -38,7 +38,10 @@ fn main() {
     let scale = Scale::from_args();
     let results = match load_table3(scale) {
         Some(rows) => {
-            eprintln!("[table5] reusing timings from results/table3_{}.json", scale.name());
+            eprintln!(
+                "[table5] reusing timings from results/table3_{}.json",
+                scale.name()
+            );
             rows
         }
         None => {
@@ -65,10 +68,16 @@ fn main() {
             ]
         })
         .collect();
-    println!("Table V — efficiency on the synthetic Fliggy dataset ({})", scale.name());
+    println!(
+        "Table V — efficiency on the synthetic Fliggy dataset ({})",
+        scale.name()
+    );
     println!(
         "{}",
-        markdown_table(&["Method", "Training Time (s)", "Inferring Time (ms)"], &rows)
+        markdown_table(
+            &["Method", "Training Time (s)", "Inferring Time (ms)"],
+            &rows
+        )
     );
     match write_json(&format!("table5_{}", scale.name()), &results) {
         Ok(path) => eprintln!("[table5] wrote {}", path.display()),

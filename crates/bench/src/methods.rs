@@ -8,8 +8,8 @@ use od_baselines::{
 };
 use od_data::{CheckinDataset, FliggyDataset};
 use odnet_core::{
-    evaluate_on_checkin, evaluate_on_fliggy, train, FeatureExtractor, FliggyEvaluation,
-    GroupInput, OdNetModel, OdScorer, Variant,
+    evaluate_on_checkin, evaluate_on_fliggy, train, FeatureExtractor, FliggyEvaluation, GroupInput,
+    OdNetModel, OdScorer, Variant,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -175,9 +175,15 @@ pub fn fit_method(
     let meta = CityMeta::from_groups(coords, &train_groups);
     let num_users = ds.world.num_users();
     let num_cities = ds.world.num_cities();
-    fit_on_groups(method, &train_groups, meta, num_users, num_cities, scale, || {
-        crate::build_hsg(ds)
-    })
+    fit_on_groups(
+        method,
+        &train_groups,
+        meta,
+        num_users,
+        num_cities,
+        scale,
+        || crate::build_hsg(ds),
+    )
 }
 
 /// Fit one method on pre-extracted groups (shared by the Fliggy and

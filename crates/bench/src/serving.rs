@@ -6,6 +6,7 @@
 
 use od_data::FliggyDataset;
 use od_hsg::{CityId, UserId};
+use std::collections::HashSet;
 
 /// Assemble up to `max_pairs` candidate OD pairs for `user` at `day` using
 /// the production recall strategies.
@@ -38,10 +39,12 @@ pub fn recall_candidates(
     }
     dedup_keep_order(&mut dests);
 
+    // Origins and dests are deduplicated, so (o, d) pairs from the product
+    // are already distinct — no per-pair membership scan needed.
     let mut pairs = Vec::with_capacity(max_pairs);
     'outer: for &d in &dests {
         for &o in &origins {
-            if o != d && !pairs.contains(&(o, d)) {
+            if o != d {
                 pairs.push((o, d));
                 if pairs.len() >= max_pairs {
                     break 'outer;
@@ -52,16 +55,11 @@ pub fn recall_candidates(
     pairs
 }
 
+/// Remove duplicates in O(n), keeping the first occurrence of each city —
+/// recall order is a priority order, so it must be preserved.
 fn dedup_keep_order(v: &mut Vec<CityId>) {
-    let mut seen = Vec::new();
-    v.retain(|c| {
-        if seen.contains(c) {
-            false
-        } else {
-            seen.push(*c);
-            true
-        }
-    });
+    let mut seen = HashSet::with_capacity(v.len());
+    v.retain(|c| seen.insert(*c));
 }
 
 /// The `k` nearest cities to `c` (by the world's coordinates).

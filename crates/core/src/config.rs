@@ -49,6 +49,11 @@ pub struct OdnetConfig {
     /// Travel-intention prototypes (the paper's §VII future-work extension;
     /// 0 disables the intent module).
     pub intents: usize,
+    /// Score candidates one at a time instead of stacking the group into
+    /// `n×d` batched matrices. The per-candidate path is the correctness
+    /// oracle for the batched forward; serving and training default to the
+    /// batched path, which runs one matmul per layer per group.
+    pub per_candidate_scoring: bool,
     /// Seed for parameter initialization and neighbor sampling.
     pub seed: u64,
 }
@@ -73,6 +78,7 @@ impl Default for OdnetConfig {
             grad_clip: 5.0,
             workers: default_workers(),
             intents: 0,
+            per_candidate_scoring: false,
             seed: 0x0D_0E7,
         }
     }
@@ -136,6 +142,9 @@ mod tests {
         let c = OdnetConfig::tiny();
         assert_eq!(c.workers, 1);
         assert!(c.embed_dim <= 8);
-        assert!(c.embed_dim % c.heads == 0, "heads must divide embed_dim");
+        assert!(
+            c.embed_dim.is_multiple_of(c.heads),
+            "heads must divide embed_dim"
+        );
     }
 }

@@ -8,6 +8,7 @@
 use crate::features::{FeatureExtractor, GroupInput};
 use crate::model::OdNetModel;
 use od_data::{auc, rank_of_truth, RankingAccumulator, RankingMetrics};
+use od_tensor::Graph;
 
 /// A model that scores candidate OD pairs under a user context.
 ///
@@ -16,6 +17,14 @@ use od_data::{auc, rank_of_truth, RankingAccumulator, RankingMetrics};
 pub trait OdScorer: Sync {
     /// Per-candidate `(p^O, p^D)` probabilities for one group.
     fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)>;
+
+    /// Score a group reusing a caller-provided graph tape. The default
+    /// ignores the graph (baselines don't build one); [`OdNetModel`]
+    /// overrides this so the evaluation loop reuses one tape per worker.
+    fn score_group_reusing(&self, g: &mut Graph, group: &GroupInput) -> Vec<(f32, f32)> {
+        let _ = g;
+        self.score_group(group)
+    }
 
     /// Combine per-side probabilities into one ranking score (Eq. 11).
     /// Default is the θ = 0.5 blend; ODNET overrides with its learned θ.
@@ -30,6 +39,10 @@ pub trait OdScorer: Sync {
 impl OdScorer for OdNetModel {
     fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
         OdNetModel::score_group(self, group)
+    }
+
+    fn score_group_reusing(&self, g: &mut Graph, group: &GroupInput) -> Vec<(f32, f32)> {
+        self.score_group_with(g, group)
     }
 
     fn serving_score(&self, p_o: f32, p_d: f32) -> f32 {
@@ -47,7 +60,11 @@ pub fn score_groups(scorer: &dyn OdScorer, groups: &[GroupInput]) -> Vec<Vec<(f3
         .map(|n| n.get().min(8))
         .unwrap_or(1);
     if workers <= 1 || groups.len() < 4 {
-        return groups.iter().map(|g| scorer.score_group(g)).collect();
+        let mut tape = Graph::new();
+        return groups
+            .iter()
+            .map(|g| scorer.score_group_reusing(&mut tape, g))
+            .collect();
     }
     let chunk = groups.len().div_ceil(workers);
     crossbeam::thread::scope(|scope| {
@@ -55,9 +72,10 @@ pub fn score_groups(scorer: &dyn OdScorer, groups: &[GroupInput]) -> Vec<Vec<(f3
             .chunks(chunk)
             .map(|shard| {
                 scope.spawn(move |_| {
+                    let mut tape = Graph::new();
                     shard
                         .iter()
-                        .map(|g| scorer.score_group(g))
+                        .map(|g| scorer.score_group_reusing(&mut tape, g))
                         .collect::<Vec<_>>()
                 })
             })

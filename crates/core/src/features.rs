@@ -411,10 +411,7 @@ mod tests {
         let case = &ds.eval_cases[0];
         let g = fx.checkin_eval_group(&ds, case);
         assert_eq!(g.candidates.len(), case.candidates.len());
-        assert_eq!(
-            g.candidates.iter().filter(|c| c.label_d > 0.5).count(),
-            1
-        );
+        assert_eq!(g.candidates.iter().filter(|c| c.label_d > 0.5).count(), 1);
         // All candidates share the same origin (the user's location).
         assert!(g.candidates.iter().all(|c| c.origin == g.current_city));
     }

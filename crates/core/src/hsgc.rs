@@ -132,10 +132,7 @@ impl HsgcForward<'_> {
         if ids.is_empty() {
             return None;
         }
-        let rows: Vec<Value> = ids
-            .iter()
-            .map(|&c| self.city(g, store, c))
-            .collect();
+        let rows: Vec<Value> = ids.iter().map(|&c| self.city(g, store, c)).collect();
         Some(g.concat_rows(&rows))
     }
 
@@ -325,10 +322,7 @@ mod tests {
         // table, the user table, and both W layers must all receive signal.
         for name in ["hsgc.users", "hsgc.cities", "hsgc.w0.w", "hsgc.w1.w"] {
             let id = store.lookup(name).unwrap();
-            assert!(
-                store.grad(id).sq_norm() > 0.0,
-                "no gradient reached {name}"
-            );
+            assert!(store.grad(id).sq_norm() > 0.0, "no gradient reached {name}");
         }
     }
 

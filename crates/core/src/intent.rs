@@ -51,12 +51,7 @@ impl IntentModule {
     /// Infer the soft intent vector from short-term click embeddings
     /// (`s×d`). Returns a length-`d` vector; zero when there are no recent
     /// clicks (no evidence → no intent).
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        short_emb: Option<Value>,
-    ) -> Value {
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, short_emb: Option<Value>) -> Value {
         let Some(short) = short_emb else {
             return g.input(Tensor::zeros(Shape::Vector(self.dim)));
         };
@@ -72,12 +67,7 @@ impl IntentModule {
 
     /// The soft assignment weights alone (diagnostics: which intent a
     /// click stream expresses). Row of `num_intents` probabilities.
-    pub fn assignment(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        short_emb: Value,
-    ) -> Value {
+    pub fn assignment(&self, g: &mut Graph, store: &ParamStore, short_emb: Value) -> Value {
         let all: Vec<usize> = (0..self.num_intents).collect();
         let protos = self.prototypes.forward(g, store, &all);
         let query = g.mean_rows(short_emb);

@@ -64,8 +64,8 @@ pub use eval::{
     evaluate_ranking_sliced, score_groups, FliggyEvaluation, OdScorer, SlicedRanking,
 };
 pub use features::{CandidateInput, FeatureExtractor, GroupInput, Xst, XST_DIM};
-pub use mmoe::{MmoeHead, SingleTaskHead};
-pub use model::{CheckpointError, GroupForward, OdNetModel, Variant};
 pub use intent::IntentModule;
+pub use mmoe::{MmoeHead, SingleTaskHead};
+pub use model::{CheckpointError, GroupForward, GroupForwardBatched, OdNetModel, Variant};
 pub use pec::PecModule;
 pub use trainer::{train, TrainHyper, TrainReport, TrainableModel};

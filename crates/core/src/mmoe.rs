@@ -38,11 +38,34 @@ impl MmoeHead {
         // Eq. 6: r_i = W^{expert_i} · q⊕. The paper calls the experts MLPs;
         // we follow Eq. 6's linear form plus a ReLU (the minimal MLP).
         let experts = (0..num_experts)
-            .map(|i| Linear::new(store, &format!("{name}.expert{i}"), input_dim, expert_dim, true, rng))
+            .map(|i| {
+                Linear::new(
+                    store,
+                    &format!("{name}.expert{i}"),
+                    input_dim,
+                    expert_dim,
+                    true,
+                    rng,
+                )
+            })
             .collect();
         // Eq. 7: r_g = softmax(W^{gate} · q⊕), bias-free as written.
-        let gate_o = Linear::new(store, &format!("{name}.gate_o"), input_dim, num_experts, false, rng);
-        let gate_d = Linear::new(store, &format!("{name}.gate_d"), input_dim, num_experts, false, rng);
+        let gate_o = Linear::new(
+            store,
+            &format!("{name}.gate_o"),
+            input_dim,
+            num_experts,
+            false,
+            rng,
+        );
+        let gate_d = Linear::new(
+            store,
+            &format!("{name}.gate_d"),
+            input_dim,
+            num_experts,
+            false,
+            rng,
+        );
         // Towers: "nonlinear transformation of the input with a sigmoid
         // layer" — one hidden ReLU layer, logit output.
         let tower_dims = [expert_dim, tower_hidden, 1];
@@ -97,6 +120,47 @@ impl MmoeHead {
         (logit_o, logit_d)
     }
 
+    /// Batched forward: `q_cat` is `[n × 2d_q]` with one row per candidate;
+    /// output is the pair of `n×1` logit columns. Each expert, gate, and
+    /// tower runs one matmul for the whole group. The gate mixing unrolls
+    /// the `weights · experts` product over experts in ascending order —
+    /// per element the same f32 accumulation order as [`MmoeHead::forward`],
+    /// so the two paths agree to rounding.
+    pub fn forward_batched(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        q_cat: Value,
+    ) -> (Value, Value) {
+        // Expert outputs, each [n × d_r].
+        let outs: Vec<Value> = self
+            .experts
+            .iter()
+            .map(|e| {
+                let lin = e.forward(g, store, q_cat);
+                g.relu(lin)
+            })
+            .collect();
+        let mix = |g: &mut Graph, gate: &Linear, tower: &Mlp| -> Value {
+            let gate_logits = gate.forward(g, store, q_cat); // n×experts
+            let weights = g.softmax_rows(gate_logits);
+            let mut r: Option<Value> = None;
+            for (e, &out_e) in outs.iter().enumerate() {
+                let w_e = g.slice_cols(weights, e, e + 1); // one weight per row
+                let scaled = g.scale_rows(out_e, w_e); // n×d_r
+                r = Some(match r {
+                    Some(acc) => g.add(acc, scaled),
+                    None => scaled,
+                });
+            }
+            let r = r.expect("at least one expert");
+            tower.forward(g, store, r) // n×1 logits
+        };
+        let logit_o = mix(g, &self.gate_o, &self.tower_o);
+        let logit_d = mix(g, &self.gate_d, &self.tower_d);
+        (logit_o, logit_d)
+    }
+
     /// Expert output width `d_r`.
     pub fn expert_dim(&self) -> usize {
         self.expert_dim
@@ -104,12 +168,7 @@ impl MmoeHead {
 
     /// Gate weights for diagnostics/tests: `(gate_O, gate_D)` rows over
     /// experts (each sums to 1).
-    pub fn gate_weights(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        q_cat: Value,
-    ) -> (Value, Value) {
+    pub fn gate_weights(&self, g: &mut Graph, store: &ParamStore, q_cat: Value) -> (Value, Value) {
         let lo = self.gate_o.forward(g, store, q_cat);
         let go = g.softmax_rows(lo);
         let ld = self.gate_d.forward(g, store, q_cat);

@@ -86,6 +86,15 @@ pub struct GroupForward {
     pub logits_d: Vec<Value>,
 }
 
+/// Output logits of a batched group forward pass: each field is an `n×1`
+/// column with one logit per candidate, in candidate order.
+pub struct GroupForwardBatched {
+    /// O-task logit column.
+    pub logits_o: Value,
+    /// D-task logit column.
+    pub logits_d: Value,
+}
+
 /// A trained or trainable ODNET model instance.
 pub struct OdNetModel {
     /// Hyper-parameters.
@@ -129,7 +138,13 @@ impl OdNetModel {
             let (hsgc, plain_user, plain_city) = if variant.uses_graph() {
                 (
                     Some(HsgcModule::new(
-                        store, &format!("{name}.hsgc"), num_users, num_cities, d, config.depth, rng,
+                        store,
+                        &format!("{name}.hsgc"),
+                        num_users,
+                        num_cities,
+                        d,
+                        config.depth,
+                        rng,
                     )),
                     None,
                     None,
@@ -137,8 +152,20 @@ impl OdNetModel {
             } else {
                 (
                     None,
-                    Some(Embedding::new(store, &format!("{name}.users"), num_users, d, rng)),
-                    Some(Embedding::new(store, &format!("{name}.cities"), num_cities, d, rng)),
+                    Some(Embedding::new(
+                        store,
+                        &format!("{name}.users"),
+                        num_users,
+                        d,
+                        rng,
+                    )),
+                    Some(Embedding::new(
+                        store,
+                        &format!("{name}.cities"),
+                        num_cities,
+                        d,
+                        rng,
+                    )),
                 )
             };
             let pec = PecModule::new(store, &format!("{name}.pec"), d, config.heads, rng);
@@ -218,14 +245,18 @@ impl OdNetModel {
         self.store.num_weights()
     }
 
-    /// Forward one group, producing per-candidate logit nodes. The shared
-    /// user-side trunk (HSGC closure + PEC summary) is computed once.
-    pub fn forward_group(&self, g: &mut Graph, group: &GroupInput) -> GroupForward {
+    /// Shared setup of a group forward: both branch embedding sources plus
+    /// their candidate-independent trunks.
+    fn branch_setup<'m>(
+        &'m self,
+        g: &mut Graph,
+        group: &GroupInput,
+    ) -> (BranchSource<'m>, BranchSource<'m>, Trunk, Trunk) {
         let store = &self.store;
-        let mut origin_src = BranchSource::new(&self.origin_branch, self.graph_ctx.as_ref(), true, g, store);
-        let mut dest_src = BranchSource::new(&self.dest_branch, self.graph_ctx.as_ref(), false, g, store);
-
-        // Shared per-branch trunk.
+        let mut origin_src =
+            BranchSource::new(&self.origin_branch, self.graph_ctx.as_ref(), true, g, store);
+        let mut dest_src =
+            BranchSource::new(&self.dest_branch, self.graph_ctx.as_ref(), false, g, store);
         let trunk_o = branch_trunk(
             g,
             store,
@@ -246,6 +277,16 @@ impl OdNetModel {
             &group.lt_dests,
             &group.st_dests,
         );
+        (origin_src, dest_src, trunk_o, trunk_d)
+    }
+
+    /// Forward one group, producing per-candidate logit nodes. The shared
+    /// user-side trunk (HSGC closure + PEC summary) is computed once. This
+    /// is the reference path; [`OdNetModel::forward_group_batched`] computes
+    /// the same logits with one matmul per layer per group.
+    pub fn forward_group(&self, g: &mut Graph, group: &GroupInput) -> GroupForward {
+        let store = &self.store;
+        let (mut origin_src, mut dest_src, trunk_o, trunk_d) = self.branch_setup(g, group);
 
         let mut logits_o = Vec::with_capacity(group.candidates.len());
         let mut logits_d = Vec::with_capacity(group.candidates.len());
@@ -277,16 +318,74 @@ impl OdNetModel {
         GroupForward { logits_o, logits_d }
     }
 
+    /// Batched group forward: all `n` candidates are stacked into `n×d`
+    /// matrices, so the PEC concat, every expert/gate/tower layer, and the
+    /// candidate-embedding gather each run once per group instead of once
+    /// per candidate. The shared trunk rows are broadcast down the batch by
+    /// [`Graph::concat_cols_bcast`] without materializing tiled copies.
+    pub fn forward_group_batched(&self, g: &mut Graph, group: &GroupInput) -> GroupForwardBatched {
+        let n = group.candidates.len();
+        assert!(n > 0, "forward_group_batched needs at least one candidate");
+        let store = &self.store;
+        let (mut origin_src, mut dest_src, trunk_o, trunk_d) = self.branch_setup(g, group);
+
+        let origin_ids: Vec<CityId> = group.candidates.iter().map(|c| c.origin).collect();
+        let dest_ids: Vec<CityId> = group.candidates.iter().map(|c| c.dest).collect();
+        let e_co = origin_src
+            .cities(g, store, &origin_ids)
+            .expect("candidate set is non-empty");
+        let e_cd = dest_src
+            .cities(g, store, &dest_ids)
+            .expect("candidate set is non-empty");
+
+        let xst_dim = crate::features::XST_DIM;
+        let mut xst_o = Tensor::zeros(Shape::Matrix(n, xst_dim));
+        let mut xst_d = Tensor::zeros(Shape::Matrix(n, xst_dim));
+        for (i, cand) in group.candidates.iter().enumerate() {
+            xst_o.row_mut(i).copy_from_slice(&cand.xst_o);
+            xst_d.row_mut(i).copy_from_slice(&cand.xst_d);
+        }
+        let xst_o = g.input(xst_o);
+        let xst_d = g.input(xst_d);
+
+        // Same part order as the per-candidate path; trunk rows broadcast.
+        let mut parts_o = vec![trunk_o.v_l, trunk_o.e_user, trunk_o.e_lbs, e_co, xst_o];
+        if let Some(intent) = trunk_o.intent {
+            parts_o.push(intent);
+        }
+        let q_o = g.concat_cols_bcast(&parts_o, n);
+        let mut parts_d = vec![trunk_d.v_l, trunk_d.e_user, trunk_d.e_lbs, e_cd, xst_d];
+        if let Some(intent) = trunk_d.intent {
+            parts_d.push(intent);
+        }
+        let q_d = g.concat_cols_bcast(&parts_d, n);
+
+        let (logits_o, logits_d) = match &self.head {
+            Head::Joint(mmoe) => {
+                let q_cat = g.concat_cols(&[q_o, q_d]);
+                mmoe.forward_batched(g, store, q_cat)
+            }
+            Head::Single(stl) => stl.forward(g, store, q_o, q_d),
+        };
+        GroupForwardBatched { logits_o, logits_d }
+    }
+
     /// Forward a group and attach the joint loss (Eq. 8 over Eqs. 9–10),
     /// returning the scalar loss node.
     pub fn group_loss(&self, g: &mut Graph, group: &GroupInput) -> Value {
-        let fwd = self.forward_group(g, group);
         let labels_o: Vec<f32> = group.candidates.iter().map(|c| c.label_o).collect();
         let labels_d: Vec<f32> = group.candidates.iter().map(|c| c.label_d).collect();
         let n = labels_o.len();
-        let stacked_o = g.concat_rows(&fwd.logits_o);
+        let (stacked_o, stacked_d) = if self.config.per_candidate_scoring {
+            let fwd = self.forward_group(g, group);
+            let so = g.concat_rows(&fwd.logits_o);
+            let sd = g.concat_rows(&fwd.logits_d);
+            (so, sd)
+        } else {
+            let fwd = self.forward_group_batched(g, group);
+            (fwd.logits_o, fwd.logits_d)
+        };
         let stacked_o = g.reshape(stacked_o, Shape::Vector(n));
-        let stacked_d = g.concat_rows(&fwd.logits_d);
         let stacked_d = g.reshape(stacked_d, Shape::Vector(n));
         let loss_o = g.bce_with_logits(stacked_o, &Tensor::vector(&labels_o));
         let loss_d = g.bce_with_logits(stacked_d, &Tensor::vector(&labels_d));
@@ -331,17 +430,39 @@ impl OdNetModel {
     /// probabilities.
     pub fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
         let mut g = Graph::new();
-        let fwd = self.forward_group(&mut g, group);
-        fwd.logits_o
-            .iter()
-            .zip(&fwd.logits_d)
-            .map(|(&lo, &ld)| {
-                (
-                    stable_sigmoid(g.value(lo).as_slice()[0]),
-                    stable_sigmoid(g.value(ld).as_slice()[0]),
-                )
-            })
-            .collect()
+        self.score_group_with(&mut g, group)
+    }
+
+    /// Score a group using a caller-provided graph. The tape is reset (its
+    /// node storage is retained), so serving loops can reuse one graph's
+    /// allocations across many groups instead of paying a fresh tape per
+    /// call.
+    pub fn score_group_with(&self, g: &mut Graph, group: &GroupInput) -> Vec<(f32, f32)> {
+        g.reset();
+        if group.candidates.is_empty() {
+            return Vec::new();
+        }
+        if self.config.per_candidate_scoring {
+            let fwd = self.forward_group(g, group);
+            fwd.logits_o
+                .iter()
+                .zip(&fwd.logits_d)
+                .map(|(&lo, &ld)| {
+                    (
+                        stable_sigmoid(g.value(lo).as_slice()[0]),
+                        stable_sigmoid(g.value(ld).as_slice()[0]),
+                    )
+                })
+                .collect()
+        } else {
+            let fwd = self.forward_group_batched(g, group);
+            let lo = g.value(fwd.logits_o).as_slice();
+            let ld = g.value(fwd.logits_d).as_slice();
+            lo.iter()
+                .zip(ld)
+                .map(|(&a, &b)| (stable_sigmoid(a), stable_sigmoid(b)))
+                .collect()
+        }
     }
 
     /// The serving score of Eq. 11: `θ·p^O + (1−θ)·p^D`.
@@ -392,7 +513,7 @@ impl OdNetModel {
         }
         let mut restored = ckpt.store;
         restored.reindex(); // the name index is serde(skip)
-        // Re-link name lookups built during registration.
+                            // Re-link name lookups built during registration.
         for id in model.store.ids().collect::<Vec<_>>() {
             let name = model.store.name(id);
             if restored.lookup(name) != Some(id) {
@@ -444,7 +565,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Parse(e) => write!(f, "malformed checkpoint: {e}"),
             CheckpointError::Version(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::MissingHsg => {
-                write!(f, "graph variant checkpoint requires the HSG to be supplied")
+                write!(
+                    f,
+                    "graph variant checkpoint requires the HSG to be supplied"
+                )
             }
             CheckpointError::ParamMismatch { expected, found } => write!(
                 f,
@@ -483,7 +607,11 @@ impl<'m> BranchSource<'m> {
     ) -> Self {
         match (&branch.hsgc, ctx) {
             (Some(hsgc), Some(ctx)) => {
-                let table = if is_origin { &ctx.table_o } else { &ctx.table_d };
+                let table = if is_origin {
+                    &ctx.table_o
+                } else {
+                    &ctx.table_d
+                };
                 BranchSource::Graph(hsgc.begin(g, store, table, ctx.hsg.distances()))
             }
             _ => {
@@ -557,10 +685,7 @@ fn branch_trunk(
     let e_long = src.cities(g, store, long_seq);
     let e_short = src.cities(g, store, short_seq);
     let v_l = branch.pec.forward(g, store, e_long, e_short);
-    let intent = branch
-        .intent
-        .as_ref()
-        .map(|m| m.forward(g, store, e_short));
+    let intent = branch.intent.as_ref().map(|m| m.forward(g, store, e_short));
     Trunk {
         v_l,
         e_user,
@@ -620,7 +745,12 @@ mod tests {
     fn all_variants_forward_and_score() {
         let ds = dataset();
         let group = sample_group(&ds);
-        for variant in [Variant::Odnet, Variant::OdnetG, Variant::StlPlusG, Variant::StlG] {
+        for variant in [
+            Variant::Odnet,
+            Variant::OdnetG,
+            Variant::StlPlusG,
+            Variant::StlG,
+        ] {
             let model = build_model(variant, &ds);
             let scores = model.score_group(&group);
             assert_eq!(scores.len(), group.candidates.len());
@@ -674,10 +804,7 @@ mod tests {
         let without_g = build_model(Variant::OdnetG, &ds);
         // Same seed, but the HSGC path transforms embeddings, so outputs
         // must differ.
-        assert_ne!(
-            with_g.score_group(&group),
-            without_g.score_group(&group)
-        );
+        assert_ne!(with_g.score_group(&group), without_g.score_group(&group));
     }
 
     #[test]

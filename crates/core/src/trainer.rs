@@ -189,12 +189,15 @@ fn process_batch<M: TrainableModel>(
     let num_params = model.store().len();
     let run_shard = |shard: &[usize]| -> GradBuffer {
         let mut buf = GradBuffer::new(num_params);
+        // One tape per worker, reset between groups: node storage is
+        // retained, so steady-state training does no tape reallocation.
+        let mut g = Graph::new();
         for &gi in shard {
             let group = &groups[gi];
             if group.candidates.is_empty() {
                 continue;
             }
-            let mut g = Graph::new();
+            g.reset();
             let loss = model.group_loss(&mut g, group);
             buf.loss_sum += g.value(loss).item() as f64;
             buf.groups += 1;

@@ -1,0 +1,189 @@
+//! The batched group forward must reproduce the per-candidate oracle.
+//!
+//! `per_candidate_scoring = true` selects the original one-candidate-at-a-
+//! time forward; the default batched path stacks the group into `n×d`
+//! matrices. Both paths share every parameter (the flag does not perturb
+//! initialization), so their scores must agree within float tolerance for
+//! any candidate set — across variants, with and without the HSGC, the
+//! MMoE head, and the intent extension.
+
+use od_hsg::{CityId, HsgBuilder};
+use odnet_core::{
+    CandidateInput, FeatureExtractor, GroupInput, OdNetModel, OdnetConfig, Variant, XST_DIM,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const TOL: f32 = 1e-5;
+
+struct Fixture {
+    /// `(batched, per_candidate)` model pairs with identical parameters.
+    pairs: Vec<(OdNetModel, OdNetModel)>,
+    /// A real group (with history) providing the user context.
+    template: GroupInput,
+    num_cities: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let hsg = || {
+            let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+            let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+            for it in ds.hsg_interactions() {
+                b.add_interaction(it);
+            }
+            b.build()
+        };
+        let build = |variant: Variant, intents: usize| {
+            let mut pair = Vec::new();
+            for per_candidate in [false, true] {
+                let mut cfg = OdnetConfig::tiny();
+                cfg.intents = intents;
+                cfg.per_candidate_scoring = per_candidate;
+                let g = variant.uses_graph().then(hsg);
+                pair.push(OdNetModel::new(
+                    variant,
+                    cfg,
+                    ds.world.num_users(),
+                    ds.world.num_cities(),
+                    g,
+                ));
+            }
+            let per_candidate = pair.pop().unwrap();
+            let batched = pair.pop().unwrap();
+            (batched, per_candidate)
+        };
+        let pairs = vec![
+            build(Variant::Odnet, 0),
+            build(Variant::StlG, 0),
+            build(Variant::OdnetG, 3),
+        ];
+        let fx = FeatureExtractor::new(6, 4);
+        let template = fx
+            .groups_from_samples(&ds, &ds.train)
+            .into_iter()
+            .find(|g| !g.lt_origins.is_empty())
+            .expect("a group with history exists");
+        let num_cities = ds.world.num_cities();
+        Fixture {
+            pairs,
+            template,
+            num_cities,
+        }
+    })
+}
+
+/// A candidate drawn from arbitrary city pairs and feature values.
+fn candidates(num_cities: usize) -> impl Strategy<Value = Vec<CandidateInput>> {
+    let cand = (
+        0..num_cities as u32,
+        0..num_cities as u32,
+        prop::collection::vec(-1.0f32..3.0, 2 * XST_DIM),
+        prop::bool::ANY,
+    )
+        .prop_map(|(o, d, x, label)| {
+            let mut xst_o = [0.0f32; XST_DIM];
+            let mut xst_d = [0.0f32; XST_DIM];
+            xst_o.copy_from_slice(&x[..XST_DIM]);
+            xst_d.copy_from_slice(&x[XST_DIM..]);
+            CandidateInput {
+                origin: CityId(o),
+                dest: CityId(d),
+                xst_o,
+                xst_d,
+                label_o: if label { 1.0 } else { 0.0 },
+                label_d: if label { 0.0 } else { 1.0 },
+            }
+        });
+    prop::collection::vec(cand, 1..=64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_scores_match_per_candidate_oracle(cands in candidates(fixture().num_cities)) {
+        let fix = fixture();
+        let mut group = fix.template.clone();
+        group.candidates = cands;
+        for (batched, oracle) in &fix.pairs {
+            let fast = batched.score_group(&group);
+            let slow = oracle.score_group(&group);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (i, ((fo, fd), (so, sd))) in fast.iter().zip(&slow).enumerate() {
+                prop_assert!(
+                    (fo - so).abs() <= TOL && (fd - sd).abs() <= TOL,
+                    "{} candidate {i}: batched ({fo}, {fd}) vs oracle ({so}, {sd})",
+                    batched.variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_loss_matches_per_candidate_oracle(cands in candidates(fixture().num_cities)) {
+        let fix = fixture();
+        let mut group = fix.template.clone();
+        group.candidates = cands;
+        for (batched, oracle) in &fix.pairs {
+            let mut g1 = od_tensor::Graph::new();
+            let l1 = batched.group_loss(&mut g1, &group);
+            let mut g2 = od_tensor::Graph::new();
+            let l2 = oracle.group_loss(&mut g2, &group);
+            let (a, b) = (g1.value(l1).item(), g2.value(l2).item());
+            prop_assert!(
+                (a - b).abs() <= TOL,
+                "{} loss: batched {a} vs oracle {b}",
+                batched.variant.name()
+            );
+        }
+    }
+}
+
+/// Single-candidate groups hit the vector-shaped (rows == 1) corners of
+/// every batched op; exercise them deterministically too.
+#[test]
+fn single_candidate_group_matches() {
+    let fix = fixture();
+    let mut group = fix.template.clone();
+    group.candidates.truncate(1);
+    for (batched, oracle) in &fix.pairs {
+        let fast = batched.score_group(&group);
+        let slow = oracle.score_group(&group);
+        assert_eq!(fast.len(), 1);
+        assert!((fast[0].0 - slow[0].0).abs() <= TOL);
+        assert!((fast[0].1 - slow[0].1).abs() <= TOL);
+    }
+}
+
+/// Empty groups score to an empty vector on both paths (no panic from the
+/// batched assert).
+#[test]
+fn empty_candidate_group_scores_empty() {
+    let fix = fixture();
+    let mut group = fix.template.clone();
+    group.candidates.clear();
+    for (batched, oracle) in &fix.pairs {
+        assert!(batched.score_group(&group).is_empty());
+        assert!(oracle.score_group(&group).is_empty());
+    }
+}
+
+/// Tape reuse across groups must not leak state between scores: scoring
+/// group A, then B, then A again on one graph gives identical results.
+#[test]
+fn graph_reuse_is_stateless_across_groups() {
+    let fix = fixture();
+    let (batched, _) = &fix.pairs[0];
+    let mut a = fix.template.clone();
+    a.candidates.truncate(3.min(a.candidates.len()));
+    let mut b = fix.template.clone();
+    b.candidates.reverse();
+    let mut tape = od_tensor::Graph::new();
+    let first = batched.score_group_with(&mut tape, &a);
+    let _ = batched.score_group_with(&mut tape, &b);
+    let again = batched.score_group_with(&mut tape, &a);
+    assert_eq!(first, again);
+}

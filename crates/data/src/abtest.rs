@@ -234,18 +234,19 @@ mod tests {
     }
 
     /// A random recommender.
-    fn random(world: &World, seed: u64) -> impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)> + '_ {
+    fn random(
+        world: &World,
+        seed: u64,
+    ) -> impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)> + '_ {
         let mut rng = StdRng::seed_from_u64(seed);
         move |_, _, k| {
             let n = world.num_cities() as u32;
             (0..k)
-                .map(|_| {
-                    loop {
-                        let o = CityId(rng.gen_range(0..n));
-                        let d = CityId(rng.gen_range(0..n));
-                        if o != d {
-                            return (o, d);
-                        }
+                .map(|_| loop {
+                    let o = CityId(rng.gen_range(0..n));
+                    let d = CityId(rng.gen_range(0..n));
+                    if o != d {
+                        return (o, d);
                     }
                 })
                 .collect()

@@ -9,7 +9,7 @@
 //! single-task models on these datasets).
 
 use crate::cities::{generate_cities, City};
-use od_hsg::{CityId, EdgeType, GeoPoint, HsgBuilder, Hsg, UserId};
+use od_hsg::{CityId, EdgeType, GeoPoint, Hsg, HsgBuilder, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Gumbel};
@@ -160,8 +160,8 @@ impl CheckinDataset {
             pattern_prefs.push(prefs);
         }
         let mut histories = Vec::with_capacity(config.num_users);
-        for u in 0..config.num_users {
-            histories.push(roll_out(&pois, &pattern_prefs[u], &config, &mut rng));
+        for prefs in pattern_prefs.iter().take(config.num_users) {
+            histories.push(roll_out(&pois, prefs, &config, &mut rng));
         }
         let train_end = config.horizon_days - config.test_window_days;
         let mut train = Vec::new();
@@ -179,7 +179,11 @@ impl CheckinDataset {
                     poi: c.poi,
                     label: 1.0,
                 };
-                let bucket = if c.day < train_end { &mut train } else { &mut test };
+                let bucket = if c.day < train_end {
+                    &mut train
+                } else {
+                    &mut test
+                };
                 bucket.push(positive);
                 for _ in 0..config.train_negatives {
                     let neg = loop {
@@ -293,8 +297,8 @@ fn roll_out(
         let mut best = 0usize;
         let mut best_score = f32::NEG_INFINITY;
         for cand in 0..pois.len() {
-            let score = poi_utility(pois, prefs, current, cand, config.mobility)
-                + gumbel.sample(rng);
+            let score =
+                poi_utility(pois, prefs, current, cand, config.mobility) + gumbel.sample(rng);
             if score > best_score {
                 best_score = score;
                 best = cand;

@@ -71,7 +71,10 @@ pub struct City {
 /// around it. Every ~6th metro city is a hub. Popularity follows a Zipf-like
 /// `1/(rank+1)^0.8` profile shuffled across cities.
 pub fn generate_cities(n: usize, rng: &mut impl Rng) -> Vec<City> {
-    assert!(n >= Pattern::ALL.len(), "need at least one city per pattern");
+    assert!(
+        n >= Pattern::ALL.len(),
+        "need at least one city per pattern"
+    );
     // Cluster centers spread out on a synthetic map ~ China's extent.
     let centers = [
         (118.0, 26.0), // seaside: southeast coast
@@ -126,7 +129,10 @@ pub fn generate_cities(n: usize, rng: &mut impl Rng) -> Vec<City> {
 /// generalization claim ("ODNET can also be directly applied to achieve
 /// high-quality train recommendation").
 pub fn generate_corridor_cities(n: usize, rng: &mut impl Rng) -> Vec<City> {
-    assert!(n >= Pattern::ALL.len(), "need at least one city per pattern");
+    assert!(
+        n >= Pattern::ALL.len(),
+        "need at least one city per pattern"
+    );
     let mut cities = Vec::with_capacity(n);
     let mut pattern_counts = [0usize; 5];
     for i in 0..n {
@@ -206,7 +212,9 @@ mod tests {
     fn popularity_is_positive_and_bounded() {
         let mut rng = StdRng::seed_from_u64(3);
         let cities = generate_cities(30, &mut rng);
-        assert!(cities.iter().all(|c| c.popularity > 0.0 && c.popularity <= 1.0));
+        assert!(cities
+            .iter()
+            .all(|c| c.popularity > 0.0 && c.popularity <= 1.0));
         // Popularity is skewed: the max should dominate the median.
         let mut pops: Vec<f32> = cities.iter().map(|c| c.popularity).collect();
         pops.sort_by(|a, b| a.partial_cmp(b).unwrap());

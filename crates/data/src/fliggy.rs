@@ -184,7 +184,11 @@ impl FliggyDataset {
                     label_o: 1.0,
                     label_d: 1.0,
                 };
-                let bucket = if b.day < train_end { &mut train } else { &mut test };
+                let bucket = if b.day < train_end {
+                    &mut train
+                } else {
+                    &mut test
+                };
                 bucket.push(positive);
                 push_negatives(bucket, &positive, &config, rng);
                 if b.day >= train_end {
@@ -604,10 +608,7 @@ mod tests {
         for s in ds.test.iter().take(30) {
             let cc = ds.current_city(s.user, s.day);
             let home = ds.world.users[s.user.index()].home;
-            let recent_dest = ds
-                .long_term(s.user, s.day)
-                .last()
-                .map(|b| b.dest);
+            let recent_dest = ds.long_term(s.user, s.day).last().map(|b| b.dest);
             assert!(cc == home || Some(cc) == recent_dest);
         }
     }
@@ -618,7 +619,10 @@ mod tests {
         let b = FliggyDataset::generate(FliggyConfig::tiny());
         assert_eq!(a.train.len(), b.train.len());
         for (x, y) in a.train.iter().zip(&b.train) {
-            assert_eq!((x.user, x.day, x.origin, x.dest), (y.user, y.day, y.origin, y.dest));
+            assert_eq!(
+                (x.user, x.day, x.origin, x.dest),
+                (y.user, y.day, y.origin, y.dest)
+            );
         }
     }
 

@@ -79,7 +79,10 @@ impl TemporalStats {
     pub fn features(&self, city: CityId, side: Side, day: u32) -> [f32; TEMPORAL_FEATURES] {
         let last_month = self.count_window(city, side, day.saturating_sub(30), day) as f32;
         let year_ago_window = if day >= 360 {
-            self.count_window(city, side, day - 360 - 15, day - 360 + 15) as f32
+            // ±15 days around the same date one year earlier, clamped to
+            // the start of the horizon (day 360..375 would underflow).
+            let anchor = day - 360;
+            self.count_window(city, side, anchor.saturating_sub(15), anchor + 15) as f32
         } else {
             0.0
         };

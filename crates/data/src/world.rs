@@ -249,9 +249,7 @@ impl World {
             let revisits = ctx
                 .recent_history
                 .iter()
-                .filter(|b| {
-                    b.dest == d && ctx.day.saturating_sub(b.day) <= weights::NOVELTY_WINDOW
-                })
+                .filter(|b| b.dest == d && ctx.day.saturating_sub(b.day) <= weights::NOVELTY_WINDOW)
                 .count();
             novelty_term = -weights::NOVELTY * (revisits.min(2) as f32);
         }
@@ -395,13 +393,18 @@ mod tests {
         // Within the window the reverse leg (b → a) must dominate repeating
         // the outbound leg (a → b): the user is *at* b and wants to return.
         let repeat = w.utility(u, a, b, ctx_with);
-        assert!(with > repeat + 3.0, "return {with} must beat repeat {repeat}");
+        assert!(
+            with > repeat + 3.0,
+            "return {with} must beat repeat {repeat}"
+        );
     }
 
     #[test]
     fn hub_origin_is_cheaper_on_average() {
         let w = world();
-        let hubs: Vec<usize> = (0..w.num_cities()).filter(|&i| w.cities[i].is_hub).collect();
+        let hubs: Vec<usize> = (0..w.num_cities())
+            .filter(|&i| w.cities[i].is_hub)
+            .collect();
         let non_hubs: Vec<usize> = (0..w.num_cities())
             .filter(|&i| !w.cities[i].is_hub)
             .collect();

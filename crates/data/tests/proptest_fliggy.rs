@@ -6,22 +6,24 @@ use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = FliggyConfig> {
     (
-        20usize..80,   // users
-        6usize..20,    // cities
-        200u32..500,   // horizon
-        2usize..5,     // min bookings
-        0u64..1000,    // seed
+        20usize..80, // users
+        6usize..20,  // cities
+        200u32..500, // horizon
+        2usize..5,   // min bookings
+        0u64..1000,  // seed
     )
-        .prop_map(|(users, cities, horizon, min_bookings, seed)| FliggyConfig {
-            num_users: users,
-            num_cities: cities,
-            horizon_days: horizon,
-            test_window_days: horizon / 8,
-            bookings_per_user: (min_bookings, min_bookings + 4),
-            eval_negatives: 9,
-            seed,
-            ..FliggyConfig::default()
-        })
+        .prop_map(
+            |(users, cities, horizon, min_bookings, seed)| FliggyConfig {
+                num_users: users,
+                num_cities: cities,
+                horizon_days: horizon,
+                test_window_days: horizon / 8,
+                bookings_per_user: (min_bookings, min_bookings + 4),
+                eval_negatives: 9,
+                seed,
+                ..FliggyConfig::default()
+            },
+        )
 }
 
 proptest! {

@@ -94,11 +94,8 @@ impl Csr {
 
     /// Iterate over all `(source, target)` pairs.
     pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_sources()).flat_map(move |s| {
-            self.neighbors(s)
-                .iter()
-                .map(move |&t| (s as u32, t))
-        })
+        (0..self.num_sources())
+            .flat_map(move |s| self.neighbors(s).iter().map(move |&t| (s as u32, t)))
     }
 }
 

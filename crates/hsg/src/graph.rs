@@ -239,7 +239,7 @@ fn top_by_weight(mut weighted: Vec<(u32, u64)>, cap: usize, rng: &mut impl Rng) 
         // Shuffle first so equal weights are broken uniformly, then a
         // stable sort by weight keeps the shuffle order within ties.
         weighted.shuffle(rng);
-        weighted.sort_by(|a, b| b.1.cmp(&a.1));
+        weighted.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
         weighted.truncate(cap);
     }
     let mut picked: Vec<u32> = weighted.into_iter().map(|(c, _)| c).collect();

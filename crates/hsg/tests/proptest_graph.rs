@@ -10,20 +10,18 @@ const USERS: usize = 8;
 const CITIES: usize = 12;
 
 fn interactions() -> impl Strategy<Value = Vec<Interaction>> {
-    prop::collection::vec(
-        (0..USERS as u32, 0..CITIES as u32, 0..CITIES as u32),
-        1..60,
+    prop::collection::vec((0..USERS as u32, 0..CITIES as u32, 0..CITIES as u32), 1..60).prop_map(
+        |raw| {
+            raw.into_iter()
+                .filter(|(_, o, d)| o != d)
+                .map(|(u, o, d)| Interaction {
+                    user: UserId(u),
+                    origin: CityId(o),
+                    dest: CityId(d),
+                })
+                .collect()
+        },
     )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .filter(|(_, o, d)| o != d)
-            .map(|(u, o, d)| Interaction {
-                user: UserId(u),
-                origin: CityId(o),
-                dest: CityId(d),
-            })
-            .collect()
-    })
 }
 
 fn build(interactions: &[Interaction]) -> od_hsg::Hsg {

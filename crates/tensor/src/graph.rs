@@ -11,6 +11,7 @@
 //! property tests covering every op here.
 
 use crate::linalg;
+use crate::linalg::stable_sigmoid;
 use crate::param::{ParamId, ParamStore};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -42,6 +43,9 @@ enum Op {
     SoftmaxRows(Value),
     Transpose(Value),
     ConcatCols(Vec<Value>),
+    /// Column concatenation where single-row operands are broadcast down
+    /// all output rows (the batched `q` assembly of the serving path).
+    ConcatColsBcast(Vec<Value>, usize),
     ConcatRows(Vec<Value>),
     SliceCols(Value, usize, usize),
     Row(Value, usize),
@@ -85,6 +89,13 @@ impl Graph {
         Graph {
             nodes: Vec::with_capacity(n),
         }
+    }
+
+    /// Clear the tape while keeping its node-vector capacity, so a worker
+    /// that builds one tape per group amortizes the tape allocation across
+    /// the whole run instead of paying it per group.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     /// Number of nodes recorded so far.
@@ -223,9 +234,9 @@ impl Graph {
         self.push(data, Op::Relu(a), rg)
     }
 
-    /// Logistic sigmoid.
+    /// Logistic sigmoid (fused single-pass kernel).
     pub fn sigmoid(&mut self, a: Value) -> Value {
-        let data = self.data(a).map(stable_sigmoid);
+        let data = linalg::sigmoid(self.data(a));
         let rg = self.needs_grad(a);
         self.push(data, Op::Sigmoid(a), rg)
     }
@@ -284,6 +295,42 @@ impl Graph {
         };
         let rg = parts.iter().any(|&p| self.needs_grad(p));
         self.push(out, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Concatenate along columns into an `rows × Σcols` matrix, broadcasting
+    /// any single-row operand (vector or `1×c` matrix) down all `rows` rows.
+    /// This fuses the "tile the shared trunk, then concat with per-candidate
+    /// features" pattern into one op and one allocation — the tiled copies
+    /// are never materialized as separate tensors.
+    pub fn concat_cols_bcast(&mut self, parts: &[Value], rows: usize) -> Value {
+        assert!(!parts.is_empty(), "concat_cols_bcast of zero tensors");
+        assert!(rows > 0, "concat_cols_bcast needs at least one row");
+        let total_cols: usize = parts.iter().map(|&p| self.data(p).cols()).sum();
+        let mut out = Tensor::zeros(Shape::Matrix(rows, total_cols));
+        let mut col = 0;
+        for &p in parts {
+            let t = self.data(p);
+            let c = t.cols();
+            if t.rows() == rows {
+                for i in 0..rows {
+                    out.row_mut(i)[col..col + c].copy_from_slice(t.row(i));
+                }
+            } else {
+                assert_eq!(
+                    t.rows(),
+                    1,
+                    "concat_cols_bcast: operand has {} rows, expected 1 or {rows}",
+                    t.rows()
+                );
+                let src = t.row(0);
+                for i in 0..rows {
+                    out.row_mut(i)[col..col + c].copy_from_slice(src);
+                }
+            }
+            col += c;
+        }
+        let rg = parts.iter().any(|&p| self.needs_grad(p));
+        self.push(out, Op::ConcatColsBcast(parts.to_vec(), rows), rg)
     }
 
     /// Stack matrices along rows (all operands must share a column count in
@@ -412,11 +459,7 @@ impl Graph {
     /// the paper's Eqs. 9–10 with the sigmoid folded in.
     pub fn bce_with_logits(&mut self, logits: Value, targets: &Tensor) -> Value {
         let z = self.data(logits);
-        assert_eq!(
-            z.shape(),
-            targets.shape(),
-            "bce_with_logits shape mismatch"
-        );
+        assert_eq!(z.shape(), targets.shape(), "bce_with_logits shape mismatch");
         let n = z.len().max(1) as f32;
         let mut loss = 0.0;
         for (&zi, &ti) in z.as_slice().iter().zip(targets.as_slice()) {
@@ -521,7 +564,10 @@ impl Graph {
                     Deferred::Two(*a, da, *b, db)
                 }
                 Op::Relu(a) => {
-                    let da = g.zip(&self.nodes[a.0].data, |gi, x| if x > 0.0 { gi } else { 0.0 });
+                    let da = g.zip(
+                        &self.nodes[a.0].data,
+                        |gi, x| if x > 0.0 { gi } else { 0.0 },
+                    );
                     Deferred::One(*a, da)
                 }
                 Op::Sigmoid(a) => {
@@ -541,20 +587,8 @@ impl Graph {
                     Deferred::One(*a, da)
                 }
                 Op::SoftmaxRows(a) => {
-                    // Per row: dx = y ∘ (g − (g · y)).
-                    let y = &node.data;
-                    let (r, c) = (y.rows(), y.cols());
-                    let mut da = Tensor::zeros(y.shape());
-                    for row in 0..r {
-                        let yr = y.row(row);
-                        let gr = &g.as_slice()[row * c..(row + 1) * c];
-                        let dotv = linalg::dot(gr, yr);
-                        let dst = da.row_mut(row);
-                        for j in 0..c {
-                            dst[j] = yr[j] * (gr[j] - dotv);
-                        }
-                    }
-                    Deferred::One(*a, da)
+                    // Per row: dx = y ∘ (g − (g · y)), fused in linalg.
+                    Deferred::One(*a, linalg::softmax_rows_backward(&node.data, g))
                 }
                 Op::Transpose(a) => {
                     let da = linalg::transpose(g).reshape(self.nodes[a.0].data.shape());
@@ -574,6 +608,35 @@ impl Graph {
                             dp.row_mut(r).copy_from_slice(src);
                         }
                         grads.push((p, dp.reshape(t.shape())));
+                        col += c;
+                    }
+                    Deferred::Many(grads)
+                }
+                Op::ConcatColsBcast(parts, rows) => {
+                    let mut grads = Vec::with_capacity(parts.len());
+                    let gcols = node.data.cols();
+                    let mut col = 0;
+                    for &p in parts {
+                        let t = &self.nodes[p.0].data;
+                        let c = t.cols();
+                        let mut dp = Tensor::zeros(t.shape());
+                        if t.rows() == *rows {
+                            for r in 0..*rows {
+                                let src = &g.as_slice()[r * gcols + col..r * gcols + col + c];
+                                dp.row_mut(r).copy_from_slice(src);
+                            }
+                        } else {
+                            // Broadcast operand: the adjoint of tiling is the
+                            // sum over the tiled rows.
+                            let dst = dp.as_mut_slice();
+                            for r in 0..*rows {
+                                let src = &g.as_slice()[r * gcols + col..r * gcols + col + c];
+                                for (d, &s) in dst.iter_mut().zip(src) {
+                                    *d += s;
+                                }
+                            }
+                        }
+                        grads.push((p, dp));
                         col += c;
                     }
                     Deferred::Many(grads)
@@ -620,9 +683,7 @@ impl Graph {
                     }
                     Deferred::One(*table, dt)
                 }
-                Op::Reshape(a, original) => {
-                    Deferred::One(*a, g.clone().reshape(*original))
-                }
+                Op::Reshape(a, original) => Deferred::One(*a, g.clone().reshape(*original)),
                 Op::SumAll(a) => {
                     let t = &self.nodes[a.0].data;
                     Deferred::One(*a, Tensor::full(t.shape(), g.item()))
@@ -659,9 +720,7 @@ impl Graph {
                     }
                     Deferred::Two(*a, da, *w, dw)
                 }
-                Op::MaskMul(a, mask) => {
-                    Deferred::One(*a, g.zip(mask, |gi, m| gi * m))
-                }
+                Op::MaskMul(a, mask) => Deferred::One(*a, g.zip(mask, |gi, m| gi * m)),
                 Op::BceWithLogits(logits, targets) => {
                     let z = &self.nodes[logits.0].data;
                     let n = z.len().max(1) as f32;
@@ -708,20 +767,12 @@ impl Graph {
     /// touching a store — used by data-parallel training workers that merge
     /// gradients on the main thread.
     pub fn param_grads(&self) -> impl Iterator<Item = (ParamId, &Tensor)> + '_ {
-        self.nodes.iter().filter_map(|node| match (&node.op, &node.grad) {
-            (Op::Param(id), Some(grad)) => Some((*id, grad)),
-            _ => None,
-        })
-    }
-}
-
-/// Sigmoid computed without overflow for large |x|.
-pub fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
+        self.nodes
+            .iter()
+            .filter_map(|node| match (&node.op, &node.grad) {
+                (Op::Param(id), Some(grad)) => Some((*id, grad)),
+                _ => None,
+            })
     }
 }
 
@@ -907,6 +958,69 @@ mod tests {
         let mut g = Graph::new();
         let a = g.input(Tensor::vector(&[1.0, 2.0]));
         g.backward(a);
+    }
+
+    #[test]
+    fn reset_clears_tape_and_keeps_capacity() {
+        let mut g = Graph::new();
+        for _ in 0..8 {
+            g.input(Tensor::scalar(1.0));
+        }
+        assert_eq!(g.len(), 8);
+        g.reset();
+        assert!(g.is_empty());
+        // The tape is usable again after a reset.
+        let a = g.input(Tensor::vector(&[1.0, 2.0]));
+        let b = g.scale(a, 2.0);
+        assert_eq!(g.value(b).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn concat_cols_bcast_tiles_single_rows() {
+        let mut g = Graph::new();
+        let shared = g.input(Tensor::vector(&[9.0, 8.0]));
+        let per_row = g.input(Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let cat = g.concat_cols_bcast(&[shared, per_row], 3);
+        assert_eq!(g.value(cat).shape(), Shape::Matrix(3, 3));
+        assert_eq!(
+            g.value(cat).as_slice(),
+            &[9.0, 8.0, 1.0, 9.0, 8.0, 2.0, 9.0, 8.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn concat_cols_bcast_broadcast_grad_is_row_sum() {
+        let mut store = ParamStore::new();
+        let shared = store.register("s", Tensor::vector(&[1.0, 2.0]));
+        let full = store.register("f", Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]));
+        let mut g = Graph::new();
+        let sv = g.param(&store, shared);
+        let fv = g.param(&store, full);
+        let cat = g.concat_cols_bcast(&[sv, fv], 3);
+        let loss = g.sum_all(cat);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        // The shared row is tiled into 3 rows → gradient 3 per element.
+        assert_eq!(store.grad(shared).as_slice(), &[3.0, 3.0]);
+        assert_eq!(store.grad(full).as_slice(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_cols_bcast_matches_plain_concat_for_full_rows() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = g.input(Tensor::from_rows(&[&[5.0], &[6.0]]));
+        let plain = g.concat_cols(&[a, b]);
+        let bcast = g.concat_cols_bcast(&[a, b], 2);
+        assert_eq!(g.value(plain).as_slice(), g.value(bcast).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 or 3")]
+    fn concat_cols_bcast_rejects_mismatched_rows() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_rows(&[&[1.0], &[2.0]]));
+        g.concat_cols_bcast(&[a], 3);
     }
 
     #[test]

@@ -52,10 +52,10 @@ mod tensor;
 pub mod init;
 pub mod nn;
 
-pub use graph::{stable_sigmoid, Graph, Value};
+pub use graph::{Graph, Value};
 pub use linalg::{
-    dot, matmul, matmul_nt, matmul_tn, mean_rows, softmax_in_place, softmax_rows, sum_rows,
-    transpose,
+    dot, matmul, matmul_naive, matmul_nt, matmul_tn, mean_rows, sigmoid, sigmoid_in_place,
+    softmax_in_place, softmax_rows, softmax_rows_backward, stable_sigmoid, sum_rows, transpose,
 };
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{ParamId, ParamStore};

@@ -1,12 +1,182 @@
 //! Pure linear-algebra kernels shared by the forward and backward passes.
 //!
 //! Kernels take matrix *views* (`rows/cols` of [`Tensor`]), so vectors are
-//! treated as `1×n` rows throughout. The matmul uses an ikj loop order with a
-//! row-major accumulator, which is cache-friendly enough for the model sizes
-//! in this reproduction (embedding dims ≤ 256, batch ≤ a few hundred).
+//! treated as `1×n` rows throughout.
+//!
+//! The matmul family is cache-blocked and register-tiled: the inner
+//! micro-kernel accumulates an `MR×NR` output tile in stack arrays that the
+//! compiler keeps in vector registers, streaming one row of `b` per `k`
+//! step. Above [`PAR_MIN_FLOPS`] multiply-adds the output rows are
+//! partitioned across threads; every output element is still produced by
+//! exactly one thread with the same sequential accumulation order, so the
+//! parallel path is bit-identical to the sequential one.
+//!
+//! Fused passes ([`softmax_rows`], [`sigmoid`], [`softmax_rows_backward`])
+//! compute their result in a single sweep over one output buffer instead of
+//! chaining elementwise ops through intermediate tensors.
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+
+/// Output-tile height of the register micro-kernel.
+const MR: usize = 4;
+/// Output-tile width of the register micro-kernel (two 8-lane vectors).
+const NR: usize = 16;
+
+/// Minimum multiply-add count (`m·n·k`) before a matmul is row-partitioned
+/// across threads. Below this the spawn/join overhead dominates; the model
+/// sizes of this reproduction (dims ≤ a few hundred, groups ≤ a few dozen
+/// candidates) stay under it, so threading only engages for genuinely large
+/// products.
+const PAR_MIN_FLOPS: usize = 1 << 21;
+
+fn par_threads(m: usize, n: usize, k: usize) -> usize {
+    if m.saturating_mul(n).saturating_mul(k) < PAR_MIN_FLOPS {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    // At least MR rows per stripe, or the stripes are all edge cases.
+    cores.min(m / MR).max(1)
+}
+
+/// Run `kernel` over row stripes `[lo, hi)` of the `m`-row output, in
+/// parallel when the problem is large enough. The kernel must write only
+/// its own stripe of `out`.
+fn row_partitioned(
+    m: usize,
+    n: usize,
+    threads: usize,
+    out: &mut [f32],
+    kernel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    if threads <= 1 {
+        kernel(0, m, out);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (i, stripe) in out.chunks_mut(rows_per * n).enumerate() {
+            let lo = i * rows_per;
+            let hi = (lo + stripe.len() / n).min(m);
+            scope.spawn(move |_| kernel(lo, hi, stripe));
+        }
+    })
+    .expect("matmul worker must not panic");
+}
+
+/// Tiled `out[lo..hi, :] = a[lo..hi, :] · b` where `a` is `m×k` row-major and
+/// `b` is `k×n`. `out` holds only the stripe's rows.
+fn gemm_nn_stripe(lo: usize, hi: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let mut i0 = lo;
+    while i0 < hi {
+        let ir = (hi - i0).min(MR);
+        let mut j0 = 0;
+        while j0 < n {
+            let jr = (n - j0).min(NR);
+            if ir == MR && jr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let brow: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+                    for r in 0..MR {
+                        let av = a[(i0 + r) * k + p];
+                        for c in 0..NR {
+                            acc[r][c] += av * brow[c];
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = (i0 + r - lo) * n + j0;
+                    out[o..o + NR].copy_from_slice(acc_row);
+                }
+            } else {
+                for i in i0..i0 + ir {
+                    let orow = &mut out[(i - lo) * n + j0..(i - lo) * n + j0 + jr];
+                    for p in 0..k {
+                        let av = a[i * k + p];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + j0..p * n + j0 + jr];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Tiled stripe of `aᵀ · b` where `a` is `k×m` and `b` is `k×n`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_stripe(
+    lo: usize,
+    hi: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    let mut i0 = lo;
+    while i0 < hi {
+        let ir = (hi - i0).min(MR);
+        let mut j0 = 0;
+        while j0 < n {
+            let jr = (n - j0).min(NR);
+            if ir == MR && jr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let arow: &[f32; MR] = a[p * m + i0..p * m + i0 + MR].try_into().unwrap();
+                    let brow: &[f32; NR] = b[p * n + j0..p * n + j0 + NR].try_into().unwrap();
+                    for r in 0..MR {
+                        let av = arow[r];
+                        for c in 0..NR {
+                            acc[r][c] += av * brow[c];
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let o = (i0 + r - lo) * n + j0;
+                    out[o..o + NR].copy_from_slice(acc_row);
+                }
+            } else {
+                for p in 0..k {
+                    let brow = &b[p * n + j0..p * n + j0 + jr];
+                    for i in i0..i0 + ir {
+                        let av = a[p * m + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut out[(i - lo) * n + j0..(i - lo) * n + j0 + jr];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+            j0 += NR;
+        }
+        i0 += MR;
+    }
+}
+
+/// Stripe of `a · bᵀ` where `a` is `m×k` and `b` is `n×k`: each output cell
+/// is a dot product of two contiguous rows.
+fn gemm_nt_stripe(lo: usize, hi: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in lo..hi {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[(i - lo) * n..(i - lo + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = dot(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
 
 /// Matrix product `a · b` on the matrix views of the operands.
 ///
@@ -16,7 +186,69 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(
-        k, k2,
+        k,
+        k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let threads = par_threads(m, n, k);
+    row_partitioned(m, n, threads, &mut out, &|lo, hi, stripe| {
+        gemm_nn_stripe(lo, hi, k, n, ad, bd, stripe)
+    });
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Matrix product `aᵀ · b`, avoiding an explicit transpose of `a`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_tn outer dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let threads = par_threads(m, n, k);
+    row_partitioned(m, n, threads, &mut out, &|lo, hi, stripe| {
+        gemm_tn_stripe(lo, hi, k, m, n, ad, bd, stripe)
+    });
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Matrix product `a · bᵀ`, avoiding an explicit transpose of `b`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        k2,
+        "matmul_nt inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let threads = par_threads(m, n, k);
+    row_partitioned(m, n, threads, &mut out, &|lo, hi, stripe| {
+        gemm_nt_stripe(lo, hi, k, n, ad, bd, stripe)
+    });
+    Tensor::new(Shape::Matrix(m, n), out)
+}
+
+/// Reference ikj matmul with no tiling — the correctness oracle for the
+/// tiled kernels and the "before" side of the kernel benchmarks.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        k2,
         "matmul inner dimension mismatch: {} vs {}",
         a.shape(),
         b.shape()
@@ -40,58 +272,6 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::new(Shape::Matrix(m, n), out)
 }
 
-/// Matrix product `aᵀ · b`, avoiding an explicit transpose of `a`.
-pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = (a.rows(), a.cols());
-    let (k2, n) = (b.rows(), b.cols());
-    assert_eq!(
-        k, k2,
-        "matmul_tn outer dimension mismatch: {} vs {}",
-        a.shape(),
-        b.shape()
-    );
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.as_slice();
-    let bd = b.as_slice();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    Tensor::new(Shape::Matrix(m, n), out)
-}
-
-/// Matrix product `a · bᵀ`, avoiding an explicit transpose of `b`.
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = (a.rows(), a.cols());
-    let (n, k2) = (b.rows(), b.cols());
-    assert_eq!(
-        k, k2,
-        "matmul_nt inner dimension mismatch: {} vs {}",
-        a.shape(),
-        b.shape()
-    );
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.as_slice();
-    let bd = b.as_slice();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            out[i * n + j] = dot(arow, brow);
-        }
-    }
-    Tensor::new(Shape::Matrix(m, n), out)
-}
-
 /// Transpose of the matrix view.
 pub fn transpose(a: &Tensor) -> Tensor {
     let (r, c) = (a.rows(), a.cols());
@@ -105,21 +285,39 @@ pub fn transpose(a: &Tensor) -> Tensor {
     Tensor::new(Shape::Matrix(c, r), out)
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, accumulated in eight independent
+/// lanes so the compiler can vectorize the reduction (a single serial `sum`
+/// cannot be reassociated under IEEE semantics).
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    let mut lanes = [0.0f32; 8];
+    let whole = a.len() / 8 * 8;
+    let mut i = 0;
+    while i < whole {
+        let av: &[f32; 8] = a[i..i + 8].try_into().unwrap();
+        let bv: &[f32; 8] = b[i..i + 8].try_into().unwrap();
+        for l in 0..8 {
+            lanes[l] += av[l] * bv[l];
+        }
+        i += 8;
+    }
+    let mut s = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for j in whole..a.len() {
+        s += a[j] * b[j];
+    }
+    s
 }
 
 /// Row-wise softmax of the matrix view (numerically stabilized by the
-/// row max).
+/// row max). Single pass over a single output allocation.
 pub fn softmax_rows(a: &Tensor) -> Tensor {
     let (r, c) = (a.rows(), a.cols());
     let mut out = a.as_slice().to_vec();
     for i in 0..r {
         softmax_in_place(&mut out[i * c..(i + 1) * c]);
     }
-    Tensor::new(a.shape(), out).reshape(a.shape())
+    Tensor::new(a.shape(), out)
 }
 
 /// Numerically-stable softmax of a slice, in place.
@@ -141,6 +339,48 @@ pub fn softmax_in_place(xs: &mut [f32]) {
     } else {
         let u = 1.0 / xs.len() as f32;
         xs.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+/// Fused adjoint of [`softmax_rows`]: given the softmax output `y` and the
+/// output gradient `g`, computes `dx[i,:] = y[i,:] ∘ (g[i,:] − g[i,:]·y[i,:])`
+/// in one sweep per row.
+pub fn softmax_rows_backward(y: &Tensor, g: &Tensor) -> Tensor {
+    debug_assert_eq!(y.shape(), g.shape());
+    let (r, c) = (y.rows(), y.cols());
+    let mut out = vec![0.0f32; r * c];
+    for row in 0..r {
+        let yr = &y.as_slice()[row * c..(row + 1) * c];
+        let gr = &g.as_slice()[row * c..(row + 1) * c];
+        let dotv = dot(gr, yr);
+        for ((o, &yi), &gi) in out[row * c..(row + 1) * c].iter_mut().zip(yr).zip(gr) {
+            *o = yi * (gi - dotv);
+        }
+    }
+    Tensor::new(y.shape(), out)
+}
+
+/// Sigmoid computed without overflow for large |x|.
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Fused elementwise logistic sigmoid: one sweep, one output allocation.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    let mut out = a.as_slice().to_vec();
+    sigmoid_in_place(&mut out);
+    Tensor::new(a.shape(), out)
+}
+
+/// Numerically-stable sigmoid of a slice, in place.
+pub fn sigmoid_in_place(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = stable_sigmoid(*x);
     }
 }
 
@@ -174,10 +414,52 @@ mod tests {
         Tensor::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]])
     }
 
+    /// Deterministic pseudo-random matrix for kernel cross-checks.
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Tensor::new(Shape::Matrix(rows, cols), data)
+    }
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
     #[test]
     fn matmul_known_values() {
         let c = matmul(&t2x3(), &t3x2());
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_at_awkward_sizes() {
+        // Cover full tiles, row edges, column edges, and tiny shapes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 16),
+            (5, 9, 17),
+            (13, 21, 33),
+            (64, 17, 48),
+        ] {
+            let a = pseudo(m, k, (m * 31 + n) as u64);
+            let b = pseudo(k, n, (k * 17 + m) as u64);
+            assert!(
+                close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-5),
+                "tiled != naive at {m}x{k}x{n}"
+            );
+        }
     }
 
     #[test]
@@ -196,6 +478,26 @@ mod tests {
         let via_nt = matmul_nt(&a, &b);
         let explicit = matmul(&a, &transpose(&b));
         assert_eq!(via_nt, explicit);
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match_at_awkward_sizes() {
+        for &(m, k, n) in &[(1, 3, 1), (5, 9, 17), (19, 6, 23)] {
+            let a_t = pseudo(k, m, 3);
+            let b = pseudo(k, n, 4);
+            assert!(close(
+                &matmul_tn(&a_t, &b),
+                &matmul(&transpose(&a_t), &b),
+                1e-5
+            ));
+            let a = pseudo(m, k, 5);
+            let b_t = pseudo(n, k, 6);
+            assert!(close(
+                &matmul_nt(&a, &b_t),
+                &matmul(&a, &transpose(&b_t)),
+                1e-5
+            ));
+        }
     }
 
     #[test]
@@ -241,11 +543,46 @@ mod tests {
     }
 
     #[test]
+    fn softmax_preserves_input_shape() {
+        let v = softmax_rows(&Tensor::vector(&[1.0, 2.0]));
+        assert_eq!(v.shape(), Shape::Vector(2));
+        let m = softmax_rows(&Tensor::from_rows(&[&[1.0], &[2.0]]));
+        assert_eq!(m.shape(), Shape::Matrix(2, 1));
+    }
+
+    #[test]
     fn softmax_handles_degenerate_rows() {
         let mut xs = [f32::NEG_INFINITY, f32::NEG_INFINITY];
         softmax_in_place(&mut xs);
         assert_eq!(xs, [0.5, 0.5]);
         softmax_in_place(&mut []);
+    }
+
+    #[test]
+    fn softmax_backward_matches_formula() {
+        let y = softmax_rows(&pseudo(3, 5, 9));
+        let g = pseudo(3, 5, 10);
+        let dx = softmax_rows_backward(&y, &g);
+        for row in 0..3 {
+            let yr = y.row(row);
+            let gr = g.row(row);
+            let d: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+            for j in 0..5 {
+                let expected = yr[j] * (gr[j] - d);
+                assert!((dx.at(row, j) - expected).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sigmoid_is_stable_and_correct() {
+        let t = Tensor::vector(&[0.0, 100.0, -100.0, 1.5]);
+        let s = sigmoid(&t);
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-7);
+        assert!(s.as_slice()[1] > 0.999_999);
+        assert!(s.as_slice()[2] < 1e-6 && s.as_slice()[2] >= 0.0);
+        assert!((s.as_slice()[3] - stable_sigmoid(1.5)).abs() < 1e-7);
+        assert_eq!(s.shape(), t.shape());
     }
 
     #[test]
@@ -259,5 +596,10 @@ mod tests {
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
         assert_eq!(dot(&[], &[]), 0.0);
+        // Length > 8 exercises the vector lanes + remainder.
+        let a: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..11).map(|i| (i % 3) as f32).collect();
+        let expected: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b), expected);
     }
 }

@@ -63,7 +63,8 @@ impl Linear {
             format!("{name}.w"),
             init::paper_default(Shape::Matrix(in_dim, out_dim), rng),
         );
-        let b = bias.then(|| store.register(format!("{name}.b"), Tensor::zeros(Shape::Vector(out_dim))));
+        let b = bias
+            .then(|| store.register(format!("{name}.b"), Tensor::zeros(Shape::Vector(out_dim))));
         Linear {
             w,
             b,
@@ -85,11 +86,7 @@ impl Linear {
     /// `x` is `[n × in_dim]` (or a vector treated as one row); output is
     /// `[n × out_dim]`.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Value) -> Value {
-        debug_assert_eq!(
-            g.value(x).cols(),
-            self.in_dim,
-            "Linear input dim mismatch"
-        );
+        debug_assert_eq!(g.value(x).cols(), self.in_dim, "Linear input dim mismatch");
         let w = g.param(store, self.w);
         let y = g.matmul(x, w);
         match self.b {
@@ -231,7 +228,10 @@ impl MultiHeadSelfAttention {
         heads: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         let dk = dim / heads;
         let mut wq = Vec::with_capacity(heads);
         let mut wk = Vec::with_capacity(heads);
@@ -395,13 +395,7 @@ impl LstmCell {
     }
 
     /// One recurrence step: `x` is `1×input_dim`.
-    pub fn step(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Value,
-        state: LstmState,
-    ) -> LstmState {
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Value, state: LstmState) -> LstmState {
         debug_assert_eq!(g.value(x).cols(), self.input_dim, "LSTM input dim");
         let wx = g.param(store, self.wx);
         let wh = g.param(store, self.wh);
@@ -452,7 +446,13 @@ pub fn dropout(g: &mut Graph, x: Value, p: f32, rng: &mut impl Rng) -> Value {
     let mask = Tensor::new(
         shape,
         (0..shape.len())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect(),
     );
     g.mask_mul(x, mask)
@@ -498,7 +498,11 @@ mod tests {
         let y = mlp.forward(&mut g, &store, x);
         assert_eq!(g.value(y).shape(), Shape::Matrix(2, 1));
         // Sigmoid output lies in (0, 1).
-        assert!(g.value(y).as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert!(g
+            .value(y)
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..1.0).contains(&v)));
     }
 
     #[test]

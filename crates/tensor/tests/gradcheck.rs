@@ -24,10 +24,7 @@ fn gradcheck(
 
     // Analytic gradient.
     let mut g = Graph::new();
-    let loss = {
-        let pv = build(&mut g, &store, p);
-        pv
-    };
+    let loss = build(&mut g, &store, p);
     g.backward(loss);
     g.accumulate_param_grads(&mut store);
     let analytic = store.grad(p);
@@ -49,9 +46,7 @@ fn gradcheck(
         let a = analytic.as_slice()[i];
         let denom = 1.0f32.max(a.abs()).max(numeric.abs());
         if (a - numeric).abs() / denom > TOL {
-            return Err(format!(
-                "coordinate {i}: analytic {a} vs numeric {numeric}"
-            ));
+            return Err(format!("coordinate {i}: analytic {a} vs numeric {numeric}"));
         }
     }
     Ok(())
@@ -281,7 +276,9 @@ fn grad_attention_composite() {
         let e = g.input(Tensor::matrix(
             3,
             4,
-            &[0.5, -0.2, 0.1, 0.3, -0.1, 0.4, 0.2, -0.3, 0.2, 0.1, -0.4, 0.5],
+            &[
+                0.5, -0.2, 0.1, 0.3, -0.1, 0.4, 0.2, -0.3, 0.2, 0.1, -0.4, 0.5,
+            ],
         ));
         let q = g.matmul(e, wq);
         let kt = g.transpose(e);
@@ -308,6 +305,35 @@ fn grad_mmoe_gate_composite() {
         let experts = g.input(Tensor::matrix(3, 2, &[1.0, 0.0, 0.0, 1.0, 0.5, 0.5]));
         let mixed = g.matmul(gate, experts); // 1×2
         let sq = g.mul(mixed, mixed);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+/// Deterministic composite check: broadcast column concat — the batched
+/// PEC assembly shape (shared trunk rows tiled down a candidate batch).
+#[test]
+fn grad_concat_cols_bcast_composite() {
+    let init = Tensor::matrix(1, 2, &[0.7, -0.4]);
+    gradcheck(init, |g, s, p| {
+        let shared = g.param(s, p); // 1×2, broadcast down 3 rows
+        let per_row = g.input(Tensor::matrix(3, 2, &[1.0, -0.5, 2.0, 0.25, -1.5, 1.0]));
+        let cat = g.concat_cols_bcast(&[shared, per_row], 3); // 3×4
+        let sq = g.mul(cat, cat);
+        g.sum_all(sq)
+    })
+    .unwrap();
+}
+
+/// Same op, gradient flowing through a full-row (non-broadcast) operand.
+#[test]
+fn grad_concat_cols_bcast_full_rows_side() {
+    let init = Tensor::matrix(3, 2, &[1.0, -0.5, 2.0, 0.25, -1.5, 1.0]);
+    gradcheck(init, |g, s, p| {
+        let per_row = g.param(s, p);
+        let shared = g.input(Tensor::matrix(1, 2, &[0.7, -0.4]));
+        let cat = g.concat_cols_bcast(&[shared, per_row], 3);
+        let sq = g.mul(cat, cat);
         g.sum_all(sq)
     })
     .unwrap();

@@ -85,5 +85,8 @@ fn main() {
         println!("  {:>3}    {:.4}   {:.4}", a.day + 1, a.ctr(), b.ctr());
     }
     let (co, cm) = (odnet_result.overall_ctr(), mostpop_result.overall_ctr());
-    println!("\noverall: ODNET {co:.4} vs MostPop {cm:.4} (+{:.1}%)", (co / cm - 1.0) * 100.0);
+    println!(
+        "\noverall: ODNET {co:.4} vs MostPop {cm:.4} (+{:.1}%)",
+        (co / cm - 1.0) * 100.0
+    );
 }

@@ -11,7 +11,7 @@
 use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset, Pattern};
 use od_hsg::{CityId, HsgBuilder, UserId};
-use odnet_core::{train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant};
+use odnet_core::{train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 
 fn main() {
     let ds = FliggyDataset::generate(FliggyConfig {

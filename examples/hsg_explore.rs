@@ -105,7 +105,8 @@ fn main() {
     println!(
         "\nbusiest city {} has {} ρ2 neighbors; sampled table keeps {}",
         name(busiest),
-        hsg.city_neighbor_cities(CityId(busiest), Metapath::RHO2).len(),
+        hsg.city_neighbor_cities(CityId(busiest), Metapath::RHO2)
+            .len(),
         table.of_city(CityId(busiest)).len()
     );
 }

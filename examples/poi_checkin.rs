@@ -10,15 +10,16 @@
 
 use od_baselines::{CityMeta, MostPop};
 use od_data::{CheckinConfig, CheckinDataset};
-use odnet_core::{
-    evaluate_on_checkin, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant,
-};
+use odnet_core::{evaluate_on_checkin, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 
 fn main() {
     let mut cfg = CheckinConfig::foursquare();
     cfg.num_users = 250;
     cfg.num_pois = 60;
-    println!("generating check-in dataset ({} users, {} POIs)…", cfg.num_users, cfg.num_pois);
+    println!(
+        "generating check-in dataset ({} users, {} POIs)…",
+        cfg.num_users, cfg.num_pois
+    );
     let ds = CheckinDataset::generate(cfg);
     let (users, pois, checkins) = ds.statistics();
     println!("  {users} users, {pois} POIs, {checkins} check-ins");

@@ -9,9 +9,7 @@
 use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::HsgBuilder;
-use odnet_core::{
-    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant,
-};
+use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 
 fn main() {
     // 1. Generate a laptop-scale synthetic Fliggy-like dataset.
@@ -20,7 +18,10 @@ fn main() {
         num_cities: 30,
         ..FliggyConfig::default()
     };
-    println!("generating dataset ({} users, {} cities)…", data_cfg.num_users, data_cfg.num_cities);
+    println!(
+        "generating dataset ({} users, {} cities)…",
+        data_cfg.num_users, data_cfg.num_cities
+    );
     let ds = FliggyDataset::generate(data_cfg);
     let stats = ds.statistics();
     println!(

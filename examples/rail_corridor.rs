@@ -13,9 +13,7 @@
 
 use od_data::{generate_corridor_cities, FliggyConfig, FliggyDataset, World};
 use od_hsg::HsgBuilder;
-use odnet_core::{
-    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant,
-};
+use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -13,9 +13,7 @@
 use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::{HsgBuilder, UserId};
-use odnet_core::{
-    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant,
-};
+use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -84,7 +82,9 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn get_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         None => Ok(default),
     }
 }
@@ -141,7 +141,11 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         ds.world.num_cities(),
         hsg,
     );
-    eprintln!("training {} ({} weights)…", variant.name(), model.num_weights());
+    eprintln!(
+        "training {} ({} weights)…",
+        variant.name(),
+        model.num_weights()
+    );
     let groups = fx.groups_from_samples(&ds, &ds.train);
     let report = train(&mut model, &groups);
     eprintln!(
@@ -174,7 +178,11 @@ fn load_bundle(flags: &HashMap<String, String>) -> Result<(FliggyDataset, OdNetM
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let (ds, model) = load_bundle(flags)?;
     let fx = FeatureExtractor::new(model.config.max_long_seq, model.config.max_short_seq);
-    eprintln!("evaluating {} on {} cases…", model.variant.name(), ds.eval_cases.len());
+    eprintln!(
+        "evaluating {} on {} cases…",
+        model.variant.name(),
+        ds.eval_cases.len()
+    );
     let eval = evaluate_on_fliggy(&model, &ds, &fx);
     println!(
         "AUC-O {:.4}\nAUC-D {:.4}\nHR@1  {:.4}\nHR@5  {:.4}\nHR@10 {:.4}\nMRR@5 {:.4}\nMRR@10 {:.4}\ntheta {:.4}",

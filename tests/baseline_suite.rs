@@ -6,9 +6,7 @@
 use od_baselines::{BaselineConfig, CityMeta, GbdtBaseline, GbdtConfig, LstmBaseline, MostPop};
 use od_bench::{checkin_dataset, fliggy_dataset, Scale};
 use od_data::CheckinConfig;
-use odnet_core::{
-    evaluate_on_checkin, evaluate_on_fliggy, train, FeatureExtractor, OdScorer,
-};
+use odnet_core::{evaluate_on_checkin, evaluate_on_fliggy, train, FeatureExtractor, OdScorer};
 
 fn fx() -> FeatureExtractor {
     FeatureExtractor::new(8, 5)
@@ -82,7 +80,7 @@ fn scorer_names_are_table_exact() {
     let meta = CityMeta::from_groups(coords, &groups);
     assert_eq!(MostPop::new(meta.clone()).name(), "MostPop");
     assert_eq!(
-        GbdtBaseline::fit(meta, &groups[..20.min(groups.len())].to_vec(), GbdtConfig::tiny()).name(),
+        GbdtBaseline::fit(meta, &groups[..20.min(groups.len())], GbdtConfig::tiny()).name(),
         "GBDT"
     );
 }

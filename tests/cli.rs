@@ -45,7 +45,10 @@ fn train_eval_recommend_round_trip() {
         .expect("spawn odnet eval");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("AUC-O"), "eval output missing metrics: {stdout}");
+    assert!(
+        stdout.contains("AUC-O"),
+        "eval output missing metrics: {stdout}"
+    );
     assert!(stdout.contains("HR@5"));
 
     let out = odnet()
@@ -89,14 +92,33 @@ fn helpful_errors_and_usage() {
     let model = tmp_model_path("range");
     let ok = odnet()
         .args([
-            "train", "--out", model.to_str().unwrap(), "--variant", "stl-g", "--users", "40",
-            "--cities", "10", "--epochs", "1",
+            "train",
+            "--out",
+            model.to_str().unwrap(),
+            "--variant",
+            "stl-g",
+            "--users",
+            "40",
+            "--cities",
+            "10",
+            "--epochs",
+            "1",
         ])
         .output()
         .expect("spawn");
-    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stderr));
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
     let out = odnet()
-        .args(["recommend", "--model", model.to_str().unwrap(), "--user", "9999"])
+        .args([
+            "recommend",
+            "--model",
+            model.to_str().unwrap(),
+            "--user",
+            "9999",
+        ])
         .output()
         .expect("spawn");
     assert!(!out.status.success());

@@ -5,9 +5,7 @@
 use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::HsgBuilder;
-use odnet_core::{
-    evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant,
-};
+use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
 
 fn tiny_dataset() -> FliggyDataset {
     FliggyDataset::generate(FliggyConfig {
@@ -62,8 +60,16 @@ fn odnet_trains_and_beats_chance_clearly() {
     );
     let eval = evaluate_on_fliggy(&model, &ds, &fx);
     // Chance HR@5 with 19 negatives is 5/20 = 0.25; AUC chance is 0.5.
-    assert!(eval.auc_o > 0.65, "AUC-O {} too close to chance", eval.auc_o);
-    assert!(eval.auc_d > 0.65, "AUC-D {} too close to chance", eval.auc_d);
+    assert!(
+        eval.auc_o > 0.65,
+        "AUC-O {} too close to chance",
+        eval.auc_o
+    );
+    assert!(
+        eval.auc_d > 0.65,
+        "AUC-D {} too close to chance",
+        eval.auc_d
+    );
     assert!(
         eval.ranking.hr5 > 0.35,
         "HR@5 {} too close to chance 0.25",
@@ -90,7 +96,9 @@ fn serving_pipeline_produces_ranked_flights() {
             .iter()
             .map(|&(po, pd)| model.serving_score(po, pd))
             .collect();
-        assert!(combined.iter().all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
+        assert!(combined
+            .iter()
+            .all(|s| s.is_finite() && (0.0..=1.0).contains(s)));
         // Scores must discriminate (not all equal).
         let min = combined.iter().copied().fold(f32::INFINITY, f32::min);
         let max = combined.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -105,7 +113,10 @@ fn checkpoint_round_trip_preserves_scores() {
     let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
     let mut model = build_model(Variant::Odnet, &ds);
     let groups = fx.groups_from_samples(&ds, &ds.train);
-    train(&mut model, &groups.iter().take(30).cloned().collect::<Vec<_>>());
+    train(
+        &mut model,
+        &groups.iter().take(30).cloned().collect::<Vec<_>>(),
+    );
     let case = fx.group_from_eval_case(&ds, &ds.eval_cases[0]);
     let before = model.score_group(&case);
 
@@ -154,7 +165,12 @@ fn all_four_variants_complete_the_pipeline() {
         .into_iter()
         .take(50)
         .collect();
-    for variant in [Variant::Odnet, Variant::OdnetG, Variant::StlPlusG, Variant::StlG] {
+    for variant in [
+        Variant::Odnet,
+        Variant::OdnetG,
+        Variant::StlPlusG,
+        Variant::StlG,
+    ] {
         let mut model = build_model(variant, &ds);
         let report = train(&mut model, &groups);
         assert!(report.final_loss().is_finite(), "{variant:?} diverged");
