@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> frozen-equivalence (serving artifact vs live tape)"
+cargo test -q -p odnet-core --test frozen_equivalence
+
 echo "==> serving bench (smoke)"
 CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench
 

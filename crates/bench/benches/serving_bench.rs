@@ -1,22 +1,66 @@
-//! Serving hot-path benchmarks: per-candidate vs batched group scoring and
-//! naive vs tiled matmul kernels. Results land in `BENCH_serving.json` at
-//! the repository root, including the headline group-scoring speedup.
+//! Serving hot-path benchmarks: per-candidate vs batched vs frozen group
+//! scoring, naive vs tiled matmul kernels, and steady-state allocation
+//! counts per scoring path. Results land in `BENCH_serving.json` at the
+//! repository root, including the headline group-scoring speedups.
 //!
 //! Run with `cargo bench --bench serving_bench`; set `CRITERION_QUICK=1`
 //! (or pass `--quick`) for a fast smoke run.
 
 use criterion::{black_box, Criterion};
 use od_bench::Scale;
+use od_tensor::infer::Workspace;
 use od_tensor::{init, Graph, Shape};
-use odnet_core::{FeatureExtractor, GroupInput, OdNetModel, OdnetConfig, Variant};
+use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// `(per-candidate oracle, batched)` models with identical parameters, plus
-/// serving groups of different candidate counts.
+/// System allocator wrapped with an allocation counter, so the report can
+/// state how many heap allocations each scoring path performs per request
+/// in steady state (the frozen path's workspace pool should drive this to
+/// nearly zero).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations of one steady-state run of `f`: warm twice (fills workspace
+/// pools / tape capacity), then count a single run.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    f();
+    f();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// `(per-candidate oracle, batched, frozen)` scorers with identical
+/// parameters, plus serving groups of different candidate counts.
 struct ServingFixture {
     oracle: OdNetModel,
     batched: OdNetModel,
+    frozen: FrozenOdNet,
     groups: Vec<(usize, GroupInput)>,
 }
 
@@ -63,13 +107,15 @@ fn serving_fixture() -> ServingFixture {
             }
         }
     }
-    let groups = [7, 21.min(pairs.len()), pairs.len()]
+    let groups = [1, 16.min(pairs.len()), pairs.len()]
         .into_iter()
         .map(|n| (n, fx.group_for_serving(&ds, user, day, &pairs[..n])))
         .collect();
+    let frozen = batched.freeze();
     ServingFixture {
         oracle,
         batched,
+        frozen,
         groups,
     }
 }
@@ -80,12 +126,45 @@ fn bench_group_scoring(c: &mut Criterion, fix: &ServingFixture) {
         c.bench_function(&format!("score_group{n}_per_candidate"), |b| {
             b.iter(|| black_box(fix.oracle.score_group(black_box(group))))
         });
-        // The new hot path: stacked candidates on a reused tape.
+        // The live batched path: stacked candidates on a reused tape.
         c.bench_function(&format!("score_group{n}_batched"), |b| {
             let mut tape = Graph::new();
             b.iter(|| black_box(fix.batched.score_group_with(&mut tape, black_box(group))))
         });
+        // The frozen serving path: tape-free kernels on a reused workspace.
+        c.bench_function(&format!("score_group{n}_frozen"), |b| {
+            let mut ws = Workspace::new();
+            b.iter(|| black_box(fix.frozen.score_group_with(&mut ws, black_box(group))))
+        });
     }
+}
+
+/// Steady-state allocations per request for each scoring path.
+fn measure_allocations(fix: &ServingFixture) -> Vec<AllocEntry> {
+    let mut out = Vec::new();
+    for (n, group) in &fix.groups {
+        out.push(AllocEntry {
+            name: format!("score_group{n}_per_candidate"),
+            allocations: count_allocs(|| {
+                black_box(fix.oracle.score_group(black_box(group)));
+            }),
+        });
+        let mut tape = Graph::new();
+        out.push(AllocEntry {
+            name: format!("score_group{n}_batched"),
+            allocations: count_allocs(|| {
+                black_box(fix.batched.score_group_with(&mut tape, black_box(group)));
+            }),
+        });
+        let mut ws = Workspace::new();
+        out.push(AllocEntry {
+            name: format!("score_group{n}_frozen"),
+            allocations: count_allocs(|| {
+                black_box(fix.frozen.score_group_with(&mut ws, black_box(group)));
+            }),
+        });
+    }
+    out
 }
 
 fn bench_matmul_kernels(c: &mut Criterion) {
@@ -129,12 +208,20 @@ struct SpeedupEntry {
 }
 
 #[derive(serde::Serialize)]
+struct AllocEntry {
+    name: String,
+    allocations: u64,
+}
+
+#[derive(serde::Serialize)]
 struct Report {
     generated_by: String,
     scale: String,
     threads_available: usize,
     measurements: Vec<BenchEntry>,
     speedups: Vec<SpeedupEntry>,
+    /// Heap allocations for one steady-state scoring call per path.
+    allocations: Vec<AllocEntry>,
 }
 
 fn emit_json(c: &Criterion, fix: &ServingFixture) {
@@ -147,6 +234,26 @@ fn emit_json(c: &Criterion, fix: &ServingFixture) {
         ) {
             speedups.push(SpeedupEntry {
                 name: format!("group_scoring_{n}_candidates"),
+                speedup: s,
+            });
+        }
+        if let Some(s) = speedup(
+            c,
+            &format!("score_group{n}_batched"),
+            &format!("score_group{n}_frozen"),
+        ) {
+            speedups.push(SpeedupEntry {
+                name: format!("frozen_vs_batched_{n}"),
+                speedup: s,
+            });
+        }
+        if let Some(s) = speedup(
+            c,
+            &format!("score_group{n}_per_candidate"),
+            &format!("score_group{n}_frozen"),
+        ) {
+            speedups.push(SpeedupEntry {
+                name: format!("frozen_vs_per_candidate_{n}"),
                 speedup: s,
             });
         }
@@ -181,6 +288,7 @@ fn emit_json(c: &Criterion, fix: &ServingFixture) {
             })
             .collect(),
         speedups,
+        allocations: measure_allocations(fix),
     };
     // cargo runs benches with the package dir as cwd; the report belongs at
     // the repository root.

@@ -1,0 +1,324 @@
+//! The frozen inference artifact — the serving half of the train/serve
+//! split.
+//!
+//! The paper trains ODNET offline (on PAI) and serves it online at Fliggy;
+//! [`FrozenOdNet`] is that deployment boundary. [`crate::OdNetModel::freeze`]
+//! produces it by:
+//!
+//! - materializing the HSGC's depth-`K` user/city embeddings for both
+//!   branches into dense tables (Algorithm 1's K-step aggregation collapses
+//!   to a row lookup at serving time),
+//! - extracting PEC/MMoE/tower weights from the `ParamStore` into plain
+//!   row-major matrices, and
+//! - recording the learned loss weight θ as a plain scalar.
+//!
+//! Scoring then runs the tape-free forward from `od_tensor::infer`: no
+//! `Graph`, no `Value`s, and — once the [`Workspace`] pool is warm — no
+//! per-request allocation. Every kernel mirrors the live batched forward op
+//! for op, so frozen scores are bit-identical to the live tape (the live
+//! path remains the correctness oracle; see
+//! `tests/frozen_equivalence.rs`).
+
+use crate::config::OdnetConfig;
+use crate::eval::OdScorer;
+use crate::features::{GroupInput, XST_DIM};
+use crate::intent::FrozenIntent;
+use crate::mmoe::{FrozenMmoeHead, FrozenSingleHead};
+use crate::model::{CheckpointError, Variant};
+use crate::pec::FrozenPec;
+use od_hsg::CityId;
+use od_tensor::infer::Workspace;
+use od_tensor::{stable_sigmoid, Tensor};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Format version of the standalone frozen artifact (independent of the
+/// full training checkpoint's version).
+const FROZEN_FORMAT_VERSION: u32 = 1;
+
+/// One frozen branch: dense embedding tables (already depth-`K` aggregated
+/// for graph variants) plus the frozen PEC and optional intent module.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) struct FrozenBranch {
+    /// `num_users×d` final user embeddings.
+    pub(crate) users: Tensor,
+    /// `num_cities×d` final city embeddings.
+    pub(crate) cities: Tensor,
+    pub(crate) pec: FrozenPec,
+    pub(crate) intent: Option<FrozenIntent>,
+}
+
+/// The frozen scoring head. The MMoE variant is boxed: it carries experts,
+/// two gates, and two towers, dwarfing the single-task pair of towers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) enum FrozenHead {
+    Joint(Box<FrozenMmoeHead>),
+    Single(FrozenSingleHead),
+}
+
+/// An immutable, tape-free serving artifact produced by
+/// [`crate::OdNetModel::freeze`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenOdNet {
+    pub(crate) variant: Variant,
+    pub(crate) config: OdnetConfig,
+    pub(crate) num_users: usize,
+    pub(crate) num_cities: usize,
+    pub(crate) origin: FrozenBranch,
+    pub(crate) dest: FrozenBranch,
+    pub(crate) head: FrozenHead,
+    /// The learned loss weight θ (Eq. 8), already through the sigmoid.
+    pub(crate) theta: f32,
+}
+
+thread_local! {
+    /// Per-thread scratch pool for [`FrozenOdNet::score_group`], so the
+    /// `&self` scoring API stays `Sync` without locking.
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+impl FrozenOdNet {
+    /// Assembled variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Hyper-parameters the artifact was frozen from.
+    pub fn config(&self) -> &OdnetConfig {
+        &self.config
+    }
+
+    /// User universe size.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// City universe size.
+    pub fn num_cities(&self) -> usize {
+        self.num_cities
+    }
+
+    /// The frozen loss weight θ (Eq. 8).
+    pub fn theta(&self) -> f32 {
+        self.theta
+    }
+
+    /// Score a group: per-candidate `(p^O, p^D)` probabilities, using a
+    /// thread-local [`Workspace`].
+    pub fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
+        WORKSPACE.with(|ws| self.score_group_with(&mut ws.borrow_mut(), group))
+    }
+
+    /// Score a group with a caller-provided workspace. In a steady-state
+    /// serving loop the workspace pool satisfies every scratch request
+    /// without touching the allocator.
+    pub fn score_group_with(&self, ws: &mut Workspace, group: &GroupInput) -> Vec<(f32, f32)> {
+        let n = group.candidates.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let q_dim = self.config.q_dim();
+
+        let trunk_o = self.origin.trunk(ws, &group.lt_origins, &group.st_origins);
+        let trunk_d = self.dest.trunk(ws, &group.lt_dests, &group.st_dests);
+        let e_user_o = self.origin.users.row(group.user.index());
+        let e_lbs_o = self.origin.cities.row(group.current_city.index());
+        let e_user_d = self.dest.users.row(group.user.index());
+        let e_lbs_d = self.dest.cities.row(group.current_city.index());
+
+        // Assemble the per-candidate task representations. Joint variants
+        // build q⊕ = concat(q^O, q^D) rows directly (plain copies, so this
+        // equals the live path's nested concats exactly).
+        let (logits_o, logits_d) = match &self.head {
+            FrozenHead::Joint(mmoe) => {
+                let mut q_cat = ws.take(n * 2 * q_dim);
+                for (i, cand) in group.candidates.iter().enumerate() {
+                    let row = &mut q_cat[i * 2 * q_dim..(i + 1) * 2 * q_dim];
+                    let (row_o, row_d) = row.split_at_mut(q_dim);
+                    fill_q(
+                        row_o,
+                        &trunk_o.v_l,
+                        e_user_o,
+                        e_lbs_o,
+                        self.origin.cities.row(cand.origin.index()),
+                        &cand.xst_o,
+                        trunk_o.intent.as_deref(),
+                    );
+                    fill_q(
+                        row_d,
+                        &trunk_d.v_l,
+                        e_user_d,
+                        e_lbs_d,
+                        self.dest.cities.row(cand.dest.index()),
+                        &cand.xst_d,
+                        trunk_d.intent.as_deref(),
+                    );
+                }
+                let out = mmoe.forward_batched(ws, &q_cat, n);
+                ws.give(q_cat);
+                out
+            }
+            FrozenHead::Single(stl) => {
+                let mut q_o = ws.take(n * q_dim);
+                let mut q_d = ws.take(n * q_dim);
+                for (i, cand) in group.candidates.iter().enumerate() {
+                    fill_q(
+                        &mut q_o[i * q_dim..(i + 1) * q_dim],
+                        &trunk_o.v_l,
+                        e_user_o,
+                        e_lbs_o,
+                        self.origin.cities.row(cand.origin.index()),
+                        &cand.xst_o,
+                        trunk_o.intent.as_deref(),
+                    );
+                    fill_q(
+                        &mut q_d[i * q_dim..(i + 1) * q_dim],
+                        &trunk_d.v_l,
+                        e_user_d,
+                        e_lbs_d,
+                        self.dest.cities.row(cand.dest.index()),
+                        &cand.xst_d,
+                        trunk_d.intent.as_deref(),
+                    );
+                }
+                let out = stl.forward_batched(ws, &q_o, &q_d, n);
+                ws.give(q_o);
+                ws.give(q_d);
+                out
+            }
+        };
+
+        let scores = logits_o
+            .iter()
+            .zip(&logits_d)
+            .map(|(&a, &b)| (stable_sigmoid(a), stable_sigmoid(b)))
+            .collect();
+        ws.give(logits_o);
+        ws.give(logits_d);
+        trunk_o.give_back(ws);
+        trunk_d.give_back(ws);
+        scores
+    }
+
+    /// The serving score of Eq. 11 with the frozen θ.
+    pub fn serving_score(&self, p_o: f32, p_d: f32) -> f32 {
+        self.theta * p_o + (1.0 - self.theta) * p_d
+    }
+
+    /// Serialize the artifact to standalone JSON (self-contained: no HSG or
+    /// dataset needed to load it back).
+    pub fn save_json(&self) -> String {
+        // Built as a Content map by hand: the vendored serde derive cannot
+        // handle a borrowing (generic) wrapper struct.
+        let ckpt = serde::Content::Map(vec![
+            (
+                "format_version".to_string(),
+                serde::Serialize::to_content(&FROZEN_FORMAT_VERSION),
+            ),
+            ("artifact".to_string(), serde::Serialize::to_content(self)),
+        ]);
+        serde_json::to_string(&ckpt).expect("frozen artifact serialization cannot fail")
+    }
+
+    /// Restore an artifact from [`FrozenOdNet::save_json`] output.
+    pub fn load_json(json: &str) -> Result<Self, CheckpointError> {
+        let ckpt: FrozenCheckpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
+        if ckpt.format_version != FROZEN_FORMAT_VERSION {
+            return Err(CheckpointError::Version(ckpt.format_version));
+        }
+        Ok(ckpt.artifact)
+    }
+}
+
+#[derive(Deserialize)]
+struct FrozenCheckpoint {
+    format_version: u32,
+    artifact: FrozenOdNet,
+}
+
+/// Candidate-independent per-branch scratch results.
+struct FrozenTrunk {
+    v_l: Vec<f32>,
+    intent: Option<Vec<f32>>,
+}
+
+impl FrozenTrunk {
+    fn give_back(self, ws: &mut Workspace) {
+        ws.give(self.v_l);
+        if let Some(i) = self.intent {
+            ws.give(i);
+        }
+    }
+}
+
+impl FrozenBranch {
+    /// Gather a city sequence into a `t×d` workspace buffer.
+    fn gather(&self, ws: &mut Workspace, ids: &[CityId]) -> Option<Vec<f32>> {
+        if ids.is_empty() {
+            return None;
+        }
+        let d = self.cities.cols();
+        let mut buf = ws.take(ids.len() * d);
+        for (i, c) in ids.iter().enumerate() {
+            buf[i * d..(i + 1) * d].copy_from_slice(self.cities.row(c.index()));
+        }
+        Some(buf)
+    }
+
+    fn trunk(&self, ws: &mut Workspace, long: &[CityId], short: &[CityId]) -> FrozenTrunk {
+        let e_long = self.gather(ws, long);
+        let e_short = self.gather(ws, short);
+        let v_l = self.pec.forward(
+            ws,
+            e_long.as_deref().map(|b| (b, long.len())),
+            e_short.as_deref().map(|b| (b, short.len())),
+        );
+        let intent = self
+            .intent
+            .as_ref()
+            .map(|m| m.forward(ws, e_short.as_deref().map(|b| (b, short.len()))));
+        if let Some(b) = e_long {
+            ws.give(b);
+        }
+        if let Some(b) = e_short {
+            ws.give(b);
+        }
+        FrozenTrunk { v_l, intent }
+    }
+}
+
+/// Copy one candidate's task representation into `row` (length `q_dim`):
+/// `[v_L | e_user | e_lbs | e_cand | x_st (| intent)]` — the same part
+/// order as the live forward's column concat.
+fn fill_q(
+    row: &mut [f32],
+    v_l: &[f32],
+    e_user: &[f32],
+    e_lbs: &[f32],
+    e_cand: &[f32],
+    xst: &[f32; XST_DIM],
+    intent: Option<&[f32]>,
+) {
+    let mut o = 0;
+    for part in [v_l, e_user, e_lbs, e_cand, xst.as_slice()] {
+        row[o..o + part.len()].copy_from_slice(part);
+        o += part.len();
+    }
+    if let Some(it) = intent {
+        row[o..o + it.len()].copy_from_slice(it);
+    }
+}
+
+impl OdScorer for FrozenOdNet {
+    fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
+        FrozenOdNet::score_group(self, group)
+    }
+
+    fn serving_score(&self, p_o: f32, p_d: f32) -> f32 {
+        FrozenOdNet::serving_score(self, p_o, p_d)
+    }
+
+    fn name(&self) -> String {
+        format!("{} (frozen)", self.variant.name())
+    }
+}

@@ -78,6 +78,37 @@ impl HsgcModule {
         self.depth
     }
 
+    /// Materialize the depth-`K` embeddings of *every* user and city into
+    /// dense tables — the train/serve split's freeze step. At serving time
+    /// Algorithm 1's K-step aggregation then collapses to a table lookup.
+    ///
+    /// Implemented by running the live tape forward once over all ids (one
+    /// shared memoized pass), so the tables are bit-identical to what a
+    /// per-request recursion would produce — not a reimplementation that
+    /// could drift.
+    pub fn materialize(
+        &self,
+        store: &ParamStore,
+        neighbors: &NeighborTable,
+        dist: &DistanceMatrix,
+    ) -> (Tensor, Tensor) {
+        let mut g = Graph::new();
+        let mut fwd = self.begin(&mut g, store, neighbors, dist);
+        // Cities first: user embeddings recurse into city embeddings, so the
+        // memo is already warm when the user loop runs.
+        let mut cities = Tensor::zeros(Shape::Matrix(self.city_table.vocab(), self.dim));
+        for c in 0..self.city_table.vocab() {
+            let v = fwd.city(&mut g, store, CityId(c as u32));
+            cities.row_mut(c).copy_from_slice(g.value(v).as_slice());
+        }
+        let mut users = Tensor::zeros(Shape::Matrix(self.user_table.vocab(), self.dim));
+        for u in 0..self.user_table.vocab() {
+            let v = fwd.user(&mut g, store, UserId(u as u32));
+            users.row_mut(u).copy_from_slice(g.value(v).as_slice());
+        }
+        (users, cities)
+    }
+
     /// Start a memoized forward pass on `g`. The neighbor table selects the
     /// metapath (ρ₁ → origin-aware, ρ₂ → destination-aware); `dist`
     /// supplies Eq. 2's spatial weights.
@@ -349,6 +380,30 @@ mod tests {
         store.value_mut(cid).row_mut(0)[0] += 1.0; // city 0 ∈ N¹_ρ1(u0)
         let after = embed_user0(&store);
         assert_ne!(before, after, "neighbor perturbation must propagate");
+    }
+
+    #[test]
+    fn materialized_tables_match_per_request_recursion_bitwise() {
+        let hsg = toy_hsg();
+        let mut store = ParamStore::new();
+        let m = module(&mut store, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = hsg.neighbor_table(Metapath::RHO1, 5, &mut rng);
+        let (users, cities) = m.materialize(&store, &table, hsg.distances());
+        assert_eq!(users.shape(), Shape::Matrix(3, DIM));
+        assert_eq!(cities.shape(), Shape::Matrix(5, DIM));
+        for u in 0..3u32 {
+            let mut g = Graph::new();
+            let mut fwd = m.begin(&mut g, &store, &table, hsg.distances());
+            let e = fwd.user(&mut g, &store, UserId(u));
+            assert_eq!(g.value(e).as_slice(), users.row(u as usize));
+        }
+        for c in 0..5u32 {
+            let mut g = Graph::new();
+            let mut fwd = m.begin(&mut g, &store, &table, hsg.distances());
+            let e = fwd.city(&mut g, &store, CityId(c));
+            assert_eq!(g.value(e).as_slice(), cities.row(c as usize));
+        }
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! Enabled via [`crate::OdnetConfig::intents`] (> 0 prototypes); off by
 //! default, and benchmarked by the `ablation` binary.
 
+use od_tensor::infer::{self, Workspace};
 use od_tensor::nn::Embedding;
 use od_tensor::{Graph, ParamStore, Shape, Tensor, Value};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// A learned bank of intent prototypes with soft assignment.
 #[derive(Clone, Debug)]
@@ -74,6 +76,49 @@ impl IntentModule {
         let protos_t = g.transpose(protos);
         let scores = g.matmul(query, protos_t);
         g.softmax_rows(scores)
+    }
+
+    /// Snapshot the prototype bank into a [`FrozenIntent`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenIntent {
+        FrozenIntent {
+            prototypes: store.value(self.prototypes.table()).clone(),
+            num_intents: self.num_intents,
+            dim: self.dim,
+        }
+    }
+}
+
+/// Inference-time snapshot of an [`IntentModule`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenIntent {
+    prototypes: Tensor,
+    num_intents: usize,
+    dim: usize,
+}
+
+impl FrozenIntent {
+    /// Tape-free counterpart of [`IntentModule::forward`]: `short_emb` is an
+    /// optional `(buffer, len)` pair of `s×d` click embeddings; returns the
+    /// length-`d` soft intent vector as a workspace buffer (zeros when there
+    /// are no recent clicks).
+    pub fn forward(&self, ws: &mut Workspace, short_emb: Option<(&[f32], usize)>) -> Vec<f32> {
+        let Some((short, s)) = short_emb else {
+            return ws.take(self.dim);
+        };
+        let (k, d) = (self.num_intents, self.dim);
+        let mut query = ws.take(d);
+        infer::mean_rows_into(short, s, d, &mut query);
+        let mut protos_t = ws.take(d * k);
+        infer::transpose_into(self.prototypes.as_slice(), k, d, &mut protos_t);
+        let mut scores = ws.take(k);
+        infer::matmul_into(&query, 1, d, &protos_t, k, &mut scores);
+        infer::softmax_rows_in_place(&mut scores, k);
+        let mut mixed = ws.take(d);
+        infer::matmul_into(&scores, 1, k, self.prototypes.as_slice(), d, &mut mixed);
+        ws.give(query);
+        ws.give(protos_t);
+        ws.give(scores);
+        mixed
     }
 }
 
@@ -156,6 +201,23 @@ mod tests {
         g.accumulate_param_grads(&mut store);
         let id = store.lookup("intent").unwrap();
         assert!(store.grad(id).sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn frozen_intent_matches_live_bitwise() {
+        let mut store = ParamStore::new();
+        let m = module(&mut store);
+        let frozen = m.freeze(&store);
+        let clicks = init::gaussian(Shape::Matrix(3, D), 0.0, 0.5, &mut StdRng::seed_from_u64(9));
+        let mut g = Graph::new();
+        let cv = g.input(clicks.clone());
+        let live = m.forward(&mut g, &store, Some(cv));
+        let mut ws = Workspace::new();
+        let out = frozen.forward(&mut ws, Some((clicks.as_slice(), 3)));
+        assert_eq!(out.as_slice(), g.value(live).as_slice());
+        ws.give(out);
+        let zero = frozen.forward(&mut ws, None);
+        assert!(zero.iter().all(|&v| v == 0.0));
     }
 
     #[test]

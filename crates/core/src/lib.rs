@@ -7,6 +7,9 @@
 //! - [`hsgc`] — the Heterogeneous Spatial Graph Component (Algorithm 1 with
 //!   the Eq. 1 attention and Eq. 2 spatial weights), run per-sample with
 //!   memoized neighborhood recursion;
+//! - `frozen` — the tape-free serving artifact ([`FrozenOdNet`]): training
+//!   happens on the autograd tape, serving on dense materialized tables and
+//!   plain matrix kernels (see `OdNetModel::freeze`);
 //! - `pec` — the Preference Extraction Component (Eq. 3 multi-head
 //!   encoding, Eq. 4–5 bilinear attention over long-term behaviour queried
 //!   by short-term intent);
@@ -50,6 +53,7 @@
 mod config;
 mod eval;
 mod features;
+mod frozen;
 mod intent;
 mod mmoe;
 mod model;
@@ -64,6 +68,7 @@ pub use eval::{
     evaluate_ranking_sliced, score_groups, FliggyEvaluation, OdScorer, SlicedRanking,
 };
 pub use features::{CandidateInput, FeatureExtractor, GroupInput, Xst, XST_DIM};
+pub use frozen::FrozenOdNet;
 pub use intent::IntentModule;
 pub use mmoe::{MmoeHead, SingleTaskHead};
 pub use model::{CheckpointError, GroupForward, GroupForwardBatched, OdNetModel, Variant};

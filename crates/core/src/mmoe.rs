@@ -6,9 +6,11 @@
 //! BCE-with-logits (the fold of Eqs. 9–10), and serving applies the sigmoid
 //! to recover the paper's probabilities `p^O_c`, `p^D_c`.
 
-use od_tensor::nn::{Activation, Linear, Mlp};
+use od_tensor::infer::{self, Workspace};
+use od_tensor::nn::{Activation, FrozenLinear, FrozenMlp, Linear, Mlp};
 use od_tensor::{Graph, ParamStore, Value};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// The MMoE joint-learning head: `experts` expert networks shared by both
 /// tasks, two softmax gates (one per task), two tower networks.
@@ -175,6 +177,80 @@ impl MmoeHead {
         let gd = g.softmax_rows(ld);
         (go, gd)
     }
+
+    /// Snapshot the head's current weights into a [`FrozenMmoeHead`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenMmoeHead {
+        FrozenMmoeHead {
+            experts: self.experts.iter().map(|e| e.freeze(store)).collect(),
+            gate_o: self.gate_o.freeze(store),
+            gate_d: self.gate_d.freeze(store),
+            tower_o: self.tower_o.freeze(store),
+            tower_d: self.tower_d.freeze(store),
+            expert_dim: self.expert_dim,
+        }
+    }
+}
+
+/// Inference-time snapshot of an [`MmoeHead`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenMmoeHead {
+    experts: Vec<FrozenLinear>,
+    gate_o: FrozenLinear,
+    gate_d: FrozenLinear,
+    tower_o: FrozenMlp,
+    tower_d: FrozenMlp,
+    expert_dim: usize,
+}
+
+impl FrozenMmoeHead {
+    /// Tape-free counterpart of [`MmoeHead::forward_batched`]: `q_cat` is
+    /// `n×2d_q`; returns the `(logit_O, logit_D)` columns as length-`n`
+    /// workspace buffers. The gate mix accumulates experts in ascending
+    /// order with separate multiply-then-add per element — the same f32
+    /// accumulation order as the live path, so the logits are bit-identical.
+    pub fn forward_batched(
+        &self,
+        ws: &mut Workspace,
+        q_cat: &[f32],
+        n: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        let dr = self.expert_dim;
+        let num = self.experts.len();
+        let mut outs: Vec<Vec<f32>> = Vec::with_capacity(num);
+        for e in &self.experts {
+            let mut o = e.forward(ws, q_cat, n);
+            infer::relu_in_place(&mut o);
+            outs.push(o);
+        }
+        let mut mix = |gate: &FrozenLinear, tower: &FrozenMlp| -> Vec<f32> {
+            let mut weights = gate.forward(ws, q_cat, n); // n×experts
+            infer::softmax_rows_in_place(&mut weights, num);
+            let mut r = ws.take(n * dr);
+            for (e, out_e) in outs.iter().enumerate() {
+                for i in 0..n {
+                    let w = weights[i * num + e];
+                    let row = &mut r[i * dr..(i + 1) * dr];
+                    for (acc, &x) in row.iter_mut().zip(&out_e[i * dr..(i + 1) * dr]) {
+                        if e == 0 {
+                            *acc = w * x;
+                        } else {
+                            *acc += w * x;
+                        }
+                    }
+                }
+            }
+            ws.give(weights);
+            let logits = tower.forward(ws, &r, n); // n×1
+            ws.give(r);
+            logits
+        };
+        let logit_o = mix(&self.gate_o, &self.tower_o);
+        let logit_d = mix(&self.gate_d, &self.tower_d);
+        for o in outs {
+            ws.give(o);
+        }
+        (logit_o, logit_d)
+    }
 }
 
 /// Single-task head for the STL variants: two independent towers, one over
@@ -229,6 +305,38 @@ impl SingleTaskHead {
         (
             self.tower_o.forward(g, store, q_o),
             self.tower_d.forward(g, store, q_d),
+        )
+    }
+
+    /// Snapshot the head's current weights into a [`FrozenSingleHead`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenSingleHead {
+        FrozenSingleHead {
+            tower_o: self.tower_o.freeze(store),
+            tower_d: self.tower_d.freeze(store),
+        }
+    }
+}
+
+/// Inference-time snapshot of a [`SingleTaskHead`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenSingleHead {
+    tower_o: FrozenMlp,
+    tower_d: FrozenMlp,
+}
+
+impl FrozenSingleHead {
+    /// Tape-free counterpart of [`SingleTaskHead::forward`] over `n×d_q`
+    /// task representations; returns length-`n` logit buffers.
+    pub fn forward_batched(
+        &self,
+        ws: &mut Workspace,
+        q_o: &[f32],
+        q_d: &[f32],
+        n: usize,
+    ) -> (Vec<f32>, Vec<f32>) {
+        (
+            self.tower_o.forward(ws, q_o, n),
+            self.tower_d.forward(ws, q_d, n),
         )
     }
 }
@@ -347,6 +455,53 @@ mod tests {
         let o_grad = store.grad(store.lookup("stl.tower_o.l0.w").unwrap());
         assert!(o_grad.sq_norm() > 0.0);
         let _ = ld;
+    }
+
+    #[test]
+    fn frozen_mmoe_matches_batched_live_bitwise() {
+        let mut store = ParamStore::new();
+        let h = head(&mut store);
+        let frozen = h.freeze(&store);
+        let x = init::gaussian(
+            Shape::Matrix(4, Q2),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let (lo, ld) = h.forward_batched(&mut g, &store, xv);
+        let mut ws = Workspace::new();
+        let (fo, fd) = frozen.forward_batched(&mut ws, x.as_slice(), 4);
+        assert_eq!(fo.as_slice(), g.value(lo).as_slice());
+        assert_eq!(fd.as_slice(), g.value(ld).as_slice());
+    }
+
+    #[test]
+    fn frozen_single_head_matches_live_bitwise() {
+        let mut store = ParamStore::new();
+        let h = SingleTaskHead::new(&mut store, "stl", 6, 4, &mut StdRng::seed_from_u64(9));
+        let frozen = h.freeze(&store);
+        let qo = init::gaussian(
+            Shape::Matrix(3, 6),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(10),
+        );
+        let qd = init::gaussian(
+            Shape::Matrix(3, 6),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let mut g = Graph::new();
+        let qov = g.input(qo.clone());
+        let qdv = g.input(qd.clone());
+        let (lo, ld) = h.forward(&mut g, &store, qov, qdv);
+        let mut ws = Workspace::new();
+        let (fo, fd) = frozen.forward_batched(&mut ws, qo.as_slice(), qd.as_slice(), 3);
+        assert_eq!(fo.as_slice(), g.value(lo).as_slice());
+        assert_eq!(fd.as_slice(), g.value(ld).as_slice());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::config::OdnetConfig;
 use crate::features::GroupInput;
+use crate::frozen::{FrozenBranch, FrozenHead, FrozenOdNet};
 use crate::hsgc::{HsgcForward, HsgcModule};
 use crate::intent::IntentModule;
 use crate::mmoe::{MmoeHead, SingleTaskHead};
@@ -471,8 +472,65 @@ impl OdNetModel {
         theta * p_o + (1.0 - theta) * p_d
     }
 
+    /// Freeze the model into a tape-free [`FrozenOdNet`] serving artifact.
+    ///
+    /// Graph variants have their HSGC user/city embeddings materialized once
+    /// into dense tables (the per-request K-step aggregation becomes a row
+    /// lookup); plain variants snapshot their embedding tables directly.
+    /// PEC/MMoE/tower weights are extracted from the [`ParamStore`] into
+    /// plain row-major matrices and θ becomes a plain scalar. The frozen
+    /// forward mirrors the live batched tape op for op, so its scores are
+    /// bit-identical to [`OdNetModel::score_group`]'s batched path.
+    pub fn freeze(&self) -> FrozenOdNet {
+        let freeze_branch = |branch: &Branch, is_origin: bool| -> FrozenBranch {
+            let (users, cities) = match (&branch.hsgc, self.graph_ctx.as_ref()) {
+                (Some(hsgc), Some(ctx)) => {
+                    let table = if is_origin {
+                        &ctx.table_o
+                    } else {
+                        &ctx.table_d
+                    };
+                    hsgc.materialize(&self.store, table, ctx.hsg.distances())
+                }
+                _ => {
+                    let pu = branch.plain_user.as_ref().expect("plain tables present");
+                    let pc = branch.plain_city.as_ref().expect("plain tables present");
+                    (
+                        self.store.value(pu.table()).clone(),
+                        self.store.value(pc.table()).clone(),
+                    )
+                }
+            };
+            FrozenBranch {
+                users,
+                cities,
+                pec: branch.pec.freeze(&self.store),
+                intent: branch.intent.as_ref().map(|m| m.freeze(&self.store)),
+            }
+        };
+        let origin = freeze_branch(&self.origin_branch, true);
+        let dest = freeze_branch(&self.dest_branch, false);
+        let head = match &self.head {
+            Head::Joint(mmoe) => FrozenHead::Joint(Box::new(mmoe.freeze(&self.store))),
+            Head::Single(stl) => FrozenHead::Single(stl.freeze(&self.store)),
+        };
+        FrozenOdNet {
+            variant: self.variant,
+            config: self.config.clone(),
+            num_users: origin.users.rows(),
+            num_cities: origin.cities.rows(),
+            origin,
+            dest,
+            head,
+            theta: self.theta(),
+        }
+    }
+
     /// Serialize the model (variant, config, universe sizes, and all
-    /// trained parameters) to a JSON checkpoint.
+    /// trained parameters) to a JSON checkpoint. Since format version 2 the
+    /// checkpoint also embeds the frozen serving artifact, so serving-only
+    /// consumers can extract it via [`FrozenOdNet::from_checkpoint_json`]
+    /// without rebuilding the HSG.
     pub fn save_json(&self, num_users: usize, num_cities: usize) -> String {
         let ckpt = Checkpoint {
             format_version: CHECKPOINT_VERSION,
@@ -481,6 +539,7 @@ impl OdNetModel {
             num_users,
             num_cities,
             store: self.store.clone(),
+            frozen: Some(self.freeze()),
         };
         serde_json::to_string(&ckpt).expect("checkpoint serialization cannot fail")
     }
@@ -528,10 +587,11 @@ impl OdNetModel {
     }
 }
 
-/// Checkpoint format version (bump on layout changes).
-const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint format version (bump on layout changes). v2 embeds the frozen
+/// serving artifact alongside the training parameters.
+const CHECKPOINT_VERSION: u32 = 2;
 
-#[derive(Serialize, Deserialize)]
+#[derive(Serialize)]
 struct Checkpoint {
     format_version: u32,
     variant: Variant,
@@ -539,6 +599,54 @@ struct Checkpoint {
     num_users: usize,
     num_cities: usize,
     store: ParamStore,
+    /// The serving artifact (v2+); absent in v1 checkpoints.
+    frozen: Option<FrozenOdNet>,
+}
+
+// Hand-written so `frozen` defaults to `None` when absent (the vendored
+// serde derive has no `#[serde(default)]`): a v1 checkpoint must parse far
+// enough to report a version error, not a parse error.
+impl serde::Deserialize for Checkpoint {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "Checkpoint"))?;
+        fn req<T: serde::Deserialize>(
+            map: &[(String, serde::Content)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            match serde::Content::get_field(map, name) {
+                Some(v) => T::from_content(v),
+                None => Err(serde::DeError::missing_field(name, "Checkpoint")),
+            }
+        }
+        Ok(Checkpoint {
+            format_version: req(map, "format_version")?,
+            variant: req(map, "variant")?,
+            config: req(map, "config")?,
+            num_users: req(map, "num_users")?,
+            num_cities: req(map, "num_cities")?,
+            store: req(map, "store")?,
+            frozen: match serde::Content::get_field(map, "frozen") {
+                Some(v) => serde::Deserialize::from_content(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
+impl FrozenOdNet {
+    /// Extract the embedded serving artifact from a full training
+    /// checkpoint produced by [`OdNetModel::save_json`]. Unlike
+    /// [`OdNetModel::load_json`] this needs no HSG — the graph closure is
+    /// already materialized into the frozen tables.
+    pub fn from_checkpoint_json(json: &str) -> Result<Self, CheckpointError> {
+        let ckpt: Checkpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
+        if ckpt.format_version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version(ckpt.format_version));
+        }
+        ckpt.frozen.ok_or(CheckpointError::MissingFrozen)
+    }
 }
 
 /// Failure modes of [`OdNetModel::load_json`].
@@ -550,6 +658,8 @@ pub enum CheckpointError {
     Version(u32),
     /// A graph variant was loaded without supplying the HSG.
     MissingHsg,
+    /// The checkpoint carries no embedded frozen serving artifact.
+    MissingFrozen,
     /// Parameter registry does not match the rebuilt architecture.
     ParamMismatch {
         /// Parameters the architecture registers.
@@ -569,6 +679,9 @@ impl std::fmt::Display for CheckpointError {
                     f,
                     "graph variant checkpoint requires the HSG to be supplied"
                 )
+            }
+            CheckpointError::MissingFrozen => {
+                write!(f, "checkpoint embeds no frozen serving artifact")
             }
             CheckpointError::ParamMismatch { expected, found } => write!(
                 f,

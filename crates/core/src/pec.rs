@@ -7,9 +7,11 @@
 //! long-term matrix into the user-preference summary `v_L`, focused on the
 //! user's latest intentions.
 
-use od_tensor::nn::{BilinearAttention, MultiHeadSelfAttention};
+use od_tensor::infer::Workspace;
+use od_tensor::nn::{BilinearAttention, FrozenBilinear, FrozenMha, MultiHeadSelfAttention};
 use od_tensor::{Graph, ParamStore, Shape, Tensor, Value};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// The trainable parameters of one PEC copy.
 #[derive(Clone, Debug)]
@@ -80,6 +82,59 @@ impl PecModule {
         };
         let v_l = self.attention.forward(g, store, v_s, enc_long);
         g.reshape(v_l, Shape::Vector(self.dim))
+    }
+
+    /// Snapshot the module's current weights into a [`FrozenPec`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenPec {
+        FrozenPec {
+            encoder_long: self.encoder_long.freeze(store),
+            encoder_short: self.encoder_short.freeze(store),
+            attention: self.attention.freeze(store),
+            dim: self.dim,
+        }
+    }
+}
+
+/// Inference-time snapshot of a [`PecModule`]: plain weight matrices and a
+/// tape-free forward over [`Workspace`] buffers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenPec {
+    encoder_long: FrozenMha,
+    encoder_short: FrozenMha,
+    attention: FrozenBilinear,
+    dim: usize,
+}
+
+impl FrozenPec {
+    /// Tape-free counterpart of [`PecModule::forward`]: sequences are
+    /// `(buffer, len)` pairs over `len×d` row-major data; returns the
+    /// length-`d` summary `v_L` as a workspace buffer. Absent sequences
+    /// degrade exactly as in the live path (missing short → zero query,
+    /// missing long → zero summary).
+    pub fn forward(
+        &self,
+        ws: &mut Workspace,
+        e_long: Option<(&[f32], usize)>,
+        e_short: Option<(&[f32], usize)>,
+    ) -> Vec<f32> {
+        let Some((e_long, t)) = e_long else {
+            return ws.take(self.dim);
+        };
+        let enc_long = self.encoder_long.forward(ws, e_long, t);
+        let v_s = match e_short {
+            Some((e_short, s)) => {
+                let enc_short = self.encoder_short.forward(ws, e_short, s);
+                let mut pooled = ws.take(self.dim);
+                od_tensor::infer::mean_rows_into(&enc_short, s, self.dim, &mut pooled);
+                ws.give(enc_short);
+                pooled
+            }
+            None => ws.take(self.dim),
+        };
+        let v_l = self.attention.forward(ws, &v_s, &enc_long, t);
+        ws.give(v_s);
+        ws.give(enc_long);
+        v_l
     }
 }
 
@@ -178,6 +233,45 @@ mod tests {
                 "no gradient reached {}",
                 store.name(id)
             );
+        }
+    }
+
+    #[test]
+    fn frozen_pec_matches_live_bitwise() {
+        let mut store = ParamStore::new();
+        let pec = module(&mut store);
+        let frozen = pec.freeze(&store);
+        let mut ws = Workspace::new();
+        let long = init::gaussian(
+            Shape::Matrix(5, DIM),
+            0.0,
+            0.5,
+            &mut StdRng::seed_from_u64(31),
+        );
+        let short = init::gaussian(
+            Shape::Matrix(3, DIM),
+            0.0,
+            0.5,
+            &mut StdRng::seed_from_u64(32),
+        );
+        let cases: &[(Option<&Tensor>, Option<&Tensor>)] = &[
+            (Some(&long), Some(&short)),
+            (Some(&long), None),
+            (None, Some(&short)),
+            (None, None),
+        ];
+        for &(l, s) in cases {
+            let mut g = Graph::new();
+            let lv = l.map(|t| g.input(t.clone()));
+            let sv = s.map(|t| g.input(t.clone()));
+            let live = pec.forward(&mut g, &store, lv, sv);
+            let out = frozen.forward(
+                &mut ws,
+                l.map(|t| (t.as_slice(), t.rows())),
+                s.map(|t| (t.as_slice(), t.rows())),
+            );
+            assert_eq!(out.as_slice(), g.value(live).as_slice());
+            ws.give(out);
         }
     }
 

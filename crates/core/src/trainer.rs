@@ -150,7 +150,9 @@ pub fn train<M: TrainableModel>(model: &mut M, groups: &[GroupInput]) -> TrainRe
                 loss_groups += buf.groups;
                 for (idx, grad) in buf.grads.iter().enumerate() {
                     if let Some(grad) = grad {
-                        let id = store.ids().nth(idx).expect("param index in range");
+                        // Dense index: `ids().nth(idx)` here made the merge
+                        // O(P²) in the parameter count.
+                        let id = store.id_at(idx);
                         store.grad_mut(id).axpy(1.0, grad);
                     }
                 }

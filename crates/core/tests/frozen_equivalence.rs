@@ -1,0 +1,245 @@
+//! The frozen serving artifact must reproduce the live tape.
+//!
+//! `OdNetModel::freeze` materializes the HSGC closure into dense tables and
+//! extracts every weight into plain matrices; its tape-free forward mirrors
+//! the live batched forward op for op. The live model stays the correctness
+//! oracle: frozen scores must agree within float tolerance with both the
+//! batched path and the original per-candidate path, for every variant,
+//! with and without the HSGC, the MMoE head, and the intent extension.
+
+use od_hsg::{CityId, HsgBuilder};
+use od_tensor::infer::Workspace;
+use odnet_core::{
+    CandidateInput, CheckpointError, FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel,
+    OdnetConfig, Variant, XST_DIM,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const TOL: f32 = 1e-5;
+
+struct Fixture {
+    /// `(frozen, batched live, per-candidate live)` triples sharing
+    /// identical parameters.
+    triples: Vec<(FrozenOdNet, OdNetModel, OdNetModel)>,
+    /// A real group (with history) providing the user context.
+    template: GroupInput,
+    num_cities: usize,
+    num_users: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let hsg = || {
+            let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+            let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+            for it in ds.hsg_interactions() {
+                b.add_interaction(it);
+            }
+            b.build()
+        };
+        let build = |variant: Variant, intents: usize| {
+            let mut models = Vec::new();
+            for per_candidate in [false, true] {
+                let mut cfg = OdnetConfig::tiny();
+                cfg.intents = intents;
+                cfg.per_candidate_scoring = per_candidate;
+                let g = variant.uses_graph().then(hsg);
+                models.push(OdNetModel::new(
+                    variant,
+                    cfg,
+                    ds.world.num_users(),
+                    ds.world.num_cities(),
+                    g,
+                ));
+            }
+            let per_candidate = models.pop().unwrap();
+            let batched = models.pop().unwrap();
+            (batched.freeze(), batched, per_candidate)
+        };
+        let triples = vec![
+            build(Variant::Odnet, 0),
+            build(Variant::StlG, 0),
+            build(Variant::OdnetG, 3),
+            build(Variant::StlPlusG, 0),
+        ];
+        let fx = FeatureExtractor::new(6, 4);
+        let template = fx
+            .groups_from_samples(&ds, &ds.train)
+            .into_iter()
+            .find(|g| !g.lt_origins.is_empty())
+            .expect("a group with history exists");
+        Fixture {
+            triples,
+            template,
+            num_cities: ds.world.num_cities(),
+            num_users: ds.world.num_users(),
+        }
+    })
+}
+
+/// A candidate drawn from arbitrary city pairs and feature values.
+fn candidates(num_cities: usize) -> impl Strategy<Value = Vec<CandidateInput>> {
+    let cand = (
+        0..num_cities as u32,
+        0..num_cities as u32,
+        prop::collection::vec(-1.0f32..3.0, 2 * XST_DIM),
+        prop::bool::ANY,
+    )
+        .prop_map(|(o, d, x, label)| {
+            let mut xst_o = [0.0f32; XST_DIM];
+            let mut xst_d = [0.0f32; XST_DIM];
+            xst_o.copy_from_slice(&x[..XST_DIM]);
+            xst_d.copy_from_slice(&x[XST_DIM..]);
+            CandidateInput {
+                origin: CityId(o),
+                dest: CityId(d),
+                xst_o,
+                xst_d,
+                label_o: if label { 1.0 } else { 0.0 },
+                label_d: if label { 0.0 } else { 1.0 },
+            }
+        });
+    prop::collection::vec(cand, 1..=64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Frozen scores agree with both live paths (batched and the original
+    /// per-candidate oracle) for arbitrary candidate sets of size 1–64.
+    #[test]
+    fn frozen_scores_match_live_oracles(cands in candidates(fixture().num_cities)) {
+        let fix = fixture();
+        let mut group = fix.template.clone();
+        group.candidates = cands;
+        for (frozen, batched, per_candidate) in &fix.triples {
+            let cold = frozen.score_group(&group);
+            let live_b = batched.score_group(&group);
+            let live_p = per_candidate.score_group(&group);
+            prop_assert_eq!(cold.len(), live_b.len());
+            for (i, ((fo, fd), ((bo, bd), (po, pd)))) in
+                cold.iter().zip(live_b.iter().zip(&live_p)).enumerate()
+            {
+                prop_assert!(
+                    (fo - bo).abs() <= TOL && (fd - bd).abs() <= TOL,
+                    "{} candidate {i}: frozen ({fo}, {fd}) vs batched ({bo}, {bd})",
+                    frozen.variant().name()
+                );
+                prop_assert!(
+                    (fo - po).abs() <= TOL && (fd - pd).abs() <= TOL,
+                    "{} candidate {i}: frozen ({fo}, {fd}) vs per-candidate ({po}, {pd})",
+                    frozen.variant().name()
+                );
+            }
+        }
+    }
+}
+
+/// On the template group the frozen path reproduces the live batched tape
+/// *bitwise* — the kernels are mirrored op for op, not merely approximated.
+#[test]
+fn frozen_matches_batched_bitwise_on_template() {
+    let fix = fixture();
+    let group = &fix.template;
+    for (frozen, batched, _) in &fix.triples {
+        assert_eq!(
+            frozen.score_group(group),
+            batched.score_group(group),
+            "{} frozen diverged from the live batched tape",
+            frozen.variant().name()
+        );
+    }
+}
+
+/// Empty groups score to an empty vector without touching the workspace.
+#[test]
+fn empty_candidate_group_scores_empty() {
+    let fix = fixture();
+    let mut group = fix.template.clone();
+    group.candidates.clear();
+    for (frozen, _, _) in &fix.triples {
+        assert!(frozen.score_group(&group).is_empty());
+    }
+}
+
+/// Workspace reuse across groups must not leak state between scores:
+/// scoring group A, then B, then A again with one workspace gives identical
+/// results, and matches a fresh workspace.
+#[test]
+fn workspace_reuse_is_stateless_across_groups() {
+    let fix = fixture();
+    let (frozen, _, _) = &fix.triples[0];
+    let mut a = fix.template.clone();
+    a.candidates.truncate(3.min(a.candidates.len()));
+    let mut b = fix.template.clone();
+    b.candidates.reverse();
+    let mut ws = Workspace::new();
+    let first = frozen.score_group_with(&mut ws, &a);
+    let _ = frozen.score_group_with(&mut ws, &b);
+    let again = frozen.score_group_with(&mut ws, &a);
+    assert_eq!(first, again);
+    assert_eq!(first, frozen.score_group_with(&mut Workspace::new(), &a));
+}
+
+/// The standalone artifact JSON round-trips with exactly-equal scores and
+/// metadata.
+#[test]
+fn save_load_round_trips_exactly() {
+    let fix = fixture();
+    for (frozen, _, _) in &fix.triples {
+        let json = frozen.save_json();
+        let back = FrozenOdNet::load_json(&json).expect("round trip");
+        assert_eq!(back.variant(), frozen.variant());
+        assert_eq!(back.theta(), frozen.theta());
+        assert_eq!(back.num_users(), fix.num_users);
+        assert_eq!(back.num_cities(), fix.num_cities);
+        assert_eq!(
+            back.score_group(&fix.template),
+            frozen.score_group(&fix.template)
+        );
+    }
+}
+
+/// A frozen artifact with an unknown format version is rejected with
+/// `CheckpointError::Version`, not a parse error.
+#[test]
+fn load_rejects_version_mismatch() {
+    let fix = fixture();
+    let (frozen, _, _) = &fix.triples[0];
+    let json = frozen.save_json();
+    let tampered = json.replacen("\"format_version\":1", "\"format_version\":999", 1);
+    assert_ne!(json, tampered, "version field not found in artifact JSON");
+    match FrozenOdNet::load_json(&tampered) {
+        Err(CheckpointError::Version(999)) => {}
+        other => panic!("expected Version(999), got {other:?}"),
+    }
+    assert!(matches!(
+        FrozenOdNet::load_json("not json"),
+        Err(CheckpointError::Parse(_))
+    ));
+}
+
+/// v2 training checkpoints embed the frozen artifact; extracting it needs
+/// no HSG and scores identically to freezing the live model directly.
+#[test]
+fn checkpoint_embeds_extractable_artifact() {
+    let fix = fixture();
+    let (frozen, batched, _) = &fix.triples[0];
+    let ckpt = batched.save_json(fix.num_users, fix.num_cities);
+    let extracted = FrozenOdNet::from_checkpoint_json(&ckpt).expect("v2 checkpoint embeds frozen");
+    assert_eq!(
+        extracted.score_group(&fix.template),
+        frozen.score_group(&fix.template)
+    );
+
+    // A previous-version checkpoint reports its version, not a parse error.
+    let tampered = ckpt.replacen("\"format_version\":2", "\"format_version\":1", 1);
+    assert_ne!(ckpt, tampered, "version field not found in checkpoint JSON");
+    match FrozenOdNet::from_checkpoint_json(&tampered) {
+        Err(CheckpointError::Version(1)) => {}
+        other => panic!("expected Version(1), got {other:?}"),
+    }
+}

@@ -49,10 +49,12 @@ mod param;
 mod shape;
 mod tensor;
 
+pub mod infer;
 pub mod init;
 pub mod nn;
 
 pub use graph::{Graph, Value};
+pub use infer::Workspace;
 pub use linalg::{
     dot, matmul, matmul_naive, matmul_nt, matmul_tn, mean_rows, sigmoid, sigmoid_in_place,
     softmax_in_place, softmax_rows, softmax_rows_backward, stable_sigmoid, sum_rows, transpose,

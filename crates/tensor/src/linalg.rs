@@ -68,7 +68,20 @@ fn row_partitioned(
 
 /// Tiled `out[lo..hi, :] = a[lo..hi, :] · b` where `a` is `m×k` row-major and
 /// `b` is `k×n`. `out` holds only the stripe's rows.
-fn gemm_nn_stripe(lo: usize, hi: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+///
+/// Edge (non-full) tiles *accumulate* into `out`, so callers outside
+/// [`matmul`] must zero the stripe first. `pub(crate)` so the tape-free
+/// inference kernels in [`crate::infer`] share the exact accumulation order
+/// (and therefore rounding) of the tape's matmul.
+pub(crate) fn gemm_nn_stripe(
+    lo: usize,
+    hi: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
     let mut i0 = lo;
     while i0 < hi {
         let ir = (hi - i0).min(MR);

@@ -8,14 +8,17 @@
 //! (PEC attention layer, Eqs. 4–5), and LSTM cells (for the RNN baselines).
 
 use crate::graph::{Graph, Value};
+use crate::infer::{self, Workspace};
 use crate::init;
+use crate::linalg;
 use crate::param::{ParamId, ParamStore};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Post-linear nonlinearity choice.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Activation {
     /// Identity.
     None,
@@ -35,6 +38,21 @@ impl Activation {
             Activation::Relu => g.relu(x),
             Activation::Sigmoid => g.sigmoid(x),
             Activation::Tanh => g.tanh(x),
+        }
+    }
+
+    /// Apply the activation to a raw buffer — the tape-free counterpart of
+    /// [`Activation::apply`], using the identical scalar kernels.
+    pub fn apply_in_place(self, xs: &mut [f32]) {
+        match self {
+            Activation::None => {}
+            Activation::Relu => infer::relu_in_place(xs),
+            Activation::Sigmoid => linalg::sigmoid_in_place(xs),
+            Activation::Tanh => {
+                for x in xs.iter_mut() {
+                    *x = x.tanh();
+                }
+            }
         }
     }
 }
@@ -327,6 +345,205 @@ impl BilinearAttention {
     }
 }
 
+/// Inference-time snapshot of a [`Linear`]: the weights copied out of the
+/// [`ParamStore`] into plain tensors, with a tape-free forward that writes
+/// into [`Workspace`] buffers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenLinear {
+    w: Tensor,
+    b: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Snapshot the layer's current weights into a [`FrozenLinear`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenLinear {
+        FrozenLinear {
+            w: store.value(self.w).clone(),
+            b: self.b.map(|b| store.value(b).clone()),
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+        }
+    }
+}
+
+impl FrozenLinear {
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `x` is `rows×in_dim`; returns a `rows×out_dim` buffer drawn from the
+    /// workspace (the caller gives it back when done). Mirrors
+    /// [`Linear::forward`]: matmul, then broadcast bias add.
+    pub fn forward(&self, ws: &mut Workspace, x: &[f32], rows: usize) -> Vec<f32> {
+        let mut out = ws.take(rows * self.out_dim);
+        infer::matmul_into(
+            x,
+            rows,
+            self.in_dim,
+            self.w.as_slice(),
+            self.out_dim,
+            &mut out,
+        );
+        if let Some(b) = &self.b {
+            infer::add_row_in_place(&mut out, self.out_dim, b.as_slice());
+        }
+        out
+    }
+}
+
+/// Inference-time snapshot of an [`Mlp`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenMlp {
+    layers: Vec<FrozenLinear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Snapshot all layer weights into a [`FrozenMlp`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenMlp {
+        FrozenMlp {
+            layers: self.layers.iter().map(|l| l.freeze(store)).collect(),
+            hidden_activation: self.hidden_activation,
+            output_activation: self.output_activation,
+        }
+    }
+}
+
+impl FrozenMlp {
+    /// Forward `rows×in_dim` input through all layers; returns a
+    /// `rows×out_dim` workspace buffer.
+    pub fn forward(&self, ws: &mut Workspace, x: &[f32], rows: usize) -> Vec<f32> {
+        let last = self.layers.len() - 1;
+        let mut cur: Option<Vec<f32>> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut next = layer.forward(ws, cur.as_deref().unwrap_or(x), rows);
+            if i == last {
+                self.output_activation.apply_in_place(&mut next);
+            } else {
+                self.hidden_activation.apply_in_place(&mut next);
+            }
+            if let Some(prev) = cur.replace(next) {
+                ws.give(prev);
+            }
+        }
+        cur.expect("Mlp has at least one layer")
+    }
+}
+
+/// Inference-time snapshot of a [`MultiHeadSelfAttention`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenMha {
+    wq: Vec<Tensor>,
+    wk: Vec<Tensor>,
+    wv: Vec<Tensor>,
+    wo: Tensor,
+    dim: usize,
+    heads: usize,
+    dk: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Snapshot the projection matrices into a [`FrozenMha`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenMha {
+        let grab = |ids: &[ParamId]| ids.iter().map(|&id| store.value(id).clone()).collect();
+        FrozenMha {
+            wq: grab(&self.wq),
+            wk: grab(&self.wk),
+            wv: grab(&self.wv),
+            wo: store.value(self.wo).clone(),
+            dim: self.dim,
+            heads: self.heads,
+            dk: self.dk,
+        }
+    }
+}
+
+impl FrozenMha {
+    /// Self-attend over a `t×dim` sequence buffer, returning a `t×dim`
+    /// workspace buffer. Mirrors [`MultiHeadSelfAttention::forward`] op for
+    /// op: per-head q/k/v projections, explicit key transpose, scaled
+    /// softmax scores, head concat, output projection.
+    pub fn forward(&self, ws: &mut Workspace, e: &[f32], t: usize) -> Vec<f32> {
+        let (d, dk) = (self.dim, self.dk);
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut concat = ws.take(t * d);
+        let mut q = ws.take(t * dk);
+        let mut k = ws.take(t * dk);
+        let mut v = ws.take(t * dk);
+        let mut kt = ws.take(dk * t);
+        let mut scores = ws.take(t * t);
+        let mut head = ws.take(t * dk);
+        for h in 0..self.heads {
+            infer::matmul_into(e, t, d, self.wq[h].as_slice(), dk, &mut q);
+            infer::matmul_into(e, t, d, self.wk[h].as_slice(), dk, &mut k);
+            infer::matmul_into(e, t, d, self.wv[h].as_slice(), dk, &mut v);
+            infer::transpose_into(&k, t, dk, &mut kt);
+            infer::matmul_into(&q, t, dk, &kt, t, &mut scores);
+            infer::scale_in_place(&mut scores, scale);
+            infer::softmax_rows_in_place(&mut scores, t);
+            infer::matmul_into(&scores, t, t, &v, dk, &mut head);
+            for i in 0..t {
+                concat[i * d + h * dk..i * d + (h + 1) * dk]
+                    .copy_from_slice(&head[i * dk..(i + 1) * dk]);
+            }
+        }
+        ws.give(q);
+        ws.give(k);
+        ws.give(v);
+        ws.give(kt);
+        ws.give(scores);
+        ws.give(head);
+        let mut out = ws.take(t * d);
+        infer::matmul_into(&concat, t, d, self.wo.as_slice(), d, &mut out);
+        ws.give(concat);
+        out
+    }
+}
+
+/// Inference-time snapshot of a [`BilinearAttention`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenBilinear {
+    w: Tensor,
+    dim: usize,
+}
+
+impl BilinearAttention {
+    /// Snapshot the bilinear matrix into a [`FrozenBilinear`].
+    pub fn freeze(&self, store: &ParamStore) -> FrozenBilinear {
+        FrozenBilinear {
+            w: store.value(self.w).clone(),
+            dim: self.dim,
+        }
+    }
+}
+
+impl FrozenBilinear {
+    /// `query` is a length-`dim` buffer, `keys` is `t×dim`; returns the
+    /// attention-pooled length-`dim` summary as a workspace buffer. Mirrors
+    /// [`BilinearAttention::forward`] (explicit key transpose included, so
+    /// rounding matches the tape).
+    pub fn forward(&self, ws: &mut Workspace, query: &[f32], keys: &[f32], t: usize) -> Vec<f32> {
+        let d = self.dim;
+        let mut u = ws.take(d);
+        infer::matmul_into(query, 1, d, self.w.as_slice(), d, &mut u);
+        let mut kt = ws.take(d * t);
+        infer::transpose_into(keys, t, d, &mut kt);
+        let mut scores = ws.take(t);
+        infer::matmul_into(&u, 1, d, &kt, t, &mut scores);
+        linalg::softmax_in_place(&mut scores);
+        let mut out = ws.take(d);
+        infer::matmul_into(&scores, 1, t, keys, d, &mut out);
+        ws.give(u);
+        ws.give(kt);
+        ws.give(scores);
+        out
+    }
+}
+
 /// A single LSTM cell (Hochreiter & Schmidhuber), the recurrence of the RNN
 /// baselines (LSTM/STGN/LSTPM/STOD-PPA). Gate order in the packed weight is
 /// `[input, forget, output, candidate]`.
@@ -608,6 +825,72 @@ mod tests {
                 store.name(id)
             );
         }
+    }
+
+    #[test]
+    fn frozen_linear_and_mlp_match_live_bitwise() {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[6, 5, 2],
+            Activation::Relu,
+            Activation::None,
+            &mut rng(),
+        );
+        let x = init::gaussian(Shape::Matrix(3, 6), 0.0, 1.0, &mut rng());
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let live = mlp.forward(&mut g, &store, xv);
+        let frozen = mlp.freeze(&store);
+        let mut ws = Workspace::new();
+        let out = frozen.forward(&mut ws, x.as_slice(), 3);
+        assert_eq!(out.as_slice(), g.value(live).as_slice());
+        ws.give(out);
+    }
+
+    #[test]
+    fn frozen_mha_matches_live_bitwise() {
+        let mut store = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(&mut store, "mha", 8, 2, &mut rng());
+        let e = init::gaussian(Shape::Matrix(5, 8), 0.0, 1.0, &mut rng());
+        let mut g = Graph::new();
+        let ev = g.input(e.clone());
+        let live = mha.forward(&mut g, &store, ev);
+        let frozen = mha.freeze(&store);
+        let mut ws = Workspace::new();
+        let out = frozen.forward(&mut ws, e.as_slice(), 5);
+        assert_eq!(out.as_slice(), g.value(live).as_slice());
+        ws.give(out);
+    }
+
+    #[test]
+    fn frozen_bilinear_matches_live_bitwise() {
+        let mut store = ParamStore::new();
+        let attn = BilinearAttention::new(&mut store, "attn", 6, &mut rng());
+        let q = init::gaussian(Shape::Matrix(1, 6), 0.0, 1.0, &mut rng());
+        let keys = init::gaussian(Shape::Matrix(4, 6), 0.0, 1.0, &mut rng());
+        let mut g = Graph::new();
+        let qv = g.input(q.clone());
+        let kv = g.input(keys.clone());
+        let live = attn.forward(&mut g, &store, qv, kv);
+        let frozen = attn.freeze(&store);
+        let mut ws = Workspace::new();
+        let out = frozen.forward(&mut ws, q.as_slice(), keys.as_slice(), 4);
+        assert_eq!(out.as_slice(), g.value(live).as_slice());
+        ws.give(out);
+    }
+
+    #[test]
+    fn frozen_layers_round_trip_through_serde() {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "fc", 3, 2, true, &mut rng());
+        let frozen = lin.freeze(&store);
+        let json = serde_json::to_string(&frozen).unwrap();
+        let back: FrozenLinear = serde_json::from_str(&json).unwrap();
+        let mut ws = Workspace::new();
+        let x = [1.0f32, -2.0, 0.5];
+        assert_eq!(frozen.forward(&mut ws, &x, 1), back.forward(&mut ws, &x, 1));
     }
 
     #[test]

@@ -131,6 +131,22 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// Handle for the parameter at a dense index (the inverse of
+    /// [`ParamId::index`]). Lets external per-parameter state keyed by index
+    /// — e.g. worker-local gradient buffers — be merged back without an
+    /// O(P) scan per parameter.
+    ///
+    /// # Panics
+    /// Panics when `index >= self.len()`.
+    pub fn id_at(&self, index: usize) -> ParamId {
+        assert!(
+            index < self.params.len(),
+            "param index {index} out of range ({} registered)",
+            self.params.len()
+        );
+        ParamId(index)
+    }
+
     /// Global L2 norm of all accumulated gradients — used for clipping.
     pub fn grad_norm(&self) -> f32 {
         self.params

@@ -13,7 +13,9 @@
 use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::{HsgBuilder, UserId};
-use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
+use odnet_core::{
+    evaluate_on_fliggy, train, FeatureExtractor, FrozenOdNet, OdNetModel, OdnetConfig, Variant,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -164,10 +166,14 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn load_bundle(flags: &HashMap<String, String>) -> Result<(FliggyDataset, OdNetModel), String> {
+fn read_bundle(flags: &HashMap<String, String>) -> Result<ModelFile, String> {
     let path = flags.get("model").ok_or("--model FILE is required")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let bundle: ModelFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    serde_json::from_str(&json).map_err(|e| e.to_string())
+}
+
+fn load_bundle(flags: &HashMap<String, String>) -> Result<(FliggyDataset, OdNetModel), String> {
+    let bundle = read_bundle(flags)?;
     let ds = build_dataset(&bundle.data_config);
     let variant = parse_variant(&bundle.variant)?;
     let hsg = variant.uses_graph().then(|| build_hsg(&ds));
@@ -199,7 +205,13 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (ds, model) = load_bundle(flags)?;
+    // Serving path: extract the frozen artifact embedded in the checkpoint.
+    // No HSG rebuild and no autograd tape — the graph closure is already
+    // materialized into dense tables.
+    let bundle = read_bundle(flags)?;
+    let ds = build_dataset(&bundle.data_config);
+    let frozen =
+        FrozenOdNet::from_checkpoint_json(&bundle.checkpoint).map_err(|e| e.to_string())?;
     let user = UserId(get_usize(flags, "user", 0)? as u32);
     if user.index() >= ds.world.num_users() {
         return Err(format!(
@@ -210,18 +222,13 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let top = get_usize(flags, "top", 5)?;
     let day = ds.train_end_day();
-    let fx = FeatureExtractor::new(model.config.max_long_seq, model.config.max_short_seq);
+    let cfg = frozen.config();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
     let candidates = recall_candidates(&ds, user, day, 30);
     let group = fx.group_for_serving(&ds, user, day, &candidates);
-    let scores = model.score_group(&group);
-    let mut ranked: Vec<(f32, (od_hsg::CityId, od_hsg::CityId))> = scores
-        .iter()
-        .zip(&candidates)
-        .map(|(&(po, pd), &pair)| (model.serving_score(po, pd), pair))
-        .collect();
-    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let ranked = od_bench::rank_pairs(&frozen, &group, &candidates);
     println!("top-{top} flights for user {} (day {day}):", user.index());
-    for (i, (score, (o, d))) in ranked.iter().take(top).enumerate() {
+    for (i, ((o, d), score)) in ranked.iter().take(top).enumerate() {
         println!(
             "  {}. {} -> {}   score {score:.4}",
             i + 1,
