@@ -20,4 +20,10 @@ cargo test -q -p odnet-core --test frozen_equivalence
 echo "==> serving bench (smoke)"
 CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench
 
+echo "==> throughput smoke (engine vs direct scoring, coalescing engaged)"
+# Tiny model, 2 workers, 1k requests; --check fails the gate unless every
+# engine response is bit-identical to single-threaded scoring and
+# cross-request coalescing merged at least one batch.
+cargo run --release --bin odnet -- serve-bench --workers 2 --requests 1000 --check
+
 echo "CI OK"

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// System allocator wrapped with an allocation counter, so the report can
 /// state how many heap allocations each scoring path performs per request
@@ -45,9 +46,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// The allocation counter is process-global: any thread that allocates
+/// while a counted section runs is attributed to that section. Counted
+/// sections therefore serialize on this lock — without it, concurrent
+/// `count_allocs` calls (or engine worker threads spun up by other
+/// measurements) would cross-pollute each other's counts.
+static COUNT_LOCK: Mutex<()> = Mutex::new(());
+
 /// Allocations of one steady-state run of `f`: warm twice (fills workspace
 /// pools / tape capacity), then count a single run.
 fn count_allocs(mut f: impl FnMut()) -> u64 {
+    let _serialized = COUNT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     f();
     f();
     let before = ALLOCS.load(Ordering::Relaxed);
@@ -136,6 +145,17 @@ fn bench_group_scoring(c: &mut Criterion, fix: &ServingFixture) {
             let mut ws = Workspace::new();
             b.iter(|| black_box(fix.frozen.score_group_with(&mut ws, black_box(group))))
         });
+        // Frozen with a caller-owned output buffer (the engine's hot path):
+        // the last per-request allocation — the returned Vec — goes away.
+        c.bench_function(&format!("score_group{n}_frozen_into"), |b| {
+            let mut ws = Workspace::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                fix.frozen
+                    .score_group_into(&mut ws, black_box(group), &mut out);
+                black_box(&mut out);
+            })
+        });
     }
 }
 
@@ -161,6 +181,16 @@ fn measure_allocations(fix: &ServingFixture) -> Vec<AllocEntry> {
             name: format!("score_group{n}_frozen"),
             allocations: count_allocs(|| {
                 black_box(fix.frozen.score_group_with(&mut ws, black_box(group)));
+            }),
+        });
+        let mut ws = Workspace::new();
+        let mut scores = Vec::new();
+        out.push(AllocEntry {
+            name: format!("score_group{n}_frozen_into"),
+            allocations: count_allocs(|| {
+                fix.frozen
+                    .score_group_into(&mut ws, black_box(group), &mut scores);
+                black_box(&mut scores);
             }),
         });
     }

@@ -1,0 +1,153 @@
+//! Closed-loop throughput benchmark of the concurrent serving engine.
+//!
+//! Two experiments, both over a 1-candidate-heavy request mix drawn from a
+//! small pool of distinct user contexts (the workload micro-batching is
+//! built for — tiny groups that waste the trunk unless merged):
+//!
+//! 1. **Worker scaling** — engines with 1/2/4/8 workers, each driven by
+//!    `2 × workers` closed-loop clients (wrk-style: offered concurrency
+//!    scales with the engine). More pending requests per drain means
+//!    larger coalesced batches, so requests/sec should rise monotonically
+//!    with workers even on a single core.
+//! 2. **Coalescing on vs off** — identical engines (2 workers) except for
+//!    the `coalesce` flag, isolating what cross-request micro-batching
+//!    itself buys.
+//!
+//! Every response is verified bit-for-bit against direct single-threaded
+//! `FrozenOdNet::score_group` scores while measuring. Results land in
+//! `BENCH_throughput.json` at the repository root.
+//!
+//! Run with `cargo bench --bench throughput_bench`; set
+//! `CRITERION_QUICK=1` (or pass `--quick`) for a fast smoke run.
+
+use od_bench::Scale;
+use od_serve::{drive, score_all, Engine, EngineConfig, LoadReport};
+use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
+use std::sync::Arc;
+
+/// Frozen model plus the request-template pool: for each of several users,
+/// four 1-candidate groups and one 8-candidate group (an 80% singleton mix).
+fn fixture() -> (Arc<FrozenOdNet>, Vec<GroupInput>) {
+    let ds = od_bench::fliggy_dataset(Scale::Smoke);
+    let hsg = od_bench::build_hsg(&ds);
+    let cfg = OdnetConfig {
+        per_candidate_scoring: false,
+        workers: 1,
+        ..Scale::Smoke.model_config()
+    };
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let model = OdNetModel::new(
+        Variant::Odnet,
+        cfg,
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        Some(hsg),
+    );
+    let day = ds.train_end_day();
+    let mut groups = Vec::new();
+    let users: Vec<_> = (0..ds.world.num_users() as u32)
+        .map(od_hsg::UserId)
+        .filter(|&u| !ds.long_term(u, day).is_empty())
+        .take(4)
+        .collect();
+    assert!(!users.is_empty(), "dataset has no users with history");
+    for &user in &users {
+        let pairs = od_bench::recall_candidates(&ds, user, day, 64);
+        assert!(pairs.len() >= 8, "recall produced too few pairs");
+        for p in pairs.iter().take(4) {
+            groups.push(fx.group_for_serving(&ds, user, day, std::slice::from_ref(p)));
+        }
+        groups.push(fx.group_for_serving(&ds, user, day, &pairs[..8]));
+    }
+    (Arc::new(model.freeze()), groups)
+}
+
+fn run(
+    model: &Arc<FrozenOdNet>,
+    groups: &[GroupInput],
+    expected: &[Vec<(f32, f32)>],
+    workers: usize,
+    coalesce: bool,
+    total: usize,
+) -> LoadReport {
+    let engine = Engine::new(
+        Arc::clone(model),
+        EngineConfig {
+            workers,
+            queue_capacity: 1024,
+            max_batch: 64,
+            coalesce,
+        },
+    );
+    let report = drive(&engine, groups, Some(expected), total, workers * 2);
+    assert_eq!(
+        report.mismatches, 0,
+        "engine responses diverged from direct scoring"
+    );
+    report
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    generated_by: String,
+    methodology: String,
+    scale: String,
+    threads_available: usize,
+    requests_per_run: usize,
+    template_pool: usize,
+    /// Coalescing engines at 1/2/4/8 workers, clients = 2 × workers.
+    worker_scaling: Vec<LoadReport>,
+    /// Same engine (2 workers, 4 clients) with coalescing on vs off.
+    coalesce_on: LoadReport,
+    coalesce_off: LoadReport,
+    /// requests/sec ratio of coalescing on over off.
+    coalesce_speedup: f64,
+}
+
+fn main() {
+    let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+        || std::env::args().any(|a| a == "--quick");
+    let total = if quick { 2_000 } else { 20_000 };
+    let (model, groups) = fixture();
+    let expected = score_all(&model, &groups);
+
+    let mut worker_scaling = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let r = run(&model, &groups, &expected, workers, true, total);
+        println!(
+            "workers {workers}: {:.0} req/s, p50 {:.0}us, p99 {:.0}us, {:.2} req/forward",
+            r.requests_per_sec, r.p50_us, r.p99_us, r.mean_requests_per_forward
+        );
+        worker_scaling.push(r);
+    }
+
+    let coalesce_on = run(&model, &groups, &expected, 2, true, total);
+    let coalesce_off = run(&model, &groups, &expected, 2, false, total);
+    let coalesce_speedup = coalesce_on.requests_per_sec / coalesce_off.requests_per_sec;
+    println!(
+        "coalescing on {:.0} req/s vs off {:.0} req/s ({coalesce_speedup:.2}x)",
+        coalesce_on.requests_per_sec, coalesce_off.requests_per_sec
+    );
+
+    let report = Report {
+        generated_by: "cargo bench --bench throughput_bench".to_string(),
+        methodology: "closed-loop load generation: clients = 2 x workers, each client \
+                      submits and blocks on its ticket; all responses verified bit-exact \
+                      against single-threaded scoring during measurement"
+            .to_string(),
+        scale: "smoke".to_string(),
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        requests_per_run: total,
+        template_pool: groups.len(),
+        worker_scaling,
+        coalesce_on,
+        coalesce_off,
+        coalesce_speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, pretty + "\n").expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+}

@@ -17,19 +17,38 @@ pub fn rank_pairs(
     group: &GroupInput,
     pairs: &[(CityId, CityId)],
 ) -> Vec<((CityId, CityId), f32)> {
+    let mut probs = Vec::new();
+    let mut ranked = Vec::new();
+    rank_pairs_into(scorer, group, pairs, &mut probs, &mut ranked);
+    ranked
+}
+
+/// [`rank_pairs`] with caller-provided buffers, so a serving loop ranking
+/// request after request reuses one probability buffer and one output
+/// buffer: with the frozen artifact's in-place scorer the whole
+/// recall → score → rank cycle then runs without per-request allocation.
+/// Both buffers are cleared first.
+pub fn rank_pairs_into(
+    scorer: &dyn OdScorer,
+    group: &GroupInput,
+    pairs: &[(CityId, CityId)],
+    probs: &mut Vec<(f32, f32)>,
+    ranked: &mut Vec<((CityId, CityId), f32)>,
+) {
     assert_eq!(
         group.candidates.len(),
         pairs.len(),
         "group candidates and recalled pairs out of sync"
     );
-    let probs = scorer.score_group(group);
-    let mut ranked: Vec<_> = probs
-        .iter()
-        .zip(pairs)
-        .map(|(&(po, pd), &pair)| (pair, scorer.serving_score(po, pd)))
-        .collect();
+    scorer.score_group_into(group, probs);
+    ranked.clear();
+    ranked.extend(
+        probs
+            .iter()
+            .zip(pairs)
+            .map(|(&(po, pd), &pair)| (pair, scorer.serving_score(po, pd))),
+    );
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite serving scores"));
-    ranked
 }
 
 /// Assemble up to `max_pairs` candidate OD pairs for `user` at `day` using

@@ -113,9 +113,25 @@ impl FrozenOdNet {
     /// serving loop the workspace pool satisfies every scratch request
     /// without touching the allocator.
     pub fn score_group_with(&self, ws: &mut Workspace, group: &GroupInput) -> Vec<(f32, f32)> {
+        let mut out = Vec::new();
+        self.score_group_into(ws, group, &mut out);
+        out
+    }
+
+    /// Score a group into a caller-provided output buffer (cleared first).
+    /// Combined with a warm [`Workspace`] this removes the last per-request
+    /// allocation from the serving hot path: the serving engine and ranking
+    /// loops reuse one output buffer across requests.
+    pub fn score_group_into(
+        &self,
+        ws: &mut Workspace,
+        group: &GroupInput,
+        out: &mut Vec<(f32, f32)>,
+    ) {
+        out.clear();
         let n = group.candidates.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let q_dim = self.config.q_dim();
 
@@ -188,16 +204,16 @@ impl FrozenOdNet {
             }
         };
 
-        let scores = logits_o
-            .iter()
-            .zip(&logits_d)
-            .map(|(&a, &b)| (stable_sigmoid(a), stable_sigmoid(b)))
-            .collect();
+        out.extend(
+            logits_o
+                .iter()
+                .zip(&logits_d)
+                .map(|(&a, &b)| (stable_sigmoid(a), stable_sigmoid(b))),
+        );
         ws.give(logits_o);
         ws.give(logits_d);
         trunk_o.give_back(ws);
         trunk_d.give_back(ws);
-        scores
     }
 
     /// The serving score of Eq. 11 with the frozen θ.
@@ -312,6 +328,10 @@ fn fill_q(
 impl OdScorer for FrozenOdNet {
     fn score_group(&self, group: &GroupInput) -> Vec<(f32, f32)> {
         FrozenOdNet::score_group(self, group)
+    }
+
+    fn score_group_into(&self, group: &GroupInput, out: &mut Vec<(f32, f32)>) {
+        WORKSPACE.with(|ws| FrozenOdNet::score_group_into(self, &mut ws.borrow_mut(), group, out))
     }
 
     fn serving_score(&self, p_o: f32, p_d: f32) -> f32 {

@@ -1,0 +1,479 @@
+//! The throughput engine: worker pool + bounded queue + micro-batcher.
+//!
+//! # Data flow
+//!
+//! ```text
+//! callers ──submit()──► bounded queue ──pop_up_to(max_batch)──► worker
+//!    ▲                      │ full?                               │
+//!    └── Submit::Rejected ◄─┘                 coalesce by context │
+//!                                                one batched      │
+//! callers ◄── oneshot ◄── scatter per-request ◄── frozen forward ◄┘
+//! ```
+//!
+//! # Why coalescing pays
+//!
+//! The frozen forward's cost is `trunk + n·per_candidate`: the user-side
+//! trunk (PEC attention over the history sequences) is independent of the
+//! candidate count, and the per-candidate head runs as one batched matmul
+//! whose efficiency *grows* with `n` (PR 1 measured the batched path at
+//! 8.7× the per-candidate oracle for n = 1 but only 2.3× at n = 64 — small
+//! requests leave most of the batched win on the table). Concurrent
+//! requests that share a context template (same user, day, and history
+//! sequences — retries, pagination, parallel widgets of one session) can
+//! therefore be merged into a single `FrozenOdNet` forward: one trunk
+//! instead of `r`, and one `Σnᵢ`-row head matmul instead of `r` small ones.
+//!
+//! # Bit-identity
+//!
+//! A coalesced forward returns exactly the scores of the per-request
+//! forwards: the trunk depends only on the (shared) context, each
+//! candidate's `q` row is assembled independently, and every kernel in
+//! `od_tensor::infer` accumulates each output element in an order that
+//! does not depend on how many other rows are in the batch. The engine is
+//! one more link in the live → batched → frozen oracle chain, asserted by
+//! `tests/engine_equivalence.rs` and the `ci.sh` throughput smoke.
+
+use crate::oneshot;
+use crate::queue::Queue;
+use od_tensor::infer::Workspace;
+use odnet_core::{FrozenOdNet, GroupInput};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Coalesced-batch-size histogram width: index `i` counts forwards that
+/// merged `i` requests, with the last bucket absorbing everything larger.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Tuning knobs of the [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads scoring requests. `0` is allowed for tests that need
+    /// a queue nobody drains (e.g. deterministic backpressure).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects instead of growing.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains per wakeup (and therefore the
+    /// largest possible coalesced batch).
+    pub max_batch: usize,
+    /// Merge same-context requests into one batched forward. Disabling
+    /// this scores each request individually — the "before" side of the
+    /// throughput benchmark.
+    pub coalesce: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 1024,
+            max_batch: 64,
+            coalesce: true,
+        }
+    }
+}
+
+/// Outcome of [`Engine::submit`].
+pub enum Submit {
+    /// The request was queued; wait on the ticket for its scores.
+    Accepted(Ticket),
+    /// The queue was full (or shutting down) — the group is handed back so
+    /// the caller can retry, shed load, or fail the request upstream.
+    Rejected(GroupInput),
+}
+
+/// Pending response handle; one per accepted request.
+pub struct Ticket {
+    rx: oneshot::Receiver<Vec<(f32, f32)>>,
+}
+
+impl Ticket {
+    /// Block until the request's per-candidate `(p^O, p^D)` scores arrive.
+    ///
+    /// # Panics
+    /// Panics if the engine dropped the request without scoring it, which
+    /// only happens when a worker thread panicked mid-batch.
+    pub fn wait(self) -> Vec<(f32, f32)> {
+        self.rx.recv().expect("serving engine dropped the request")
+    }
+}
+
+struct Request {
+    group: GroupInput,
+    /// Taken (exactly once) when the request is answered.
+    tx: Option<oneshot::Sender<Vec<(f32, f32)>>>,
+}
+
+/// Monotonic counters shared by workers and the [`Engine`] handle.
+struct StatsInner {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    forwards: AtomicU64,
+    coalesced_requests: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for StatsInner {
+    fn default() -> Self {
+        StatsInner {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            forwards: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Snapshot of the engine's counters.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests turned away by backpressure.
+    pub rejected: u64,
+    /// Requests scored and answered.
+    pub completed: u64,
+    /// Frozen forwards executed (a coalesced forward counts once).
+    pub forwards: u64,
+    /// Requests that shared their forward with at least one other request.
+    pub coalesced_requests: u64,
+    /// `batch_hist[i]` = forwards that merged `i` requests (last bucket
+    /// absorbs larger batches).
+    pub batch_hist: Vec<u64>,
+}
+
+impl EngineStats {
+    /// Mean requests merged per forward — 1.0 means coalescing never
+    /// engaged, larger is better.
+    pub fn mean_requests_per_forward(&self) -> f64 {
+        if self.forwards == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.forwards as f64
+    }
+}
+
+struct Shared {
+    queue: Queue<Request>,
+    model: Arc<FrozenOdNet>,
+    stats: StatsInner,
+    max_batch: usize,
+    coalesce: bool,
+}
+
+/// A concurrent scoring engine over a frozen artifact. Submitting is
+/// `&self`, so one engine handle is shared freely across caller threads;
+/// dropping the handle drains the queue and joins the workers.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawn `config.workers` scoring threads over `model`.
+    pub fn new(model: Arc<FrozenOdNet>, config: EngineConfig) -> Engine {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        let shared = Arc::new(Shared {
+            queue: Queue::new(config.queue_capacity),
+            model,
+            stats: StatsInner::default(),
+            max_batch: config.max_batch,
+            coalesce: config.coalesce,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("od-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Engine { shared, workers }
+    }
+
+    /// Enqueue one scoring request. Never blocks: when the queue is full
+    /// the group is handed back as [`Submit::Rejected`].
+    pub fn submit(&self, group: GroupInput) -> Submit {
+        let (tx, rx) = oneshot::channel();
+        match self.shared.queue.try_push(Request {
+            group,
+            tx: Some(tx),
+        }) {
+            Ok(()) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                Submit::Accepted(Ticket { rx })
+            }
+            Err(req) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Submit::Rejected(req.group)
+            }
+        }
+    }
+
+    /// Convenience: submit and block for the scores. `Err` returns the
+    /// group on backpressure.
+    // The Err variant IS the handed-back request (so the caller can retry
+    // without cloning), not an error type worth boxing.
+    #[allow(clippy::result_large_err)]
+    pub fn score(&self, group: GroupInput) -> Result<Vec<(f32, f32)>, GroupInput> {
+        match self.submit(group) {
+            Submit::Accepted(ticket) => Ok(ticket.wait()),
+            Submit::Rejected(group) => Err(group),
+        }
+    }
+
+    /// Snapshot the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.shared.stats;
+        EngineStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            forwards: s.forwards.load(Ordering::Relaxed),
+            coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
+            batch_hist: s.hist.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Worker threads serving this engine.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether cross-request micro-batching is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.shared.coalesce
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            // A worker that panicked already surfaced its message; don't
+            // double-panic inside drop.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut ws = Workspace::new();
+    let mut batch: Vec<Request> = Vec::new();
+    let mut out: Vec<(f32, f32)> = Vec::new();
+    let mut merged = empty_group();
+    let mut plan = CoalescePlan::default();
+    while shared.queue.pop_up_to(shared.max_batch, &mut batch) {
+        if shared.coalesce {
+            plan.build(&batch);
+        } else {
+            plan.singletons(batch.len());
+        }
+        for set in plan.sets() {
+            score_set(shared, &mut ws, &mut out, &mut merged, &mut batch, set);
+        }
+        // Senders were consumed by scatter; clear for the next drain.
+        batch.clear();
+    }
+}
+
+/// Score one coalesced set of requests (indices into `batch`) and scatter
+/// the per-request score slices back through their oneshots.
+fn score_set(
+    shared: &Shared,
+    ws: &mut Workspace,
+    out: &mut Vec<(f32, f32)>,
+    merged: &mut GroupInput,
+    batch: &mut [Request],
+    set: &[usize],
+) {
+    let stats = &shared.stats;
+    stats.forwards.fetch_add(1, Ordering::Relaxed);
+    stats.hist[set.len().min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    if set.len() == 1 {
+        let req = &mut batch[set[0]];
+        shared.model.score_group_into(ws, &req.group, out);
+        // Count before sending: the oneshot's lock handoff then publishes
+        // the increment to whoever observes the response.
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        req.take_tx().send(out.clone());
+        return;
+    }
+    stats
+        .coalesced_requests
+        .fetch_add(set.len() as u64, Ordering::Relaxed);
+    // One forward over the concatenated candidate lists. The context is
+    // shared by construction (that is what the plan grouped on).
+    copy_context(merged, &batch[set[0]].group);
+    merged.candidates.clear();
+    for &i in set {
+        merged
+            .candidates
+            .extend_from_slice(&batch[i].group.candidates);
+    }
+    shared.model.score_group_into(ws, merged, out);
+    let mut offset = 0;
+    for &i in set {
+        let req = &mut batch[i];
+        let n = req.group.candidates.len();
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        req.take_tx().send(out[offset..offset + n].to_vec());
+        offset += n;
+    }
+}
+
+impl Request {
+    /// Move the sender out (each request is answered exactly once).
+    fn take_tx(&mut self) -> oneshot::Sender<Vec<(f32, f32)>> {
+        self.tx.take().expect("request answered twice")
+    }
+}
+
+/// Reusable grouping of a drained batch into same-context sets. Arrival
+/// order is preserved both across sets (by first member) and within one.
+#[derive(Default)]
+struct CoalescePlan {
+    /// Flattened member indices.
+    members: Vec<usize>,
+    /// `(start, len)` ranges into `members`, one per set.
+    ranges: Vec<(usize, usize)>,
+    /// Scratch: context hash → set indices with that hash.
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl CoalescePlan {
+    fn clear(&mut self) {
+        self.members.clear();
+        self.ranges.clear();
+        for bucket in self.index.values_mut() {
+            bucket.clear();
+        }
+    }
+
+    /// One set per request — the coalescing-disabled path.
+    fn singletons(&mut self, n: usize) {
+        self.clear();
+        for i in 0..n {
+            self.members.push(i);
+            self.ranges.push((i, 1));
+        }
+    }
+
+    /// Group `batch` by scoring context. Two requests land in the same set
+    /// only if their contexts compare equal field-by-field (the hash is
+    /// just a prefilter, so collisions cannot merge distinct contexts).
+    fn build(&mut self, batch: &[Request]) {
+        self.clear();
+        // First pass: assign each request a set id.
+        let mut set_of = Vec::with_capacity(batch.len());
+        let mut set_sizes: Vec<usize> = Vec::new();
+        let mut first_of_set: Vec<usize> = Vec::new();
+        for (i, req) in batch.iter().enumerate() {
+            let h = context_hash(&req.group);
+            let bucket = self.index.entry(h).or_default();
+            let found = bucket
+                .iter()
+                .copied()
+                .find(|&s| same_context(&batch[first_of_set[s]].group, &req.group));
+            let s = match found {
+                Some(s) => s,
+                None => {
+                    let s = set_sizes.len();
+                    set_sizes.push(0);
+                    first_of_set.push(i);
+                    bucket.push(s);
+                    s
+                }
+            };
+            set_sizes[s] += 1;
+            set_of.push(s);
+        }
+        // Second pass: lay the members out contiguously per set.
+        let mut starts = Vec::with_capacity(set_sizes.len());
+        let mut acc = 0;
+        for &size in &set_sizes {
+            starts.push(acc);
+            self.ranges.push((acc, size));
+            acc += size;
+        }
+        self.members.resize(acc, 0);
+        let mut cursor = starts;
+        for (i, &s) in set_of.iter().enumerate() {
+            self.members[cursor[s]] = i;
+            cursor[s] += 1;
+        }
+    }
+
+    fn sets(&self) -> impl Iterator<Item = &[usize]> {
+        self.ranges
+            .iter()
+            .map(move |&(start, len)| &self.members[start..start + len])
+    }
+}
+
+// The context of a request is every [`GroupInput`] field except the
+// candidates. `day` and the event-day sequences do not enter the frozen
+// forward, but they are part of the template a caller submitted, so they
+// participate in equality — only literally identical templates merge.
+
+fn context_hash(g: &GroupInput) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    g.user.hash(&mut h);
+    g.day.hash(&mut h);
+    g.current_city.hash(&mut h);
+    g.lt_origins.hash(&mut h);
+    g.lt_dests.hash(&mut h);
+    g.lt_days.hash(&mut h);
+    g.st_origins.hash(&mut h);
+    g.st_dests.hash(&mut h);
+    g.st_days.hash(&mut h);
+    h.finish()
+}
+
+fn same_context(a: &GroupInput, b: &GroupInput) -> bool {
+    a.user == b.user
+        && a.day == b.day
+        && a.current_city == b.current_city
+        && a.lt_origins == b.lt_origins
+        && a.lt_dests == b.lt_dests
+        && a.lt_days == b.lt_days
+        && a.st_origins == b.st_origins
+        && a.st_dests == b.st_dests
+        && a.st_days == b.st_days
+}
+
+/// Copy `src`'s context into `dst`, reusing `dst`'s sequence allocations.
+fn copy_context(dst: &mut GroupInput, src: &GroupInput) {
+    dst.user = src.user;
+    dst.day = src.day;
+    dst.current_city = src.current_city;
+    dst.lt_origins.clone_from(&src.lt_origins);
+    dst.lt_dests.clone_from(&src.lt_dests);
+    dst.lt_days.clone_from(&src.lt_days);
+    dst.st_origins.clone_from(&src.st_origins);
+    dst.st_dests.clone_from(&src.st_dests);
+    dst.st_days.clone_from(&src.st_days);
+}
+
+fn empty_group() -> GroupInput {
+    GroupInput {
+        user: od_hsg::UserId(0),
+        day: 0,
+        current_city: od_hsg::CityId(0),
+        lt_origins: Vec::new(),
+        lt_dests: Vec::new(),
+        lt_days: Vec::new(),
+        st_origins: Vec::new(),
+        st_dests: Vec::new(),
+        st_days: Vec::new(),
+        candidates: Vec::new(),
+    }
+}

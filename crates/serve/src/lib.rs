@@ -1,0 +1,42 @@
+//! # od-serve — the concurrent serving engine
+//!
+//! PR 2's [`FrozenOdNet`](odnet_core::FrozenOdNet) made a single request
+//! fast (tape-free kernels, 2–3 allocations per request); this crate makes
+//! many *concurrent* requests fast. An [`Engine`] owns an
+//! `Arc<FrozenOdNet>` and N worker threads behind a bounded MPMC queue:
+//!
+//! - **Backpressure, not buffering.** [`Engine::submit`] never blocks and
+//!   never queues unboundedly: a full queue returns
+//!   [`Submit::Rejected`] with the request handed back, so overload is
+//!   explicit at the admission edge instead of surfacing as memory growth
+//!   and tail-latency collapse.
+//! - **Cross-request micro-batching.** Each worker wakeup drains up to
+//!   `max_batch` pending requests and coalesces the ones sharing a context
+//!   template (same user/day/history — retries, pagination, one session's
+//!   parallel widgets) into a *single* batched frozen forward, then
+//!   scatters the per-request score slices back through oneshot channels.
+//!   The batched kernels from PR 1 get more efficient per candidate as the
+//!   group grows, so coalescing recovers for 1-candidate requests the
+//!   efficiency that previously required 64-candidate requests.
+//! - **Bit-identical scores.** A coalesced forward produces exactly the
+//!   scores of per-request forwards (the trunk is context-only and every
+//!   kernel accumulates per output element independently of batch size),
+//!   extending the live → batched → frozen oracle chain one more link:
+//!   engine output equals direct [`FrozenOdNet::score_group`]
+//!   (odnet_core) calls under any interleaving.
+//!
+//! The [`loadgen`] module drives an engine closed-loop and reports
+//! requests/sec, latency percentiles, and coalesced-batch histograms; the
+//! `throughput_bench` in `od-bench` uses it to produce
+//! `BENCH_throughput.json`, and `odnet serve-bench` exposes it on the CLI.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod oneshot;
+mod queue;
+
+pub mod loadgen;
+
+pub use engine::{Engine, EngineConfig, EngineStats, Submit, Ticket, HIST_BUCKETS};
+pub use loadgen::{drive, score_all, LoadReport};

@@ -1,0 +1,163 @@
+//! Closed-loop load generator for the [`Engine`](crate::Engine).
+//!
+//! `clients` threads share one engine handle; each repeatedly claims the
+//! next request number, submits a clone of one of the template groups,
+//! and blocks on the ticket before submitting again. Offered concurrency
+//! therefore equals the client count — the standard closed-loop
+//! methodology (cf. wrk's threads × connections): scaling clients with
+//! workers shows how well the engine converts concurrency into coalesced
+//! batches.
+//!
+//! Backpressure is handled by retrying the handed-back group after a
+//! yield, counting every rejection.
+
+use crate::engine::{Engine, Submit};
+use odnet_core::GroupInput;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One load-generation run's results (serialized into
+/// `BENCH_throughput.json` by the throughput bench).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LoadReport {
+    /// Worker threads in the engine under test.
+    pub workers: usize,
+    /// Closed-loop client threads driving it.
+    pub clients: usize,
+    /// Whether cross-request micro-batching was enabled.
+    pub coalesce: bool,
+    /// Requests completed (the measured work).
+    pub requests: u64,
+    /// Backpressure rejections observed (each was retried).
+    pub rejected_retries: u64,
+    /// Responses that differed from the precomputed direct scores —
+    /// must be zero whenever verification is requested.
+    pub mismatches: u64,
+    /// Wall-clock span of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub requests_per_sec: f64,
+    /// Median request latency (submit → scores) in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Worst observed request latency in microseconds.
+    pub max_us: f64,
+    /// Frozen forwards executed by the engine during the run.
+    pub forwards: u64,
+    /// Requests that shared a forward with at least one other request.
+    pub coalesced_requests: u64,
+    /// Mean requests merged per forward (1.0 = no coalescing).
+    pub mean_requests_per_forward: f64,
+    /// `batch_hist[i]` = forwards that merged `i` requests.
+    pub batch_hist: Vec<u64>,
+}
+
+/// Drive `engine` with `total` requests drawn round-robin from `groups`,
+/// from `clients` closed-loop threads.
+///
+/// When `expected` is given (aligned with `groups`, e.g. from
+/// [`score_all`]), every response is compared bit-for-bit against the
+/// direct single-threaded scores and mismatches are counted — the
+/// engine-vs-oracle check the CI smoke asserts on.
+pub fn drive(
+    engine: &Engine,
+    groups: &[GroupInput],
+    expected: Option<&[Vec<(f32, f32)>]>,
+    total: usize,
+    clients: usize,
+) -> LoadReport {
+    assert!(!groups.is_empty(), "need at least one template group");
+    assert!(clients >= 1, "need at least one client");
+    if let Some(exp) = expected {
+        assert_eq!(exp.len(), groups.len(), "expected scores out of sync");
+    }
+    let next = AtomicUsize::new(0);
+    let rejected = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let start_stats = engine.stats();
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut lat = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let gi = i % groups.len();
+                        let mut group = groups[gi].clone();
+                        let begin = Instant::now();
+                        let scores = loop {
+                            match engine.submit(group) {
+                                Submit::Accepted(ticket) => break ticket.wait(),
+                                Submit::Rejected(back) => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    group = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        };
+                        lat.push(begin.elapsed().as_micros() as u64);
+                        if let Some(exp) = expected {
+                            if scores != exp[gi] {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client must not panic"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx] as f64
+    };
+    let completed = stats.completed - start_stats.completed;
+    let forwards = stats.forwards - start_stats.forwards;
+    LoadReport {
+        workers: engine.workers(),
+        clients,
+        coalesce: engine.coalescing(),
+        requests: completed,
+        rejected_retries: rejected.load(Ordering::Relaxed),
+        mismatches: mismatches.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        requests_per_sec: completed as f64 / elapsed.max(1e-9),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        max_us: latencies.last().copied().unwrap_or(0) as f64,
+        forwards,
+        coalesced_requests: stats.coalesced_requests - start_stats.coalesced_requests,
+        mean_requests_per_forward: if forwards == 0 {
+            0.0
+        } else {
+            completed as f64 / forwards as f64
+        },
+        batch_hist: stats
+            .batch_hist
+            .iter()
+            .zip(&start_stats.batch_hist)
+            .map(|(&a, &b)| a - b)
+            .collect(),
+    }
+}
+
+/// Direct single-threaded scores of every template group — the oracle the
+/// engine's concurrent output is compared against.
+pub fn score_all(model: &odnet_core::FrozenOdNet, groups: &[GroupInput]) -> Vec<Vec<(f32, f32)>> {
+    groups.iter().map(|g| model.score_group(g)).collect()
+}

@@ -1,0 +1,89 @@
+//! A minimal one-shot rendezvous: the worker deposits one value, the
+//! requesting thread blocks until it arrives. Built on `Mutex` + `Condvar`
+//! (no vendored channel dependency); dropping the sender without sending
+//! wakes the receiver with `None` instead of deadlocking it.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Slot<T> {
+    value: Mutex<(Option<T>, bool)>,
+    ready: Condvar,
+}
+
+/// Producing half — consumed by [`Sender::send`].
+pub(crate) struct Sender<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Consuming half — consumed by [`Receiver::recv`].
+pub(crate) struct Receiver<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Create a connected sender/receiver pair.
+pub(crate) fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let slot = Arc::new(Slot {
+        value: Mutex::new((None, false)),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            slot: Arc::clone(&slot),
+        },
+        Receiver { slot },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Deposit the value and wake the receiver.
+    pub(crate) fn send(self, value: T) {
+        let mut guard = self.slot.value.lock().expect("oneshot lock poisoned");
+        guard.0 = Some(value);
+        guard.1 = true;
+        drop(guard);
+        self.slot.ready.notify_one();
+        // Skip Drop's done-marking: delivery already happened.
+        std::mem::forget(self);
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut guard = self.slot.value.lock().expect("oneshot lock poisoned");
+        guard.1 = true;
+        drop(guard);
+        self.slot.ready.notify_one();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until the value arrives; `None` means the sender was dropped
+    /// without sending (the request was abandoned).
+    pub(crate) fn recv(self) -> Option<T> {
+        let mut guard = self.slot.value.lock().expect("oneshot lock poisoned");
+        while !guard.1 {
+            guard = self.slot.ready.wait(guard).expect("oneshot lock poisoned");
+        }
+        guard.0.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_across_threads() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || rx.recv());
+        tx.send(99);
+        assert_eq!(h.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn dropped_sender_unblocks_receiver() {
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! The engine is the newest link in the oracle chain: live tape → batched
+//! → frozen → **concurrent engine**. Under any worker count, batch size,
+//! and interleaving, engine responses must be *bit-identical* to direct
+//! single-threaded `FrozenOdNet::score_group` calls — coalescing must be
+//! observationally invisible.
+
+use od_hsg::HsgBuilder;
+use od_serve::{drive, score_all, Engine, EngineConfig, Submit, Ticket};
+use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
+use std::sync::{Arc, OnceLock};
+
+/// Compile-time checks: everything that crosses a thread boundary at
+/// serve time must be `Send + Sync`.
+#[allow(dead_code)]
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn serving_types_are_send_sync() {
+    assert_send_sync::<FrozenOdNet>();
+    assert_send_sync::<GroupInput>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineConfig>();
+    assert_send_sync::<Ticket>();
+}
+
+struct Fixture {
+    model: Arc<FrozenOdNet>,
+    /// Mixed-size scoring templates: several distinct user contexts, each
+    /// at several candidate counts (1 up to the full recall set).
+    groups: Vec<GroupInput>,
+    /// Direct single-threaded scores of every template (the oracle).
+    expected: Vec<Vec<(f32, f32)>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+        let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+        for it in ds.hsg_interactions() {
+            b.add_interaction(it);
+        }
+        let model = OdNetModel::new(
+            Variant::Odnet,
+            OdnetConfig::tiny(),
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            Some(b.build()),
+        );
+        let fx = FeatureExtractor::new(6, 4);
+        let mut groups = Vec::new();
+        for base in fx.groups_from_samples(&ds, &ds.train).into_iter().take(8) {
+            for n in [1, 2, base.candidates.len()] {
+                let mut g = base.clone();
+                g.candidates.truncate(n);
+                groups.push(g);
+            }
+        }
+        assert!(groups.len() >= 16, "fixture needs a healthy template pool");
+        let model = Arc::new(model.freeze());
+        let expected = score_all(&model, &groups);
+        Fixture {
+            model,
+            groups,
+            expected,
+        }
+    })
+}
+
+/// The satellite's headline test: 8 threads × 100 mixed-size groups
+/// through the engine equal the single-threaded scores exactly.
+#[test]
+fn concurrent_engine_matches_direct_scoring_bitwise() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+        },
+    );
+    let report = drive(&engine, &fix.groups, Some(&fix.expected), 800, 8);
+    assert_eq!(report.mismatches, 0, "engine diverged from direct scoring");
+    assert_eq!(report.requests, 800);
+    let stats = engine.stats();
+    assert_eq!(stats.completed, 800);
+    assert_eq!(stats.submitted, 800);
+    // Histogram bookkeeping: every forward is binned, batch sizes sum back
+    // to the completed requests (no bucket overflow at max_batch = 16).
+    assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.forwards);
+    let weighted: u64 = stats
+        .batch_hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as u64 * c)
+        .sum();
+    assert_eq!(weighted, stats.completed);
+}
+
+/// Coalescing disabled must also match the oracle (and never merge).
+#[test]
+fn no_coalesce_engine_matches_direct_scoring_bitwise() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: false,
+        },
+    );
+    let report = drive(&engine, &fix.groups, Some(&fix.expected), 400, 8);
+    assert_eq!(report.mismatches, 0);
+    let stats = engine.stats();
+    assert_eq!(stats.coalesced_requests, 0, "coalescing was disabled");
+    assert_eq!(stats.forwards, stats.completed);
+}
+
+/// Same-context concurrent requests do get merged, and merged responses
+/// still carry each request's own candidate slice.
+#[test]
+fn coalescing_engages_for_same_context_bursts() {
+    let fix = fixture();
+    // Retry a few times: coalescing needs requests to be *pending
+    // together*, which the scheduler does not strictly guarantee.
+    for attempt in 0..20 {
+        let engine = Engine::new(
+            Arc::clone(&fix.model),
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 256,
+                max_batch: 64,
+                coalesce: true,
+            },
+        );
+        // One template, submitted as a burst before waiting on anything.
+        let gi = 0;
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|_| match engine.submit(fix.groups[gi].clone()) {
+                Submit::Accepted(t) => t,
+                Submit::Rejected(_) => panic!("queue sized for the burst"),
+            })
+            .collect();
+        for t in tickets {
+            assert_eq!(
+                t.wait(),
+                fix.expected[gi],
+                "scores must not depend on merging"
+            );
+        }
+        if engine.stats().coalesced_requests > 0 {
+            return;
+        }
+        assert!(attempt < 19, "32-request bursts never coalesced in 20 runs");
+    }
+}
+
+/// A full queue rejects instead of buffering, handing the group back.
+#[test]
+fn backpressure_rejects_and_returns_the_group() {
+    let fix = fixture();
+    // No workers: nothing drains the queue, so rejection is deterministic.
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 3,
+            max_batch: 8,
+            coalesce: true,
+        },
+    );
+    let mut tickets = Vec::new();
+    for _ in 0..3 {
+        match engine.submit(fix.groups[1].clone()) {
+            Submit::Accepted(t) => tickets.push(t),
+            Submit::Rejected(_) => panic!("queue not full yet"),
+        }
+    }
+    match engine.submit(fix.groups[1].clone()) {
+        Submit::Accepted(_) => panic!("4th submit must bounce off capacity 3"),
+        Submit::Rejected(back) => {
+            assert_eq!(back.candidates.len(), fix.groups[1].candidates.len());
+            assert_eq!(back.user, fix.groups[1].user);
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!((stats.submitted, stats.rejected), (3, 1));
+    // Tickets are intentionally dropped unanswered: with zero workers the
+    // engine cannot score them, and dropping the engine must not hang.
+    drop(tickets);
+}
+
+/// Dropping the engine drains accepted requests before the workers exit —
+/// accepted work is never lost.
+#[test]
+fn shutdown_drains_pending_requests() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 4,
+            coalesce: true,
+        },
+    );
+    let tickets: Vec<(usize, Ticket)> = (0..10)
+        .map(|i| {
+            let gi = i % fix.groups.len();
+            match engine.submit(fix.groups[gi].clone()) {
+                Submit::Accepted(t) => (gi, t),
+                Submit::Rejected(_) => panic!("queue sized for the burst"),
+            }
+        })
+        .collect();
+    drop(engine);
+    for (gi, t) in tickets {
+        assert_eq!(t.wait(), fix.expected[gi]);
+    }
+}
+
+/// Candidate-free requests are legal and answered with an empty score set.
+#[test]
+fn empty_group_scores_to_empty() {
+    let fix = fixture();
+    let engine = Engine::new(Arc::clone(&fix.model), EngineConfig::default());
+    let mut g = fix.groups[0].clone();
+    g.candidates.clear();
+    assert_eq!(engine.score(g).expect("accepted"), Vec::new());
+}

@@ -88,18 +88,31 @@ pub fn transpose_into(a: &[f32], r: usize, c: usize, out: &mut [f32]) {
     }
 }
 
+/// Apply `f` to every element, processing 8-lane chunks through fixed-size
+/// arrays so the compiler vectorizes the body. Elementwise ops touch each
+/// element independently, so widening cannot change rounding.
+#[inline]
+fn for_each_wide(xs: &mut [f32], f: impl Fn(f32) -> f32) {
+    let mut chunks = xs.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        let arr: &mut [f32; 8] = chunk.try_into().unwrap();
+        for x in arr.iter_mut() {
+            *x = f(*x);
+        }
+    }
+    for x in chunks.into_remainder() {
+        *x = f(*x);
+    }
+}
+
 /// Elementwise `x = max(x, 0)` — mirrors the tape's `relu`.
 pub fn relu_in_place(xs: &mut [f32]) {
-    for x in xs.iter_mut() {
-        *x = x.max(0.0);
-    }
+    for_each_wide(xs, |x| x.max(0.0));
 }
 
 /// Elementwise `x *= s` — mirrors the tape's `scale`.
 pub fn scale_in_place(xs: &mut [f32], s: f32) {
-    for x in xs.iter_mut() {
-        *x *= s;
-    }
+    for_each_wide(xs, |x| x * s);
 }
 
 /// Add `bias` (length `cols`) to every row of the `rows×cols` view of `xs`
@@ -107,7 +120,16 @@ pub fn scale_in_place(xs: &mut [f32], s: f32) {
 pub fn add_row_in_place(xs: &mut [f32], cols: usize, bias: &[f32]) {
     assert_eq!(bias.len(), cols, "add_row_in_place: bias length mismatch");
     for row in xs.chunks_mut(cols) {
-        for (x, &b) in row.iter_mut().zip(bias) {
+        let mut rc = row.chunks_exact_mut(8);
+        let mut bc = bias.chunks_exact(8);
+        for (rs, bs) in (&mut rc).zip(&mut bc) {
+            let ra: &mut [f32; 8] = rs.try_into().unwrap();
+            let ba: &[f32; 8] = bs.try_into().unwrap();
+            for l in 0..8 {
+                ra[l] += ba[l];
+            }
+        }
+        for (x, &b) in rc.into_remainder().iter_mut().zip(bc.remainder()) {
             *x += b;
         }
     }
@@ -132,14 +154,12 @@ pub fn mean_rows_into(a: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
     assert!(out.len() >= cols, "mean_rows_into: output too short");
     out[..cols].fill(0.0);
     for i in 0..rows {
-        for (o, &v) in out.iter_mut().zip(&a[i * cols..(i + 1) * cols]) {
-            *o += v;
-        }
+        // axpy with α = 1 adds each element exactly (1·v == v bitwise), so
+        // the widened accumulation matches the tape's scalar row sum.
+        linalg::axpy(1.0, &a[i * cols..(i + 1) * cols], &mut out[..cols]);
     }
     let r = rows.max(1) as f32;
-    for o in out[..cols].iter_mut() {
-        *o /= r;
-    }
+    for_each_wide(&mut out[..cols], |o| o / r);
 }
 
 #[cfg(test)]

@@ -66,6 +66,26 @@ fn row_partitioned(
     .expect("matmul worker must not panic");
 }
 
+/// `y += alpha · x`, accumulated in 8-lane chunks so the compiler can keep
+/// the edge-tile paths of the gemm stripes vectorized. Each output element
+/// still receives exactly one multiply-add per call, so widening does not
+/// change rounding — the result is bit-identical to the scalar loop.
+pub(crate) fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact_mut(8);
+    for (ys, xs) in (&mut yc).zip(&mut xc) {
+        let ya: &mut [f32; 8] = ys.try_into().unwrap();
+        let xa: &[f32; 8] = xs.try_into().unwrap();
+        for l in 0..8 {
+            ya[l] += alpha * xa[l];
+        }
+    }
+    for (o, &v) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += alpha * v;
+    }
+}
+
 /// Tiled `out[lo..hi, :] = a[lo..hi, :] · b` where `a` is `m×k` row-major and
 /// `b` is `k×n`. `out` holds only the stripe's rows.
 ///
@@ -111,10 +131,7 @@ pub(crate) fn gemm_nn_stripe(
                         if av == 0.0 {
                             continue;
                         }
-                        let brow = &b[p * n + j0..p * n + j0 + jr];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
+                        axpy(av, &b[p * n + j0..p * n + j0 + jr], orow);
                     }
                 }
             }
@@ -166,10 +183,11 @@ fn gemm_tn_stripe(
                         if av == 0.0 {
                             continue;
                         }
-                        let orow = &mut out[(i - lo) * n + j0..(i - lo) * n + j0 + jr];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
+                        axpy(
+                            av,
+                            brow,
+                            &mut out[(i - lo) * n + j0..(i - lo) * n + j0 + jr],
+                        );
                     }
                 }
             }
@@ -603,6 +621,22 @@ mod tests {
         let a = t2x3();
         assert_eq!(sum_rows(&a).as_slice(), &[5.0, 7.0, 9.0]);
         assert_eq!(mean_rows(&a).as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop_bitwise() {
+        // Lengths around the 8-lane boundary: remainder-only, exact, mixed.
+        for len in [0, 1, 7, 8, 9, 16, 23] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 - 3.5) * 0.37).collect();
+            let mut y: Vec<f32> = (0..len).map(|i| (i as f32) * 0.11 - 1.0).collect();
+            let mut reference = y.clone();
+            let alpha = 1.7f32;
+            for (o, &v) in reference.iter_mut().zip(&x) {
+                *o += alpha * v;
+            }
+            axpy(alpha, &x, &mut y);
+            assert_eq!(y, reference, "len {len}");
+        }
     }
 
     #[test]

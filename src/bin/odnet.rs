@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
         "recommend" => cmd_recommend(&flags),
+        "serve-bench" => cmd_serve_bench(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,6 +62,8 @@ USAGE:
                   [--users N] [--cities N] [--epochs N] [--seed N]
   odnet eval      --model FILE
   odnet recommend --model FILE --user ID [--top K]
+  odnet serve-bench [--users N] [--cities N] [--workers N] [--requests N]
+                  [--clients N] [--batch N] [--no-coalesce] [--check]
 ";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -201,6 +204,118 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         eval.ranking.mrr10,
         model.theta(),
     );
+    Ok(())
+}
+
+/// Stress the concurrent serving engine against an untrained frozen model
+/// and report throughput/latency. With `--check`, assert that every
+/// response matched direct single-threaded scoring bit-for-bit and that
+/// cross-request coalescing actually engaged — the CI smoke gate.
+fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    use od_serve::{drive, score_all, Engine, EngineConfig};
+    use std::sync::Arc;
+
+    let workers = get_usize(flags, "workers", 2)?.max(1);
+    let requests = get_usize(flags, "requests", 1000)?;
+    let clients = get_usize(flags, "clients", workers * 2)?.max(1);
+    let max_batch = get_usize(flags, "batch", 64)?.max(1);
+    let coalesce = !flags.contains_key("no-coalesce");
+    let check = flags.contains_key("check");
+
+    let data_config = FliggyConfig {
+        num_users: get_usize(flags, "users", 60)?,
+        num_cities: get_usize(flags, "cities", 15)?,
+        seed: get_usize(flags, "seed", 0xF11667)? as u64,
+        ..FliggyConfig::tiny()
+    };
+    eprintln!(
+        "generating dataset ({} users, {} cities)…",
+        data_config.num_users, data_config.num_cities
+    );
+    let ds = build_dataset(&data_config);
+    let cfg = OdnetConfig::tiny();
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let model = OdNetModel::new(
+        Variant::Odnet,
+        cfg,
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        Some(build_hsg(&ds)),
+    );
+    let model = Arc::new(model.freeze());
+
+    // 1-candidate-heavy request templates from a few distinct contexts —
+    // the workload micro-batching exists for.
+    let day = ds.train_end_day();
+    let mut groups = Vec::new();
+    for user in (0..ds.world.num_users() as u32)
+        .map(UserId)
+        .filter(|&u| !ds.long_term(u, day).is_empty())
+        .take(4)
+    {
+        let pairs = recall_candidates(&ds, user, day, 32);
+        for p in pairs.iter().take(4) {
+            groups.push(fx.group_for_serving(&ds, user, day, std::slice::from_ref(p)));
+        }
+        if pairs.len() >= 8 {
+            groups.push(fx.group_for_serving(&ds, user, day, &pairs[..8]));
+        }
+    }
+    if groups.is_empty() {
+        return Err("no serving templates: dataset too small".into());
+    }
+    let expected = score_all(&model, &groups);
+
+    let engine = Engine::new(
+        Arc::clone(&model),
+        EngineConfig {
+            workers,
+            queue_capacity: 1024,
+            max_batch,
+            coalesce,
+        },
+    );
+    eprintln!(
+        "driving {requests} requests through {workers} worker(s) from {clients} client(s) \
+         (coalescing {})…",
+        if coalesce { "on" } else { "off" }
+    );
+    let r = drive(&engine, &groups, Some(&expected), requests, clients);
+    println!(
+        "requests      {}\nthroughput    {:.0} req/s\np50 latency   {:.0} us\n\
+         p99 latency   {:.0} us\nforwards      {}\nreq/forward   {:.2}\n\
+         coalesced     {}\nrejected      {}\nmismatches    {}",
+        r.requests,
+        r.requests_per_sec,
+        r.p50_us,
+        r.p99_us,
+        r.forwards,
+        r.mean_requests_per_forward,
+        r.coalesced_requests,
+        r.rejected_retries,
+        r.mismatches
+    );
+    if check {
+        if r.mismatches != 0 {
+            return Err(format!(
+                "{} engine responses diverged from direct scoring",
+                r.mismatches
+            ));
+        }
+        if r.requests != requests as u64 {
+            return Err(format!(
+                "engine completed {} of {requests} requests",
+                r.requests
+            ));
+        }
+        if coalesce && r.coalesced_requests == 0 {
+            return Err("coalescing never engaged under concurrent load".into());
+        }
+        eprintln!(
+            "check passed: bit-exact responses{}",
+            if coalesce { ", coalescing engaged" } else { "" }
+        );
+    }
     Ok(())
 }
 

@@ -7,7 +7,9 @@
 //! - [`hsg`] — the Heterogeneous Spatial Graph (`od-hsg`);
 //! - [`data`] — synthetic datasets, metrics, A/B simulator (`od-data`);
 //! - [`core`] — the ODNET model, trainer, evaluator (`odnet-core`);
-//! - [`baselines`] — the paper's seven comparison methods (`od-baselines`).
+//! - [`baselines`] — the paper's seven comparison methods (`od-baselines`);
+//! - [`serve`] — the concurrent serving engine over the frozen artifact
+//!   (`od-serve`).
 //!
 //! See `examples/quickstart.rs` for the end-to-end train → evaluate →
 //! serve loop.
@@ -17,5 +19,6 @@
 pub use od_baselines as baselines;
 pub use od_data as data;
 pub use od_hsg as hsg;
+pub use od_serve as serve;
 pub use od_tensor as tensor;
 pub use odnet_core as core;
