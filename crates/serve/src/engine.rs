@@ -353,9 +353,10 @@ impl CoalescePlan {
     fn clear(&mut self) {
         self.members.clear();
         self.ranges.clear();
-        for bucket in self.index.values_mut() {
-            bucket.clear();
-        }
+        // Drop the keys too: a batch holds at most `max_batch` distinct
+        // contexts, so rebuilding the small map per drain is cheap, while
+        // keeping every context hash ever seen would grow without bound.
+        self.index.clear();
     }
 
     /// One set per request — the coalescing-disabled path.

@@ -42,8 +42,8 @@ impl<T> Sender<T> {
         guard.1 = true;
         drop(guard);
         self.slot.ready.notify_one();
-        // Skip Drop's done-marking: delivery already happened.
-        std::mem::forget(self);
+        // Drop now runs too; its re-mark + notify are harmless after a
+        // send, and skipping it (mem::forget) would leak the slot Arc.
     }
 }
 
@@ -85,5 +85,17 @@ mod tests {
         let (tx, rx) = channel::<u32>();
         drop(tx);
         assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_does_not_leak_the_slot() {
+        let (tx, rx) = channel::<u32>();
+        let slot = Arc::downgrade(&tx.slot);
+        tx.send(7);
+        assert_eq!(rx.recv(), Some(7));
+        assert!(
+            slot.upgrade().is_none(),
+            "slot still alive after both halves are gone"
+        );
     }
 }
