@@ -26,4 +26,15 @@ echo "==> throughput smoke (engine vs direct scoring, coalescing engaged)"
 # cross-request coalescing merged at least one batch.
 cargo run --release --bin odnet -- serve-bench --workers 2 --requests 1000 --check
 
+echo "==> chaos suite (panic isolation, deadlines, supervision)"
+cargo test -q -p od-serve --test chaos
+
+echo "==> fault-injection smoke (3 worker panics under load)"
+# Fixed fault seed (batches 3, 7, 11); --check fails the gate unless the
+# run survived with zero lost tickets, bit-exact surviving responses, and
+# health counters (worker panics, respawns, pool size) reconciling with
+# the injected fault count.
+cargo run --release --bin odnet -- serve-bench --workers 2 --clients 8 \
+    --requests 2000 --inject-panics 3 --check
+
 echo "CI OK"

@@ -77,6 +77,10 @@ fn run(
             queue_capacity: 1024,
             max_batch: 64,
             coalesce,
+            // Fault hooks compiled in but disabled: this is the
+            // configuration whose throughput the <2% regression gate
+            // guards.
+            fail_point: None,
         },
     );
     let report = drive(&engine, groups, Some(expected), total, workers * 2);

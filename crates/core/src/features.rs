@@ -80,6 +80,153 @@ fn assemble_xst(global: [f32; od_data::TEMPORAL_FEATURES], user: [f32; 4]) -> Xs
     out
 }
 
+/// Why a [`GroupInput`] was turned away at the serving edge — the typed
+/// admission-control taxonomy of [`validate_group`]. Each variant names the
+/// offending field and the bound it violated, so callers can log actionable
+/// diagnostics instead of a worker panicking deep inside table indexing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvalidInput {
+    /// The user id does not exist in the model's user universe.
+    UserOutOfRange {
+        /// Offending user id.
+        user: u32,
+        /// Users the model was built with.
+        num_users: usize,
+    },
+    /// A city id (current city, history entry, or candidate side) does not
+    /// exist in the model's city universe.
+    CityOutOfRange {
+        /// Which field carried the id.
+        field: &'static str,
+        /// Offending city id.
+        city: u32,
+        /// Cities the model was built with.
+        num_cities: usize,
+    },
+    /// A history city sequence and its aligned day sequence disagree in
+    /// length.
+    MisalignedSequence {
+        /// Which pair of fields disagrees.
+        field: &'static str,
+        /// City-sequence length.
+        cities: usize,
+        /// Day-sequence length.
+        days: usize,
+    },
+    /// A history sequence exceeds the length the model was trained with —
+    /// rejecting it bounds per-request compute at the admission edge.
+    SequenceTooLong {
+        /// Which field is oversized.
+        field: &'static str,
+        /// Submitted length.
+        len: usize,
+        /// Maximum the model accepts.
+        max: usize,
+    },
+    /// A candidate's temporal feature vector carries NaN or ±∞, which would
+    /// silently propagate into every score of its group.
+    NonFiniteFeature {
+        /// Index of the offending candidate.
+        candidate: usize,
+    },
+}
+
+impl std::fmt::Display for InvalidInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidInput::UserOutOfRange { user, num_users } => {
+                write!(
+                    f,
+                    "user id {user} out of range (model has {num_users} users)"
+                )
+            }
+            InvalidInput::CityOutOfRange {
+                field,
+                city,
+                num_cities,
+            } => write!(
+                f,
+                "city id {city} in {field} out of range (model has {num_cities} cities)"
+            ),
+            InvalidInput::MisalignedSequence {
+                field,
+                cities,
+                days,
+            } => write!(f, "{field}: {cities} cities but {days} aligned day entries"),
+            InvalidInput::SequenceTooLong { field, len, max } => {
+                write!(f, "{field} holds {len} entries, model maximum is {max}")
+            }
+            InvalidInput::NonFiniteFeature { candidate } => {
+                write!(f, "candidate {candidate} carries non-finite x_st features")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidInput {}
+
+/// Validate one scoring request against a model universe of `num_users` ×
+/// `num_cities` and the trained sequence limits. `Ok(())` guarantees the
+/// frozen forward will not panic on this input (the `validated == scored`
+/// property test in `tests/proptest_validate.rs`).
+pub fn validate_group(
+    group: &GroupInput,
+    num_users: usize,
+    num_cities: usize,
+    max_long: usize,
+    max_short: usize,
+) -> Result<(), InvalidInput> {
+    if group.user.index() >= num_users {
+        return Err(InvalidInput::UserOutOfRange {
+            user: group.user.0,
+            num_users,
+        });
+    }
+    let city_ok = |field: &'static str, cities: &[CityId]| -> Result<(), InvalidInput> {
+        for c in cities {
+            if c.index() >= num_cities {
+                return Err(InvalidInput::CityOutOfRange {
+                    field,
+                    city: c.0,
+                    num_cities,
+                });
+            }
+        }
+        Ok(())
+    };
+    city_ok("current_city", std::slice::from_ref(&group.current_city))?;
+    for (field, cities, days, max) in [
+        ("lt_origins", &group.lt_origins, &group.lt_days, max_long),
+        ("lt_dests", &group.lt_dests, &group.lt_days, max_long),
+        ("st_origins", &group.st_origins, &group.st_days, max_short),
+        ("st_dests", &group.st_dests, &group.st_days, max_short),
+    ] {
+        if cities.len() != days.len() {
+            return Err(InvalidInput::MisalignedSequence {
+                field,
+                cities: cities.len(),
+                days: days.len(),
+            });
+        }
+        if cities.len() > max {
+            return Err(InvalidInput::SequenceTooLong {
+                field,
+                len: cities.len(),
+                max,
+            });
+        }
+        city_ok(field, cities)?;
+    }
+    for (i, cand) in group.candidates.iter().enumerate() {
+        city_ok("candidate origin", std::slice::from_ref(&cand.origin))?;
+        city_ok("candidate dest", std::slice::from_ref(&cand.dest))?;
+        if !cand.xst_o.iter().chain(&cand.xst_d).all(|v| v.is_finite()) {
+            return Err(InvalidInput::NonFiniteFeature { candidate: i });
+        }
+    }
+    Ok(())
+}
+
 /// One (user, day) decision context with its candidates.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GroupInput {

@@ -236,13 +236,94 @@ impl FrozenOdNet {
         serde_json::to_string(&ckpt).expect("frozen artifact serialization cannot fail")
     }
 
-    /// Restore an artifact from [`FrozenOdNet::save_json`] output.
+    /// Restore an artifact from [`FrozenOdNet::save_json`] output. The
+    /// artifact is structurally validated before it is handed out: mutually
+    /// inconsistent matrix dimensions or non-finite weights are rejected
+    /// with a typed [`CheckpointError`] instead of panicking (or silently
+    /// serving NaN scores) at request time.
     pub fn load_json(json: &str) -> Result<Self, CheckpointError> {
         let ckpt: FrozenCheckpoint = serde_json::from_str(json).map_err(CheckpointError::Parse)?;
         if ckpt.format_version != FROZEN_FORMAT_VERSION {
             return Err(CheckpointError::Version(ckpt.format_version));
         }
+        ckpt.artifact.validate_artifact()?;
         Ok(ckpt.artifact)
+    }
+
+    /// Structural validation of a (possibly untrusted) artifact: every
+    /// weight matrix must match the geometry the config declares, geometry
+    /// must be mutually consistent across components, and no tensor may
+    /// carry NaN/±∞. Runs automatically inside [`FrozenOdNet::load_json`]
+    /// and [`FrozenOdNet::from_checkpoint_json`].
+    pub fn validate_artifact(&self) -> Result<(), CheckpointError> {
+        let d = self.config.embed_dim;
+        if self.num_users == 0 || self.num_cities == 0 {
+            return Err(CheckpointError::Inconsistent(format!(
+                "artifact declares {} users and {} cities",
+                self.num_users, self.num_cities
+            )));
+        }
+        for (name, branch) in [("origin", &self.origin), ("dest", &self.dest)] {
+            od_tensor::nn::check_matrix(
+                &format!("{name}.users"),
+                &branch.users,
+                self.num_users,
+                d,
+            )?;
+            od_tensor::nn::check_matrix(
+                &format!("{name}.cities"),
+                &branch.cities,
+                self.num_cities,
+                d,
+            )?;
+            branch.pec.check(&format!("{name}.pec"), d)?;
+            if branch.intent.is_some() != (self.config.intents > 0) {
+                return Err(CheckpointError::Inconsistent(format!(
+                    "{name}: intent module presence disagrees with config.intents = {}",
+                    self.config.intents
+                )));
+            }
+            if let Some(intent) = &branch.intent {
+                intent.check(&format!("{name}.intent"), d)?;
+            }
+        }
+        let q_dim = self.config.q_dim();
+        match &self.head {
+            FrozenHead::Joint(mmoe) => mmoe.check(
+                "head",
+                2 * q_dim,
+                self.config.experts,
+                self.config.expert_dim,
+            )?,
+            FrozenHead::Single(stl) => stl.check("head", q_dim)?,
+        }
+        if !self.theta.is_finite() {
+            return Err(CheckpointError::NonFinite("theta".to_string()));
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(CheckpointError::Inconsistent(format!(
+                "theta {} outside [0, 1] (it is a post-sigmoid weight)",
+                self.theta
+            )));
+        }
+        Ok(())
+    }
+
+    /// Admission-control validation of one scoring request against this
+    /// artifact's universe: user and city ids must be in range and the
+    /// history sequences must be mutually aligned and no longer than the
+    /// lengths the model was trained with. A request that passes is
+    /// guaranteed to score without panicking — the serving engine calls this
+    /// at submit so malformed requests are rejected at the edge with a typed
+    /// error instead of crashing a worker mid-batch.
+    pub fn validate_group(&self, group: &GroupInput) -> Result<(), crate::InvalidInput> {
+        crate::features::validate_group(
+            group,
+            self.num_users,
+            self.num_cities,
+            self.config.max_long_seq,
+            self.config.max_short_seq,
+        )
     }
 }
 
@@ -340,5 +421,145 @@ impl OdScorer for FrozenOdNet {
 
     fn name(&self) -> String {
         format!("{} (frozen)", self.variant.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{OdNetModel, Variant};
+    use od_hsg::HsgBuilder;
+
+    fn tiny_frozen() -> FrozenOdNet {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let variant = Variant::Odnet;
+        let hsg = variant.uses_graph().then(|| {
+            let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+            let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+            for it in ds.hsg_interactions() {
+                b.add_interaction(it);
+            }
+            b.build()
+        });
+        OdNetModel::new(
+            variant,
+            OdnetConfig::tiny(),
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            hsg,
+        )
+        .freeze()
+    }
+
+    #[test]
+    fn fresh_artifact_validates_and_round_trips() {
+        let frozen = tiny_frozen();
+        frozen.validate_artifact().expect("fresh artifact is valid");
+        let back = FrozenOdNet::load_json(&frozen.save_json()).expect("round trip");
+        assert_eq!(back.num_users(), frozen.num_users());
+    }
+
+    #[test]
+    fn nan_weight_is_rejected_as_non_finite() {
+        let mut frozen = tiny_frozen();
+        frozen.origin.users.as_mut_slice()[0] = f32::NAN;
+        match frozen.validate_artifact() {
+            Err(CheckpointError::NonFinite(what)) => assert!(what.contains("origin.users")),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_table_dims_are_rejected_as_inconsistent() {
+        let mut frozen = tiny_frozen();
+        // The artifact claims one more user than its table holds.
+        frozen.num_users += 1;
+        match frozen.validate_artifact() {
+            Err(CheckpointError::Inconsistent(what)) => assert!(what.contains("users")),
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+        // The same corruption arriving through the JSON path is caught by
+        // load_json instead of panicking on a later row lookup.
+        match FrozenOdNet::load_json(&frozen.save_json()) {
+            Err(CheckpointError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent from load_json, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_injected_infinity_is_rejected() {
+        // JSON cannot carry NaN, but an overflowing literal like 1e999
+        // parses to ∞ — load_json must refuse to serve it.
+        let mut frozen = tiny_frozen();
+        frozen.origin.users.as_mut_slice()[0] = 12345.5;
+        let json = frozen.save_json().replacen("12345.5", "1e999", 1);
+        match FrozenOdNet::load_json(&json) {
+            Err(CheckpointError::NonFinite(_)) => {}
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theta_outside_unit_interval_is_rejected() {
+        let mut frozen = tiny_frozen();
+        frozen.theta = 1.5;
+        assert!(matches!(
+            frozen.validate_artifact(),
+            Err(CheckpointError::Inconsistent(_))
+        ));
+        frozen.theta = f32::NAN;
+        assert!(matches!(
+            frozen.validate_artifact(),
+            Err(CheckpointError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn validate_group_guards_every_id_field() {
+        let frozen = tiny_frozen();
+        let valid = GroupInput {
+            user: od_hsg::UserId(0),
+            day: 10,
+            current_city: CityId(0),
+            lt_origins: vec![CityId(1)],
+            lt_dests: vec![CityId(2)],
+            lt_days: vec![3],
+            st_origins: Vec::new(),
+            st_dests: Vec::new(),
+            st_days: Vec::new(),
+            candidates: Vec::new(),
+        };
+        frozen.validate_group(&valid).expect("valid group passes");
+
+        let mut g = valid.clone();
+        g.user = od_hsg::UserId(frozen.num_users() as u32);
+        assert!(matches!(
+            frozen.validate_group(&g),
+            Err(crate::InvalidInput::UserOutOfRange { .. })
+        ));
+
+        let mut g = valid.clone();
+        g.lt_origins[0] = CityId(frozen.num_cities() as u32);
+        assert!(matches!(
+            frozen.validate_group(&g),
+            Err(crate::InvalidInput::CityOutOfRange { .. })
+        ));
+
+        let mut g = valid.clone();
+        g.lt_days.clear();
+        assert!(matches!(
+            frozen.validate_group(&g),
+            Err(crate::InvalidInput::MisalignedSequence { .. })
+        ));
+
+        let mut g = valid;
+        let too_long = frozen.config().max_long_seq + 1;
+        g.lt_origins = vec![CityId(0); too_long];
+        g.lt_dests = vec![CityId(0); too_long];
+        g.lt_days = vec![0; too_long];
+        assert!(matches!(
+            frozen.validate_group(&g),
+            Err(crate::InvalidInput::SequenceTooLong { .. })
+        ));
     }
 }

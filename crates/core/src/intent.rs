@@ -97,6 +97,32 @@ pub struct FrozenIntent {
 }
 
 impl FrozenIntent {
+    /// Validate the prototype table against the branch dimension `d`.
+    pub(crate) fn check(
+        &self,
+        what: &str,
+        d: usize,
+    ) -> Result<(), od_tensor::nn::FrozenCheckError> {
+        use od_tensor::nn::FrozenCheckError;
+        if self.dim != d {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: intent dim {} does not match the embedding dim {d}",
+                self.dim
+            )));
+        }
+        if self.num_intents == 0 {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: intent module with zero prototypes"
+            )));
+        }
+        od_tensor::nn::check_matrix(
+            &format!("{what}.prototypes"),
+            &self.prototypes,
+            self.num_intents,
+            d,
+        )
+    }
+
     /// Tape-free counterpart of [`IntentModule::forward`]: `short_emb` is an
     /// optional `(buffer, len)` pair of `s×d` click embeddings; returns the
     /// length-`d` soft intent vector as a workspace buffer (zeros when there

@@ -67,10 +67,12 @@ pub use eval::{
     evaluate_auc, evaluate_on_checkin, evaluate_on_fliggy, evaluate_ranking,
     evaluate_ranking_sliced, score_groups, FliggyEvaluation, OdScorer, SlicedRanking,
 };
-pub use features::{CandidateInput, FeatureExtractor, GroupInput, Xst, XST_DIM};
+pub use features::{
+    validate_group, CandidateInput, FeatureExtractor, GroupInput, InvalidInput, Xst, XST_DIM,
+};
 pub use frozen::FrozenOdNet;
 pub use intent::IntentModule;
 pub use mmoe::{MmoeHead, SingleTaskHead};
 pub use model::{CheckpointError, GroupForward, GroupForwardBatched, OdNetModel, Variant};
 pub use pec::PecModule;
-pub use trainer::{train, TrainHyper, TrainReport, TrainableModel};
+pub use trainer::{train, try_train, TrainError, TrainHyper, TrainReport, TrainableModel};

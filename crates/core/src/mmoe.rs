@@ -203,6 +203,54 @@ pub struct FrozenMmoeHead {
 }
 
 impl FrozenMmoeHead {
+    /// Validate expert/gate/tower shapes against the concatenated task
+    /// dimension and the configured expert pool.
+    pub(crate) fn check(
+        &self,
+        what: &str,
+        q_cat_dim: usize,
+        experts: usize,
+        expert_dim: usize,
+    ) -> Result<(), od_tensor::nn::FrozenCheckError> {
+        use od_tensor::nn::FrozenCheckError;
+        if self.experts.len() != experts {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: {} experts but the config declares {experts}",
+                self.experts.len()
+            )));
+        }
+        if self.expert_dim != expert_dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: expert width {} but the config declares {expert_dim}",
+                self.expert_dim
+            )));
+        }
+        for (e, expert) in self.experts.iter().enumerate() {
+            expert.check(&format!("{what}.expert{e}"))?;
+            if expert.in_dim() != q_cat_dim || expert.out_dim() != expert_dim {
+                return Err(FrozenCheckError::Shape(format!(
+                    "{what}.expert{e}: maps {}→{}, expected {q_cat_dim}→{expert_dim}",
+                    expert.in_dim(),
+                    expert.out_dim()
+                )));
+            }
+        }
+        for (name, gate) in [("gate_o", &self.gate_o), ("gate_d", &self.gate_d)] {
+            gate.check(&format!("{what}.{name}"))?;
+            if gate.in_dim() != q_cat_dim || gate.out_dim() != experts {
+                return Err(FrozenCheckError::Shape(format!(
+                    "{what}.{name}: maps {}→{}, expected {q_cat_dim}→{experts}",
+                    gate.in_dim(),
+                    gate.out_dim()
+                )));
+            }
+        }
+        self.tower_o
+            .check(&format!("{what}.tower_o"), expert_dim, 1)?;
+        self.tower_d
+            .check(&format!("{what}.tower_d"), expert_dim, 1)
+    }
+
     /// Tape-free counterpart of [`MmoeHead::forward_batched`]: `q_cat` is
     /// `n×2d_q`; returns the `(logit_O, logit_D)` columns as length-`n`
     /// workspace buffers. The gate mix accumulates experts in ascending
@@ -325,6 +373,16 @@ pub struct FrozenSingleHead {
 }
 
 impl FrozenSingleHead {
+    /// Validate both towers against the task dimension `q_dim`.
+    pub(crate) fn check(
+        &self,
+        what: &str,
+        q_dim: usize,
+    ) -> Result<(), od_tensor::nn::FrozenCheckError> {
+        self.tower_o.check(&format!("{what}.tower_o"), q_dim, 1)?;
+        self.tower_d.check(&format!("{what}.tower_d"), q_dim, 1)
+    }
+
     /// Tape-free counterpart of [`SingleTaskHead::forward`] over `n×d_q`
     /// task representations; returns length-`n` logit buffers.
     pub fn forward_batched(

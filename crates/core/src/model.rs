@@ -645,7 +645,9 @@ impl FrozenOdNet {
         if ckpt.format_version != CHECKPOINT_VERSION {
             return Err(CheckpointError::Version(ckpt.format_version));
         }
-        ckpt.frozen.ok_or(CheckpointError::MissingFrozen)
+        let frozen = ckpt.frozen.ok_or(CheckpointError::MissingFrozen)?;
+        frozen.validate_artifact()?;
+        Ok(frozen)
     }
 }
 
@@ -667,6 +669,21 @@ pub enum CheckpointError {
         /// Parameters the checkpoint carries.
         found: usize,
     },
+    /// Matrix dimensions inside the frozen artifact are mutually
+    /// inconsistent (corrupt or hand-edited checkpoint).
+    Inconsistent(String),
+    /// The frozen artifact carries NaN or infinite weights, which would
+    /// silently produce NaN scores at serving time.
+    NonFinite(String),
+}
+
+impl From<od_tensor::nn::FrozenCheckError> for CheckpointError {
+    fn from(e: od_tensor::nn::FrozenCheckError) -> Self {
+        match e {
+            od_tensor::nn::FrozenCheckError::Shape(what) => CheckpointError::Inconsistent(what),
+            od_tensor::nn::FrozenCheckError::NonFinite(what) => CheckpointError::NonFinite(what),
+        }
+    }
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -687,6 +704,12 @@ impl std::fmt::Display for CheckpointError {
                 f,
                 "checkpoint carries {found} parameters but the architecture has {expected}"
             ),
+            CheckpointError::Inconsistent(what) => {
+                write!(f, "inconsistent frozen artifact: {what}")
+            }
+            CheckpointError::NonFinite(what) => {
+                write!(f, "non-finite weights in frozen artifact: {what}")
+            }
         }
     }
 }

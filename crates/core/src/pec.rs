@@ -106,6 +106,26 @@ pub struct FrozenPec {
 }
 
 impl FrozenPec {
+    /// Validate encoder/attention shapes against the branch dimension `d`
+    /// and reject non-finite weights.
+    pub(crate) fn check(
+        &self,
+        what: &str,
+        d: usize,
+    ) -> Result<(), od_tensor::nn::FrozenCheckError> {
+        if self.dim != d {
+            return Err(od_tensor::nn::FrozenCheckError::Shape(format!(
+                "{what}: PEC dim {} does not match the embedding dim {d}",
+                self.dim
+            )));
+        }
+        self.encoder_long
+            .check(&format!("{what}.encoder_long"), d)?;
+        self.encoder_short
+            .check(&format!("{what}.encoder_short"), d)?;
+        self.attention.check(&format!("{what}.attention"), d)
+    }
+
     /// Tape-free counterpart of [`PecModule::forward`]: sequences are
     /// `(buffer, len)` pairs over `len×d` row-major data; returns the
     /// length-`d` summary `v_L` as a workspace buffer. Absent sequences

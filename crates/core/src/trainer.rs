@@ -77,6 +77,56 @@ impl TrainableModel for OdNetModel {
     }
 }
 
+/// Why a training run was aborted: the loss or a merged gradient went
+/// non-finite, so continuing would optimize on NaN gradients and silently
+/// destroy every parameter. The indices name the first offending mini-batch
+/// so the failure is reproducible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainError {
+    /// A mini-batch produced a NaN/infinite loss.
+    NonFiniteLoss {
+        /// Epoch of the offending batch (0-based).
+        epoch: usize,
+        /// Batch index within the epoch (0-based).
+        batch: usize,
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// A merged gradient tensor carries NaN/±∞ (caught by
+    /// [`Tensor::all_finite`] before the optimizer step).
+    NonFiniteGrad {
+        /// Epoch of the offending batch (0-based).
+        epoch: usize,
+        /// Batch index within the epoch (0-based).
+        batch: usize,
+        /// Dense index of the first offending parameter.
+        param: usize,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { epoch, batch, loss } => write!(
+                f,
+                "non-finite loss {loss} in epoch {epoch}, batch {batch}: aborting instead of \
+                 optimizing on NaN gradients"
+            ),
+            TrainError::NonFiniteGrad {
+                epoch,
+                batch,
+                param,
+            } => write!(
+                f,
+                "non-finite gradient for parameter {param} in epoch {epoch}, batch {batch}: \
+                 aborting instead of applying a NaN update"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
@@ -126,7 +176,22 @@ impl GradBuffer {
 /// count of 1; with multiple workers, floating-point merge order is
 /// deterministic too (workers are merged in index order), so runs remain
 /// reproducible.
+///
+/// # Panics
+/// Panics with the [`TrainError`] message when the loss or a gradient goes
+/// non-finite; use [`try_train`] to handle that as a typed error.
 pub fn train<M: TrainableModel>(model: &mut M, groups: &[GroupInput]) -> TrainReport {
+    try_train(model, groups).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`train`]: aborts with a typed [`TrainError`] naming
+/// the offending epoch/batch as soon as a mini-batch loss or a merged
+/// gradient goes non-finite, instead of letting Adam apply NaN updates that
+/// silently destroy the model.
+pub fn try_train<M: TrainableModel>(
+    model: &mut M,
+    groups: &[GroupInput],
+) -> Result<TrainReport, TrainError> {
     assert!(!groups.is_empty(), "cannot train on zero groups");
     let hyper = model.hyper();
     let epochs = hyper.epochs;
@@ -137,16 +202,17 @@ pub fn train<M: TrainableModel>(model: &mut M, groups: &[GroupInput]) -> TrainRe
     let mut rng = StdRng::seed_from_u64(hyper.seed ^ 0x7EA1);
     let mut epoch_losses = Vec::with_capacity(epochs);
     let started = Instant::now();
-    for _epoch in 0..epochs {
+    for epoch in 0..epochs {
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut loss_groups = 0usize;
-        for batch in order.chunks(batch_groups) {
+        for (batch_idx, batch) in order.chunks(batch_groups).enumerate() {
             let buffers = process_batch(model, groups, batch, workers);
             let store = model.store_mut();
             store.zero_grads();
+            let mut batch_loss = 0.0f64;
             for buf in &buffers {
-                loss_sum += buf.loss_sum;
+                batch_loss += buf.loss_sum;
                 loss_groups += buf.groups;
                 for (idx, grad) in buf.grads.iter().enumerate() {
                     if let Some(grad) = grad {
@@ -157,13 +223,28 @@ pub fn train<M: TrainableModel>(model: &mut M, groups: &[GroupInput]) -> TrainRe
                     }
                 }
             }
+            if !batch_loss.is_finite() {
+                return Err(TrainError::NonFiniteLoss {
+                    epoch,
+                    batch: batch_idx,
+                    loss: batch_loss,
+                });
+            }
+            loss_sum += batch_loss;
             // Average over the batch's samples is already inside each group
             // loss; average over groups here.
             let scale = 1.0 / batch.len() as f32;
-            for id in store.ids().collect::<Vec<_>>() {
+            for (param, id) in store.ids().collect::<Vec<_>>().into_iter().enumerate() {
                 let g = store.grad_mut(id);
                 for v in g.as_mut_slice() {
                     *v *= scale;
+                }
+                if !g.all_finite() {
+                    return Err(TrainError::NonFiniteGrad {
+                        epoch,
+                        batch: batch_idx,
+                        param,
+                    });
                 }
             }
             store.clip_grad_norm(hyper.grad_clip);
@@ -173,11 +254,11 @@ pub fn train<M: TrainableModel>(model: &mut M, groups: &[GroupInput]) -> TrainRe
     }
     let wall_time = started.elapsed();
     let total_groups = groups.len() * epochs;
-    TrainReport {
+    Ok(TrainReport {
         epoch_losses,
         wall_time,
         groups_per_second: total_groups as f64 / wall_time.as_secs_f64().max(1e-9),
-    }
+    })
 }
 
 /// Shard one batch across worker threads; each worker returns its local
@@ -311,5 +392,40 @@ mod tests {
     fn rejects_empty_training_set() {
         let (mut model, _) = setup(Variant::StlG, 1);
         train(&mut model, &[]);
+    }
+
+    #[test]
+    fn non_finite_batch_aborts_with_batch_index() {
+        // A NaN feature in the very first group poisons the backward pass;
+        // the guard must abort epoch 0 at batch 0 instead of optimizing on
+        // NaN gradients. Depending on where clamping ops launder the NaN,
+        // it surfaces as a non-finite loss or a non-finite gradient — both
+        // typed errors name the offending batch.
+        let (mut model, mut groups) = setup(Variant::StlG, 1);
+        for g in &mut groups {
+            g.candidates[0].xst_o[0] = f32::NAN;
+        }
+        match try_train(&mut model, &groups) {
+            Err(TrainError::NonFiniteLoss { epoch, batch, loss }) => {
+                assert_eq!((epoch, batch), (0, 0));
+                assert!(!loss.is_finite());
+            }
+            Err(TrainError::NonFiniteGrad { epoch, batch, .. }) => {
+                assert_eq!((epoch, batch), (0, 0));
+            }
+            other => panic!("expected a non-finite abort, got {other:?}"),
+        }
+        // The abort happened before any optimizer step, so every parameter
+        // is still finite.
+        for id in model.store.ids().collect::<Vec<_>>() {
+            assert!(model.store.value(id).all_finite(), "parameters corrupted");
+        }
+    }
+
+    #[test]
+    fn finite_training_is_unchanged_by_the_guard() {
+        let (mut model, groups) = setup(Variant::StlG, 1);
+        let report = try_train(&mut model, &groups).expect("finite run trains");
+        assert!(report.final_loss().is_finite());
     }
 }

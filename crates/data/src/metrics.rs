@@ -2,10 +2,14 @@
 
 /// Area under the ROC curve via the rank-sum statistic, with tied scores
 /// handled by midranks. Returns 0.5 when either class is empty.
+///
+/// NaN scores are tolerated: `total_cmp` orders them above +∞ (so a NaN
+/// score counts as "ranked best"), and evaluation of a misbehaving model
+/// degrades its metrics instead of panicking the harness.
 pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "auc input length mismatch");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Midrank assignment.
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
@@ -163,6 +167,23 @@ mod tests {
         let scores = [0.8, 0.5, 0.5, 0.2];
         let labels = [1.0, 1.0, 0.0, 0.0];
         assert!((auc(&scores, &labels) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_tolerates_nan_scores() {
+        // Regression: this used to panic on the `partial_cmp` expect. A NaN
+        // score sorts above +∞ under total_cmp, so a NaN on a negative ranks
+        // it "best" and drags the AUC down — but the harness stays alive.
+        let scores = [0.9, f32::NAN, 0.2, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let a = auc(&scores, &labels);
+        assert!(a.is_finite());
+        assert!((0.0..=1.0).contains(&a));
+        // All-NaN stays well-defined too (NaNs don't midrank-tie because
+        // NaN == NaN is false, but the positional ranks are still valid).
+        let all_nan = [f32::NAN; 4];
+        let a = auc(&all_nan, &labels);
+        assert!(a.is_finite() && (0.0..=1.0).contains(&a));
     }
 
     #[test]

@@ -1,14 +1,30 @@
-//! The throughput engine: worker pool + bounded queue + micro-batcher.
+//! The throughput engine: worker pool + bounded queue + micro-batcher,
+//! under supervision.
 //!
 //! # Data flow
 //!
 //! ```text
-//! callers ──submit()──► bounded queue ──pop_up_to(max_batch)──► worker
-//!    ▲                      │ full?                               │
-//!    └── Submit::Rejected ◄─┘                 coalesce by context │
-//!                                                one batched      │
-//! callers ◄── oneshot ◄── scatter per-request ◄── frozen forward ◄┘
+//! callers ──submit()──► validate ──► bounded queue ──pop_up_to──► worker
+//!    ▲                     │ bad ids?      │ full?                  │
+//!    │   Submit::Invalid ◄─┘              │        drop expired,   │
+//!    │      Submit::Rejected ◄────────────┘        coalesce, score │
+//!    │                                             (catch_unwind)  │
+//! callers ◄── oneshot Result ◄── scatter / typed error ◄───────────┘
+//!                                                                  │ panic?
+//!                  supervisor ◄── worker death ────────────────────┘
+//!                      └── join + respawn, EngineHealth counters
 //! ```
+//!
+//! # Failure model (DESIGN.md §10)
+//!
+//! Every accepted request resolves exactly once, as
+//! `Result<Vec<(f32, f32)>, ServeError>`: invalid inputs are refused at
+//! admission ([`Submit::Invalid`]), backpressure hands the group back
+//! ([`Submit::Rejected`]), expired deadlines are dropped at drain time,
+//! and a worker panic mid-batch resolves the batch's unanswered tickets
+//! with [`ServeError::WorkerPanicked`] while the supervisor thread joins
+//! the corpse and respawns a replacement. [`Engine::health`] exposes the
+//! live-worker count and fault counters.
 //!
 //! # Why coalescing pays
 //!
@@ -31,24 +47,48 @@
 //! `od_tensor::infer` accumulates each output element in an order that
 //! does not depend on how many other rows are in the batch. The engine is
 //! one more link in the live → batched → frozen oracle chain, asserted by
-//! `tests/engine_equivalence.rs` and the `ci.sh` throughput smoke.
+//! `tests/engine_equivalence.rs` and the `ci.sh` throughput smoke — and
+//! `tests/chaos.rs` asserts it *under injected faults*: responses that
+//! survive a panic-riddled run are still bit-identical to the oracle.
 
+use crate::error::ServeError;
 use crate::oneshot;
 use crate::queue::Queue;
+use crate::sync;
 use od_tensor::infer::Workspace;
-use odnet_core::{FrozenOdNet, GroupInput};
+use odnet_core::{FrozenOdNet, GroupInput, InvalidInput};
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Coalesced-batch-size histogram width: index `i` counts forwards that
 /// merged `i` requests, with the last bucket absorbing everything larger.
 pub const HIST_BUCKETS: usize = 65;
 
+/// Where a [`FailPoint`] hook fires relative to one worker batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailSite {
+    /// After draining and expiring a batch, before any request is scored —
+    /// a panic here faults the whole batch.
+    BeforeBatch,
+    /// After every request in the batch was answered — a panic here kills
+    /// the worker without faulting any request.
+    AfterBatch,
+}
+
+/// Fault-injection hook, called by every worker around every batch with
+/// the site and the engine-global batch sequence number. Production
+/// configs leave it `None`; the chaos tests and `odnet serve-bench
+/// --inject-panics` use it to panic, stall, or poison on chosen batches.
+pub type FailPoint = Arc<dyn Fn(FailSite, u64) + Send + Sync>;
+
 /// Tuning knobs of the [`Engine`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads scoring requests. `0` is allowed for tests that need
     /// a queue nobody drains (e.g. deterministic backpressure).
@@ -62,6 +102,21 @@ pub struct EngineConfig {
     /// this scores each request individually — the "before" side of the
     /// throughput benchmark.
     pub coalesce: bool,
+    /// Optional fault-injection hook; `None` (the default) compiles the
+    /// call sites down to a branch on a never-taken `Option`.
+    pub fail_point: Option<FailPoint>,
+}
+
+impl fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_batch", &self.max_batch)
+            .field("coalesce", &self.coalesce)
+            .field("fail_point", &self.fail_point.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for EngineConfig {
@@ -73,6 +128,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             max_batch: 64,
             coalesce: true,
+            fail_point: None,
         }
     }
 }
@@ -84,34 +140,61 @@ pub enum Submit {
     /// The queue was full (or shutting down) — the group is handed back so
     /// the caller can retry, shed load, or fail the request upstream.
     Rejected(GroupInput),
+    /// The request failed admission validation and was never queued: its
+    /// ids or sequences are inconsistent with the frozen artifact.
+    Invalid {
+        /// The unqueued group, handed back.
+        group: GroupInput,
+        /// What exactly was wrong with it.
+        error: InvalidInput,
+    },
 }
+
+/// What a worker sends back through the oneshot.
+type Response = Result<Vec<(f32, f32)>, ServeError>;
 
 /// Pending response handle; one per accepted request.
 pub struct Ticket {
-    rx: oneshot::Receiver<Vec<(f32, f32)>>,
+    rx: oneshot::Receiver<Response>,
 }
 
 impl Ticket {
-    /// Block until the request's per-candidate `(p^O, p^D)` scores arrive.
-    ///
-    /// # Panics
-    /// Panics if the engine dropped the request without scoring it, which
-    /// only happens when a worker thread panicked mid-batch.
-    pub fn wait(self) -> Vec<(f32, f32)> {
-        self.rx.recv().expect("serving engine dropped the request")
+    /// Block until the request resolves: the per-candidate `(p^O, p^D)`
+    /// scores, or a typed [`ServeError`]. Never panics and never hangs on
+    /// a live engine — even a request dropped unscored at teardown
+    /// resolves (as [`ServeError::Rejected`]).
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Err(ServeError::Rejected))
+    }
+
+    /// Like [`wait`](Self::wait), but give up after `timeout` with
+    /// [`ServeError::DeadlineExceeded`]. Bounded even if the engine is
+    /// wedged or already torn down; a response arriving after the timeout
+    /// is discarded harmlessly.
+    pub fn wait_timeout(self, timeout: Duration) -> Response {
+        match self.rx.recv_timeout(timeout) {
+            Ok(Some(resp)) => resp,
+            Ok(None) => Err(ServeError::Rejected),
+            Err(oneshot::TimedOut) => Err(ServeError::DeadlineExceeded),
+        }
     }
 }
 
 struct Request {
     group: GroupInput,
+    /// Worker-side cutoff: expired requests are dropped at drain time.
+    deadline: Option<Instant>,
     /// Taken (exactly once) when the request is answered.
-    tx: Option<oneshot::Sender<Vec<(f32, f32)>>>,
+    tx: Option<oneshot::Sender<Response>>,
 }
 
 /// Monotonic counters shared by workers and the [`Engine`] handle.
 struct StatsInner {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    invalid: AtomicU64,
+    expired: AtomicU64,
+    panicked_requests: AtomicU64,
     completed: AtomicU64,
     forwards: AtomicU64,
     coalesced_requests: AtomicU64,
@@ -123,6 +206,9 @@ impl Default for StatsInner {
         StatsInner {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            panicked_requests: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             forwards: AtomicU64::new(0),
             coalesced_requests: AtomicU64::new(0),
@@ -138,7 +224,13 @@ pub struct EngineStats {
     pub submitted: u64,
     /// Requests turned away by backpressure.
     pub rejected: u64,
-    /// Requests scored and answered.
+    /// Requests refused at admission validation.
+    pub invalid: u64,
+    /// Requests dropped at drain time because their deadline had passed.
+    pub expired: u64,
+    /// Requests resolved with [`ServeError::WorkerPanicked`].
+    pub panicked_requests: u64,
+    /// Requests scored and answered successfully.
     pub completed: u64,
     /// Frozen forwards executed (a coalesced forward counts once).
     pub forwards: u64,
@@ -160,51 +252,147 @@ impl EngineStats {
     }
 }
 
+/// Supervision + fault snapshot of the engine.
+///
+/// The accounting invariant the chaos tests assert: every accepted
+/// request resolves exactly once, so
+/// `submitted == completed + expired + panicked_requests + in_flight`
+/// (with `in_flight == 0` once all tickets have resolved), and
+/// `worker_panics == respawns` once the supervisor has caught up.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EngineHealth {
+    /// Worker threads the engine was configured with.
+    pub configured_workers: usize,
+    /// Worker threads currently alive (dips below `configured_workers`
+    /// between a panic and its respawn).
+    pub live_workers: usize,
+    /// Worker deaths caused by a panic mid-batch.
+    pub worker_panics: u64,
+    /// Replacement workers spawned by the supervisor.
+    pub respawns: u64,
+    /// Requests turned away by backpressure.
+    pub rejected: u64,
+    /// Requests refused at admission validation.
+    pub invalid: u64,
+    /// Requests dropped because their deadline passed while queued.
+    pub expired: u64,
+    /// Requests resolved with [`ServeError::WorkerPanicked`].
+    pub panicked_requests: u64,
+}
+
+/// Live-worker gauge and fault counters (split from [`StatsInner`]: these
+/// are written on the supervision path, not the request path).
+struct HealthInner {
+    live_workers: AtomicUsize,
+    worker_panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+/// Rendezvous between dying workers and the supervisor thread.
+struct Supervisor {
+    state: Mutex<SupState>,
+    wake: Condvar,
+}
+
+struct SupState {
+    /// Worker slots whose threads exited via a caught panic, awaiting a
+    /// join + respawn.
+    dead: Vec<usize>,
+    /// One slot per configured worker; `None` while being respawned.
+    handles: Vec<Option<JoinHandle<()>>>,
+    shutdown: bool,
+}
+
 struct Shared {
     queue: Queue<Request>,
     model: Arc<FrozenOdNet>,
     stats: StatsInner,
+    health: HealthInner,
+    supervisor: Supervisor,
+    fail: Option<FailPoint>,
+    /// Engine-global batch sequence number, fed to the fail point — the
+    /// deterministic coordinate faults are injected at.
+    batch_seq: AtomicU64,
     max_batch: usize,
     coalesce: bool,
+    configured_workers: usize,
 }
 
 /// A concurrent scoring engine over a frozen artifact. Submitting is
 /// `&self`, so one engine handle is shared freely across caller threads;
-/// dropping the handle drains the queue and joins the workers.
+/// dropping the handle drains the queue and joins supervisor and workers.
 pub struct Engine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Engine {
-    /// Spawn `config.workers` scoring threads over `model`.
+    /// Spawn `config.workers` scoring threads (plus one supervisor) over
+    /// `model`.
     pub fn new(model: Arc<FrozenOdNet>, config: EngineConfig) -> Engine {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             model,
             stats: StatsInner::default(),
+            health: HealthInner {
+                live_workers: AtomicUsize::new(config.workers),
+                worker_panics: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+            },
+            supervisor: Supervisor {
+                state: Mutex::new(SupState {
+                    dead: Vec::new(),
+                    handles: Vec::new(),
+                    shutdown: false,
+                }),
+                wake: Condvar::new(),
+            },
+            fail: config.fail_point,
+            batch_seq: AtomicU64::new(0),
             max_batch: config.max_batch,
             coalesce: config.coalesce,
+            configured_workers: config.workers,
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("od-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn serving worker")
-            })
-            .collect();
-        Engine { shared, workers }
+        {
+            let mut st = sync::lock(&shared.supervisor.state);
+            st.handles = (0..config.workers)
+                .map(|i| Some(spawn_worker(Arc::clone(&shared), i)))
+                .collect();
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("od-serve-sup".to_string())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn serving supervisor")
+        };
+        Engine {
+            shared,
+            supervisor: Some(supervisor),
+        }
     }
 
-    /// Enqueue one scoring request. Never blocks: when the queue is full
-    /// the group is handed back as [`Submit::Rejected`].
+    /// Enqueue one scoring request. Never blocks: invalid inputs come
+    /// straight back as [`Submit::Invalid`], and a full queue hands the
+    /// group back as [`Submit::Rejected`].
     pub fn submit(&self, group: GroupInput) -> Submit {
+        self.submit_with_deadline(group, None)
+    }
+
+    /// [`submit`](Self::submit) with a worker-side deadline: if the
+    /// request is still queued when a worker drains it after `deadline`,
+    /// it is dropped and resolves with [`ServeError::DeadlineExceeded`]
+    /// instead of being scored late.
+    pub fn submit_with_deadline(&self, group: GroupInput, deadline: Option<Instant>) -> Submit {
+        if let Err(error) = self.shared.model.validate_group(&group) {
+            self.shared.stats.invalid.fetch_add(1, Ordering::Relaxed);
+            return Submit::Invalid { group, error };
+        }
         let (tx, rx) = oneshot::channel();
         match self.shared.queue.try_push(Request {
             group,
+            deadline,
             tx: Some(tx),
         }) {
             Ok(()) => {
@@ -218,15 +406,12 @@ impl Engine {
         }
     }
 
-    /// Convenience: submit and block for the scores. `Err` returns the
-    /// group on backpressure.
-    // The Err variant IS the handed-back request (so the caller can retry
-    // without cloning), not an error type worth boxing.
-    #[allow(clippy::result_large_err)]
-    pub fn score(&self, group: GroupInput) -> Result<Vec<(f32, f32)>, GroupInput> {
+    /// Convenience: submit and block for the outcome.
+    pub fn score(&self, group: GroupInput) -> Response {
         match self.submit(group) {
-            Submit::Accepted(ticket) => Ok(ticket.wait()),
-            Submit::Rejected(group) => Err(group),
+            Submit::Accepted(ticket) => ticket.wait(),
+            Submit::Rejected(_) => Err(ServeError::Rejected),
+            Submit::Invalid { error, .. } => Err(ServeError::InvalidInput(error)),
         }
     }
 
@@ -236,6 +421,9 @@ impl Engine {
         EngineStats {
             submitted: s.submitted.load(Ordering::Relaxed),
             rejected: s.rejected.load(Ordering::Relaxed),
+            invalid: s.invalid.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            panicked_requests: s.panicked_requests.load(Ordering::Relaxed),
             completed: s.completed.load(Ordering::Relaxed),
             forwards: s.forwards.load(Ordering::Relaxed),
             coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
@@ -243,9 +431,35 @@ impl Engine {
         }
     }
 
-    /// Worker threads serving this engine.
+    /// Snapshot the supervision state and fault counters.
+    pub fn health(&self) -> EngineHealth {
+        let h = &self.shared.health;
+        let s = &self.shared.stats;
+        EngineHealth {
+            configured_workers: self.shared.configured_workers,
+            live_workers: h.live_workers.load(Ordering::Relaxed),
+            worker_panics: h.worker_panics.load(Ordering::Relaxed),
+            respawns: h.respawns.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            invalid: s.invalid.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            panicked_requests: s.panicked_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop admitting requests: future submits are rejected, workers
+    /// drain what is already queued and then park. Safe to race with
+    /// in-flight submits from other threads — each one either gets its
+    /// ticket resolved or an immediate [`Submit::Rejected`]. Dropping the
+    /// engine still performs the full join.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Worker threads this engine was configured with (the supervisor
+    /// keeps the pool at this size).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.shared.configured_workers
     }
 
     /// Whether cross-request micro-batching is enabled.
@@ -257,31 +471,143 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shared.queue.close();
-        for h in self.workers.drain(..) {
-            // A worker that panicked already surfaced its message; don't
-            // double-panic inside drop.
+        {
+            let mut st = sync::lock(&self.shared.supervisor.state);
+            st.shutdown = true;
+        }
+        self.shared.supervisor.wake.notify_all();
+        if let Some(h) = self.supervisor.take() {
+            // The supervisor joins every worker before exiting; none of
+            // them can panic out of their thread (batches run under
+            // catch_unwind), so this join only fails if the supervisor
+            // itself died — nothing to do about it in drop.
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: Arc<Shared>, idx: usize) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("od-serve-{idx}"))
+        .spawn(move || worker_main(&shared, idx))
+        .expect("spawn serving worker")
+}
+
+/// Worker thread body: run batches until the queue closes or a batch
+/// panics; in the latter case report the death so the supervisor respawns
+/// this slot.
+fn worker_main(shared: &Arc<Shared>, idx: usize) {
+    let clean = worker_run(shared);
+    shared.health.live_workers.fetch_sub(1, Ordering::Relaxed);
+    if !clean {
+        shared.health.worker_panics.fetch_add(1, Ordering::Relaxed);
+        let mut st = sync::lock(&shared.supervisor.state);
+        st.dead.push(idx);
+        drop(st);
+        shared.supervisor.wake.notify_one();
+    }
+}
+
+/// The batch loop. Returns `true` on clean shutdown (queue closed and
+/// drained), `false` if a batch panicked — after resolving every
+/// unanswered ticket in that batch with [`ServeError::WorkerPanicked`].
+fn worker_run(shared: &Shared) -> bool {
     let mut ws = Workspace::new();
     let mut batch: Vec<Request> = Vec::new();
     let mut out: Vec<(f32, f32)> = Vec::new();
     let mut merged = empty_group();
     let mut plan = CoalescePlan::default();
     while shared.queue.pop_up_to(shared.max_batch, &mut batch) {
-        if shared.coalesce {
-            plan.build(&batch);
-        } else {
-            plan.singletons(batch.len());
-        }
-        for set in plan.sets() {
-            score_set(shared, &mut ws, &mut out, &mut merged, &mut batch, set);
+        drop_expired(shared, &mut batch);
+        let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
+        // Everything from the fail-point hook through scoring runs under
+        // catch_unwind: a panic must only take down this batch, not the
+        // process. The scratch buffers are left in whatever state the
+        // panic found them, which is fine — a panicked worker never
+        // reuses them (it exits; its replacement starts fresh).
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fp) = &shared.fail {
+                fp(FailSite::BeforeBatch, seq);
+            }
+            if shared.coalesce {
+                plan.build(&batch);
+            } else {
+                plan.singletons(batch.len());
+            }
+            for set in plan.sets() {
+                score_set(shared, &mut ws, &mut out, &mut merged, &mut batch, set);
+            }
+            if let Some(fp) = &shared.fail {
+                fp(FailSite::AfterBatch, seq);
+            }
+        }));
+        if scored.is_err() {
+            for req in batch.iter_mut() {
+                if let Some(tx) = req.tx.take() {
+                    shared
+                        .stats
+                        .panicked_requests
+                        .fetch_add(1, Ordering::Relaxed);
+                    tx.send(Err(ServeError::WorkerPanicked));
+                }
+            }
+            return false;
         }
         // Senders were consumed by scatter; clear for the next drain.
         batch.clear();
+    }
+    true
+}
+
+/// Resolve (and remove) every request whose deadline already passed.
+/// Runs outside `catch_unwind`: it cannot panic, and doing it first means
+/// an injected batch fault never turns a `DeadlineExceeded` into a
+/// `WorkerPanicked`.
+fn drop_expired(shared: &Shared, batch: &mut Vec<Request>) {
+    if batch.iter().all(|r| r.deadline.is_none()) {
+        return; // the common (deadline-free) path takes one scan, no clock read
+    }
+    let now = Instant::now();
+    batch.retain_mut(|req| match req.deadline {
+        Some(d) if d <= now => {
+            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+            req.take_tx().send(Err(ServeError::DeadlineExceeded));
+            false
+        }
+        _ => true,
+    });
+}
+
+/// Supervisor thread body: join and respawn panicked workers until
+/// shutdown, then join the whole pool.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    let mut st = sync::lock(&shared.supervisor.state);
+    loop {
+        if let Some(idx) = st.dead.pop() {
+            let corpse = st.handles[idx].take();
+            drop(st);
+            if let Some(h) = corpse {
+                let _ = h.join();
+            }
+            let replacement = spawn_worker(Arc::clone(shared), idx);
+            shared.health.live_workers.fetch_add(1, Ordering::Relaxed);
+            shared.health.respawns.fetch_add(1, Ordering::Relaxed);
+            st = sync::lock(&shared.supervisor.state);
+            st.handles[idx] = Some(replacement);
+            continue;
+        }
+        if st.shutdown {
+            break;
+        }
+        st = sync::wait(&shared.supervisor.wake, st);
+    }
+    // Shutdown: the queue is closed, every worker drains and exits; join
+    // them all (including any that died after shutdown was flagged —
+    // their handles are still in the slots).
+    let pool: Vec<JoinHandle<()>> = st.handles.iter_mut().filter_map(|h| h.take()).collect();
+    drop(st);
+    for h in pool {
+        let _ = h.join();
     }
 }
 
@@ -304,7 +630,7 @@ fn score_set(
         // Count before sending: the oneshot's lock handoff then publishes
         // the increment to whoever observes the response.
         stats.completed.fetch_add(1, Ordering::Relaxed);
-        req.take_tx().send(out.clone());
+        req.take_tx().send(Ok(out.clone()));
         return;
     }
     stats
@@ -325,14 +651,14 @@ fn score_set(
         let req = &mut batch[i];
         let n = req.group.candidates.len();
         stats.completed.fetch_add(1, Ordering::Relaxed);
-        req.take_tx().send(out[offset..offset + n].to_vec());
+        req.take_tx().send(Ok(out[offset..offset + n].to_vec()));
         offset += n;
     }
 }
 
 impl Request {
     /// Move the sender out (each request is answered exactly once).
-    fn take_tx(&mut self) -> oneshot::Sender<Vec<(f32, f32)>> {
+    fn take_tx(&mut self) -> oneshot::Sender<Response> {
         self.tx.take().expect("request answered twice")
     }
 }

@@ -1,0 +1,65 @@
+//! The typed failure vocabulary of the serving engine.
+//!
+//! Every way a submitted request can fail to produce scores is a
+//! [`ServeError`] variant, delivered through the same oneshot channel as a
+//! success — a ticket always resolves, never hangs, and never panics the
+//! caller. See DESIGN.md §10 for the full failure model.
+
+use odnet_core::InvalidInput;
+use std::fmt;
+
+/// Why a request did not come back with scores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission-edge backpressure (the bounded queue was full or the
+    /// engine was shutting down), or the engine was torn down with the
+    /// request still queued — in both cases the request was never scored
+    /// and is safe to retry against a healthy engine.
+    Rejected,
+    /// The request failed admission validation: its ids or sequences are
+    /// inconsistent with the frozen artifact, so scoring it would be
+    /// meaningless (and, unguarded, would panic a worker).
+    InvalidInput(InvalidInput),
+    /// The worker scoring this request's batch panicked before answering
+    /// it. The supervisor respawns the worker; the request itself was not
+    /// scored and is safe to retry.
+    WorkerPanicked,
+    /// The request's deadline passed before a worker picked it up (dropped
+    /// at drain time), or [`Ticket::wait_timeout`](crate::Ticket::wait_timeout)
+    /// gave up waiting.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "rejected by backpressure or shutdown"),
+            ServeError::InvalidInput(e) => write!(f, "invalid request: {e}"),
+            ServeError::WorkerPanicked => write!(f, "scoring worker panicked mid-batch"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::InvalidInput(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Rejected.to_string().contains("backpressure"));
+        assert!(ServeError::WorkerPanicked.to_string().contains("panicked"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

@@ -24,6 +24,15 @@
 //!   extending the live → batched → frozen oracle chain one more link:
 //!   engine output equals direct [`FrozenOdNet::score_group`]
 //!   (odnet_core) calls under any interleaving.
+//! - **Fault tolerance.** Every accepted request resolves exactly once as
+//!   `Result<scores, `[`ServeError`]`>`: invalid inputs are refused at
+//!   admission, deadlines drop stale requests at drain time, and a worker
+//!   panic mid-batch is caught, resolves its unanswered tickets with
+//!   [`ServeError::WorkerPanicked`], and is healed by a supervisor thread
+//!   that respawns the worker ([`Engine::health`] exposes the counters).
+//!   A [`FailPoint`] hook injects panics/stalls at chosen batches for the
+//!   chaos tests and `odnet serve-bench --inject-panics`. DESIGN.md §10
+//!   documents the full failure model.
 //!
 //! The [`loadgen`] module drives an engine closed-loop and reports
 //! requests/sec, latency percentiles, and coalesced-batch histograms; the
@@ -33,10 +42,16 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod error;
 mod oneshot;
 mod queue;
+mod sync;
 
 pub mod loadgen;
 
-pub use engine::{Engine, EngineConfig, EngineStats, Submit, Ticket, HIST_BUCKETS};
+pub use engine::{
+    Engine, EngineConfig, EngineHealth, EngineStats, FailPoint, FailSite, Submit, Ticket,
+    HIST_BUCKETS,
+};
+pub use error::ServeError;
 pub use loadgen::{drive, score_all, LoadReport};

@@ -9,7 +9,11 @@
 //! batches.
 //!
 //! Backpressure is handled by retrying the handed-back group after a
-//! yield, counting every rejection.
+//! yield, counting every rejection. Typed failures
+//! ([`ServeError`](crate::ServeError), e.g. `WorkerPanicked` under fault
+//! injection) are counted as `faulted` without retry — the harness keeps
+//! driving load through injected faults, which is exactly what the chaos
+//! benchmark measures.
 
 use crate::engine::{Engine, Submit};
 use odnet_core::GroupInput;
@@ -33,6 +37,9 @@ pub struct LoadReport {
     /// Responses that differed from the precomputed direct scores —
     /// must be zero whenever verification is requested.
     pub mismatches: u64,
+    /// Requests resolved with a typed error (worker panic under fault
+    /// injection); zero in a fault-free run.
+    pub faulted: u64,
     /// Wall-clock span of the run in seconds.
     pub elapsed_secs: f64,
     /// Completed requests per second.
@@ -75,6 +82,7 @@ pub fn drive(
     let next = AtomicUsize::new(0);
     let rejected = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
+    let faulted = AtomicU64::new(0);
     let start_stats = engine.stats();
     let started = Instant::now();
     let mut latencies: Vec<u64> = std::thread::scope(|s| {
@@ -90,7 +98,7 @@ pub fn drive(
                         let gi = i % groups.len();
                         let mut group = groups[gi].clone();
                         let begin = Instant::now();
-                        let scores = loop {
+                        let outcome = loop {
                             match engine.submit(group) {
                                 Submit::Accepted(ticket) => break ticket.wait(),
                                 Submit::Rejected(back) => {
@@ -98,12 +106,24 @@ pub fn drive(
                                     group = back;
                                     std::thread::yield_now();
                                 }
+                                Submit::Invalid { error, .. } => {
+                                    panic!("template group failed validation: {error}")
+                                }
                             }
                         };
                         lat.push(begin.elapsed().as_micros() as u64);
-                        if let Some(exp) = expected {
-                            if scores != exp[gi] {
-                                mismatches.fetch_add(1, Ordering::Relaxed);
+                        match outcome {
+                            Ok(scores) => {
+                                if let Some(exp) = expected {
+                                    if scores != exp[gi] {
+                                        mismatches.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            // Typed failure (injected worker panic): count
+                            // it and keep the closed loop running.
+                            Err(_) => {
+                                faulted.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
@@ -135,6 +155,7 @@ pub fn drive(
         requests: completed,
         rejected_retries: rejected.load(Ordering::Relaxed),
         mismatches: mismatches.load(Ordering::Relaxed),
+        faulted: faulted.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         requests_per_sec: completed as f64 / elapsed.max(1e-9),
         p50_us: pct(0.50),

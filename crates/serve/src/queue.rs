@@ -12,7 +12,11 @@
 //!   acquisition. The backlog that accumulates while a worker is busy is
 //!   exactly the micro-batching opportunity: the worker scores it in one
 //!   coalesced forward instead of paying per-item wakeups.
+//!
+//! Locking is poison-free ([`crate::sync`]): a worker that panics under
+//! fault injection must not wedge the admission edge for everyone else.
 
+use crate::sync;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -44,7 +48,7 @@ impl<T> Queue<T> {
     /// Enqueue `item`, or hand it back without blocking when the queue is
     /// full (or closed) — the caller turns `Err` into backpressure.
     pub(crate) fn try_push(&self, item: T) -> Result<(), T> {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = sync::lock(&self.state);
         if st.closed || st.items.len() >= self.capacity {
             return Err(item);
         }
@@ -60,7 +64,7 @@ impl<T> Queue<T> {
     /// are always delivered before shutdown is observed.
     pub(crate) fn pop_up_to(&self, max: usize, buf: &mut Vec<T>) -> bool {
         buf.clear();
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = sync::lock(&self.state);
         loop {
             if !st.items.is_empty() {
                 let take = st.items.len().min(max);
@@ -74,14 +78,14 @@ impl<T> Queue<T> {
             if st.closed {
                 return false;
             }
-            st = self.not_empty.wait(st).expect("queue lock poisoned");
+            st = sync::wait(&self.not_empty, st);
         }
     }
 
     /// Close the queue: future pushes fail, consumers drain what is left
     /// and then observe shutdown.
     pub(crate) fn close(&self) {
-        let mut st = self.state.lock().expect("queue lock poisoned");
+        let mut st = sync::lock(&self.state);
         st.closed = true;
         drop(st);
         self.not_empty.notify_all();
@@ -90,7 +94,7 @@ impl<T> Queue<T> {
     /// Items currently queued (diagnostics).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        sync::lock(&self.state).items.len()
     }
 }
 
@@ -131,6 +135,20 @@ mod tests {
         assert!(q.pop_up_to(4, &mut buf), "pending items survive close");
         assert_eq!(buf, vec![7]);
         assert!(!q.pop_up_to(4, &mut buf), "drained+closed ends consumption");
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_serving() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let q = Queue::new(4);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = q.state.lock().unwrap();
+            panic!("poison the queue lock");
+        }));
+        q.try_push(1).expect("push after poison");
+        let mut buf = Vec::new();
+        assert!(q.pop_up_to(4, &mut buf));
+        assert_eq!(buf, vec![1]);
     }
 
     #[test]

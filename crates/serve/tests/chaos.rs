@@ -1,0 +1,533 @@
+//! Fault-injection harness: the engine under deliberately injected
+//! failures. The contract being asserted, end to end:
+//!
+//! - every accepted ticket resolves exactly once (no hangs, no panics in
+//!   callers), with scores or a typed [`ServeError`];
+//! - responses that survive a fault are *bit-identical* to direct
+//!   single-threaded `FrozenOdNet::score_group` — a panic next door never
+//!   perturbs anyone else's scores;
+//! - the supervisor joins every panicked worker and respawns it: the pool
+//!   recovers to its configured size and [`EngineHealth`] counters
+//!   reconcile exactly with the injected fault count;
+//! - no worker or supervisor thread leaks across the engine's lifetime.
+//!
+//! Engine-lifecycle tests share one process, so tests that count OS
+//! threads or rely on global batch sequence numbers serialize on
+//! `TEST_LOCK`.
+
+use od_hsg::HsgBuilder;
+use od_serve::{score_all, Engine, EngineConfig, FailPoint, FailSite, ServeError, Submit, Ticket};
+use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes the engine-lifecycle tests in this binary: they count OS
+/// threads by name, which only works one engine at a time.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    // A previous test failing while holding the lock poisons it; the lock
+    // only guards "one engine at a time", so recovery is always sound.
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Count live threads of this process whose name starts with `od-serve`
+/// (workers and the supervisor).
+fn serve_threads() -> usize {
+    let mut n = 0;
+    if let Ok(dir) = std::fs::read_dir("/proc/self/task") {
+        for entry in dir.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(entry.path().join("comm")) {
+                if comm.trim_end().starts_with("od-serve") {
+                    n += 1;
+                }
+            }
+        }
+    }
+    n
+}
+
+struct Fixture {
+    model: Arc<FrozenOdNet>,
+    groups: Vec<GroupInput>,
+    expected: Vec<Vec<(f32, f32)>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+        let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+        for it in ds.hsg_interactions() {
+            b.add_interaction(it);
+        }
+        let model = OdNetModel::new(
+            Variant::Odnet,
+            OdnetConfig::tiny(),
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            Some(b.build()),
+        );
+        let fx = FeatureExtractor::new(6, 4);
+        let groups: Vec<GroupInput> = fx
+            .groups_from_samples(&ds, &ds.train)
+            .into_iter()
+            .take(8)
+            .collect();
+        assert!(groups.len() >= 8);
+        let model = Arc::new(model.freeze());
+        let expected = score_all(&model, &groups);
+        Fixture {
+            model,
+            groups,
+            expected,
+        }
+    })
+}
+
+/// A fail point that panics when draining the batches with the given
+/// (engine-global) sequence numbers — the fixed fault seed of the suite.
+fn panic_at_batches(seqs: &'static [u64]) -> FailPoint {
+    Arc::new(move |site, seq| {
+        if site == FailSite::BeforeBatch && seqs.contains(&seq) {
+            panic!("injected chaos fault at batch {seq}");
+        }
+    })
+}
+
+/// A fail point that blocks batch 0 at `BeforeBatch` until released,
+/// signalling entry — lets a test deterministically order "worker is busy"
+/// against its own submits.
+struct Gate {
+    entered: AtomicBool,
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            entered: AtomicBool::new(false),
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fail_point(self: &Arc<Gate>) -> FailPoint {
+        let gate = Arc::clone(self);
+        Arc::new(move |site, seq| {
+            if site == FailSite::BeforeBatch && seq == 0 {
+                gate.entered.store(true, Ordering::SeqCst);
+                let mut open = gate.open.lock().unwrap();
+                while !*open {
+                    open = gate.cv.wait(open).unwrap();
+                }
+            }
+        })
+    }
+
+    fn wait_entered(&self) {
+        let start = Instant::now();
+        while !self.entered.load(Ordering::SeqCst) {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "worker never drained batch 0"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The headline chaos test: 3 injected worker panics under 8-thread load.
+#[test]
+fn injected_panics_are_isolated_and_supervised() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let baseline_threads = serve_threads();
+    const FAULT_SEQS: &[u64] = &[3, 7, 11];
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: Some(panic_at_batches(FAULT_SEQS)),
+        },
+    );
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 100;
+    let ok = AtomicUsize::new(0);
+    let faulted = AtomicUsize::new(0);
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let ok = &ok;
+            let faulted = &faulted;
+            let mismatches = &mismatches;
+            let engine = &engine;
+            s.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let gi = (c * PER_CLIENT + i) % fix.groups.len();
+                    let mut group = fix.groups[gi].clone();
+                    let outcome = loop {
+                        match engine.submit(group) {
+                            Submit::Accepted(t) => break t.wait(),
+                            Submit::Rejected(back) => {
+                                group = back;
+                                std::thread::yield_now();
+                            }
+                            Submit::Invalid { error, .. } => {
+                                panic!("fixture group failed validation: {error}")
+                            }
+                        }
+                    };
+                    match outcome {
+                        Ok(scores) => {
+                            if scores == fix.expected[gi] {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(ServeError::WorkerPanicked) => {
+                            faulted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected serve error under chaos: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Every ticket resolved (the scope joined); surviving responses were
+    // bit-identical to the oracle.
+    assert_eq!(
+        mismatches.load(Ordering::Relaxed),
+        0,
+        "fault perturbed a survivor's scores"
+    );
+    let ok = ok.load(Ordering::Relaxed);
+    let faulted = faulted.load(Ordering::Relaxed);
+    assert_eq!(
+        ok + faulted,
+        CLIENTS * PER_CLIENT,
+        "every request resolved exactly once"
+    );
+    assert!(
+        faulted >= FAULT_SEQS.len(),
+        "each injected batch fault kills at least one request (got {faulted})"
+    );
+
+    // The supervisor converges: every panic joined and respawned, the pool
+    // back at its configured size.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let h = engine.health();
+        if h.worker_panics == FAULT_SEQS.len() as u64
+            && h.respawns == h.worker_panics
+            && h.live_workers == h.configured_workers
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "supervisor did not converge: {:?}",
+            engine.health()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Counters reconcile exactly with what the clients observed.
+    let stats = engine.stats();
+    assert_eq!(stats.completed, ok as u64);
+    assert_eq!(stats.panicked_requests, faulted as u64);
+    assert_eq!(stats.submitted, (ok + faulted) as u64);
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.invalid, 0);
+
+    // The healed pool still scores correctly (batch seqs are past the
+    // fault seed now).
+    assert_eq!(
+        engine
+            .score(fix.groups[0].clone())
+            .expect("healed engine scores"),
+        fix.expected[0]
+    );
+
+    drop(engine);
+    assert_eq!(
+        serve_threads(),
+        baseline_threads,
+        "worker/supervisor threads leaked past engine teardown"
+    );
+}
+
+/// Deadlines are enforced at drain time: a request whose deadline passed
+/// while queued resolves with `DeadlineExceeded` instead of being scored
+/// late.
+#[test]
+fn expired_requests_are_dropped_at_drain_time() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let gate = Gate::new();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: Some(gate.fail_point()),
+        },
+    );
+    // Request A occupies the worker (its batch parks at the gate)...
+    let ta = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit A"),
+    };
+    gate.wait_entered();
+    // ...so B is guaranteed to still be queued when its deadline (now)
+    // passes; the worker must drop it at the next drain.
+    let tb = match engine.submit_with_deadline(fix.groups[1].clone(), Some(Instant::now())) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit B"),
+    };
+    gate.release();
+    assert_eq!(ta.wait().expect("A was scored"), fix.expected[0]);
+    assert_eq!(tb.wait(), Err(ServeError::DeadlineExceeded));
+    let stats = engine.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(engine.health().expired, 1);
+}
+
+/// `wait_timeout` bounds the caller even when nothing will ever answer
+/// (a stalled/workerless engine), and tearing the engine down afterwards
+/// neither hangs nor panics.
+#[test]
+fn wait_timeout_bounds_waiting_on_a_stalled_engine() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 8,
+            max_batch: 8,
+            coalesce: true,
+            fail_point: None,
+        },
+    );
+    let t = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit"),
+    };
+    let begin = Instant::now();
+    assert_eq!(
+        t.wait_timeout(Duration::from_millis(20)),
+        Err(ServeError::DeadlineExceeded)
+    );
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "wait_timeout must be bounded"
+    );
+}
+
+/// A caller whose `wait_timeout` expires while the worker is mid-batch:
+/// the late response lands in a dropped receiver harmlessly, and the
+/// engine keeps serving.
+#[test]
+fn late_response_after_wait_timeout_is_harmless() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let gate = Gate::new();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: Some(gate.fail_point()),
+        },
+    );
+    let t = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit"),
+    };
+    gate.wait_entered();
+    // The worker is parked before scoring; the caller gives up first.
+    assert_eq!(
+        t.wait_timeout(Duration::from_millis(1)),
+        Err(ServeError::DeadlineExceeded)
+    );
+    gate.release();
+    // The worker's late answer went nowhere; the engine is still healthy.
+    assert_eq!(
+        engine.score(fix.groups[1].clone()).expect("still serving"),
+        fix.expected[1]
+    );
+}
+
+/// Dropping a ticket before the response arrives abandons the request
+/// without disturbing the engine.
+#[test]
+fn dropped_ticket_is_harmless() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+        },
+    );
+    match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => drop(t),
+        _ => panic!("submit"),
+    }
+    assert_eq!(
+        engine.score(fix.groups[1].clone()).expect("still serving"),
+        fix.expected[1]
+    );
+}
+
+/// `shutdown` racing in-flight submits: every concurrently submitted
+/// request either resolves with scores (it was admitted before the close)
+/// or is rejected at the edge — nothing hangs, nothing panics.
+#[test]
+fn shutdown_races_inflight_submits() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+        },
+    );
+    let (scored, rejected) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut scored = 0u64;
+                    let mut rejected = 0u64;
+                    for i in 0..200 {
+                        let gi = (c + i) % fix.groups.len();
+                        match engine.submit(fix.groups[gi].clone()) {
+                            Submit::Accepted(t) => match t.wait() {
+                                Ok(scores) => {
+                                    assert_eq!(scores, fix.expected[gi]);
+                                    scored += 1;
+                                }
+                                // Teardown may drop a queued request; it
+                                // must resolve, not hang.
+                                Err(ServeError::Rejected) => rejected += 1,
+                                Err(e) => panic!("unexpected error at shutdown: {e}"),
+                            },
+                            Submit::Rejected(_) => rejected += 1,
+                            Submit::Invalid { error, .. } => panic!("fixture invalid: {error}"),
+                        }
+                    }
+                    (scored, rejected)
+                })
+            })
+            .collect();
+        // Close admission while the clients are mid-flight.
+        std::thread::sleep(Duration::from_millis(2));
+        engine.shutdown();
+        handles.into_iter().fold((0, 0), |(a, b), h| {
+            let (s, r) = h.join().expect("client survived the race");
+            (a + s, b + r)
+        })
+    });
+    assert_eq!(scored + rejected, 4 * 200, "every submit resolved one way");
+    assert!(rejected > 0, "shutdown closed the admission edge");
+}
+
+/// Invalid requests are refused at the admission edge with a typed error,
+/// never reaching a worker (where they would panic an index lookup).
+#[test]
+fn invalid_input_is_refused_at_admission() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 8,
+            coalesce: true,
+            fail_point: None,
+        },
+    );
+    let mut bad = fix.groups[0].clone();
+    bad.user = od_hsg::UserId(u32::MAX);
+    match engine.submit(bad) {
+        Submit::Invalid { group, error } => {
+            assert_eq!(group.user, od_hsg::UserId(u32::MAX), "group handed back");
+            assert!(matches!(
+                error,
+                odnet_core::InvalidInput::UserOutOfRange { .. }
+            ));
+        }
+        _ => panic!("out-of-range user must be refused"),
+    }
+    let mut bad = fix.groups[0].clone();
+    bad.lt_days.push(0); // misaligned with lt_origins
+    assert!(matches!(
+        engine.score(bad),
+        Err(ServeError::InvalidInput(
+            odnet_core::InvalidInput::MisalignedSequence { .. }
+        ))
+    ));
+    assert_eq!(engine.health().invalid, 2);
+    assert_eq!(engine.stats().submitted, 0, "nothing invalid was queued");
+    // No worker ever saw them; the engine still serves valid requests.
+    assert_eq!(
+        engine.score(fix.groups[0].clone()).expect("still serving"),
+        fix.expected[0]
+    );
+}
+
+/// A ticket left unscored at engine teardown (workerless engine) resolves
+/// with `Rejected` instead of hanging the caller.
+#[test]
+fn teardown_resolves_unscored_tickets() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let t: Ticket;
+    {
+        let engine = Engine::new(
+            Arc::clone(&fix.model),
+            EngineConfig {
+                workers: 0,
+                queue_capacity: 8,
+                max_batch: 8,
+                coalesce: true,
+                fail_point: None,
+            },
+        );
+        t = match engine.submit(fix.groups[0].clone()) {
+            Submit::Accepted(t) => t,
+            _ => panic!("submit"),
+        };
+    } // engine dropped with the request still queued
+    assert_eq!(t.wait(), Err(ServeError::Rejected));
+}

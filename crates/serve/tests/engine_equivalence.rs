@@ -80,6 +80,7 @@ fn concurrent_engine_matches_direct_scoring_bitwise() {
             queue_capacity: 256,
             max_batch: 16,
             coalesce: true,
+            fail_point: None,
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 800, 8);
@@ -111,6 +112,7 @@ fn no_coalesce_engine_matches_direct_scoring_bitwise() {
             queue_capacity: 256,
             max_batch: 16,
             coalesce: false,
+            fail_point: None,
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 400, 8);
@@ -135,6 +137,7 @@ fn coalescing_engages_for_same_context_bursts() {
                 queue_capacity: 256,
                 max_batch: 64,
                 coalesce: true,
+                fail_point: None,
             },
         );
         // One template, submitted as a burst before waiting on anything.
@@ -142,12 +145,12 @@ fn coalescing_engages_for_same_context_bursts() {
         let tickets: Vec<Ticket> = (0..32)
             .map(|_| match engine.submit(fix.groups[gi].clone()) {
                 Submit::Accepted(t) => t,
-                Submit::Rejected(_) => panic!("queue sized for the burst"),
+                _ => panic!("queue sized for the burst"),
             })
             .collect();
         for t in tickets {
             assert_eq!(
-                t.wait(),
+                t.wait().expect("scored"),
                 fix.expected[gi],
                 "scores must not depend on merging"
             );
@@ -171,21 +174,22 @@ fn backpressure_rejects_and_returns_the_group() {
             queue_capacity: 3,
             max_batch: 8,
             coalesce: true,
+            fail_point: None,
         },
     );
     let mut tickets = Vec::new();
     for _ in 0..3 {
         match engine.submit(fix.groups[1].clone()) {
             Submit::Accepted(t) => tickets.push(t),
-            Submit::Rejected(_) => panic!("queue not full yet"),
+            _ => panic!("queue not full yet"),
         }
     }
     match engine.submit(fix.groups[1].clone()) {
-        Submit::Accepted(_) => panic!("4th submit must bounce off capacity 3"),
         Submit::Rejected(back) => {
             assert_eq!(back.candidates.len(), fix.groups[1].candidates.len());
             assert_eq!(back.user, fix.groups[1].user);
         }
+        _ => panic!("4th submit must bounce off capacity 3"),
     }
     let stats = engine.stats();
     assert_eq!((stats.submitted, stats.rejected), (3, 1));
@@ -206,6 +210,7 @@ fn shutdown_drains_pending_requests() {
             queue_capacity: 64,
             max_batch: 4,
             coalesce: true,
+            fail_point: None,
         },
     );
     let tickets: Vec<(usize, Ticket)> = (0..10)
@@ -213,13 +218,13 @@ fn shutdown_drains_pending_requests() {
             let gi = i % fix.groups.len();
             match engine.submit(fix.groups[gi].clone()) {
                 Submit::Accepted(t) => (gi, t),
-                Submit::Rejected(_) => panic!("queue sized for the burst"),
+                _ => panic!("queue sized for the burst"),
             }
         })
         .collect();
     drop(engine);
     for (gi, t) in tickets {
-        assert_eq!(t.wait(), fix.expected[gi]);
+        assert_eq!(t.wait().expect("drained and scored"), fix.expected[gi]);
     }
 }
 

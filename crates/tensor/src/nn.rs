@@ -16,6 +16,7 @@ use crate::shape::Shape;
 use crate::tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Post-linear nonlinearity choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -541,6 +542,162 @@ impl FrozenBilinear {
         ws.give(kt);
         ws.give(scores);
         out
+    }
+}
+
+/// A structural flaw found while validating a frozen artifact: either the
+/// matrix dimensions disagree with the declared layer geometry (a corrupt or
+/// hand-edited checkpoint) or a weight tensor carries NaN/±∞ (which would
+/// silently poison every score downstream).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrozenCheckError {
+    /// Matrix dimensions are mutually inconsistent.
+    Shape(String),
+    /// A weight tensor contains NaN or infinite values.
+    NonFinite(String),
+}
+
+impl fmt::Display for FrozenCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrozenCheckError::Shape(what) => write!(f, "inconsistent dimensions: {what}"),
+            FrozenCheckError::NonFinite(what) => write!(f, "non-finite weights: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrozenCheckError {}
+
+/// Validate that `t` is a finite `rows×cols` matrix (vectors count as one
+/// row) whose buffer length matches its shape — the leaf check every frozen
+/// component builds on.
+pub fn check_matrix(
+    what: &str,
+    t: &Tensor,
+    rows: usize,
+    cols: usize,
+) -> Result<(), FrozenCheckError> {
+    let shape = t.shape();
+    if shape.rows() != rows || shape.cols() != cols {
+        return Err(FrozenCheckError::Shape(format!(
+            "{what}: expected {rows}x{cols}, found {}x{}",
+            shape.rows(),
+            shape.cols()
+        )));
+    }
+    if t.as_slice().len() != rows * cols {
+        return Err(FrozenCheckError::Shape(format!(
+            "{what}: buffer holds {} values but the shape declares {rows}x{cols}",
+            t.as_slice().len()
+        )));
+    }
+    if !t.all_finite() {
+        return Err(FrozenCheckError::NonFinite(format!(
+            "{what} contains NaN or infinite weights"
+        )));
+    }
+    Ok(())
+}
+
+impl FrozenLinear {
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Validate weight/bias shapes against the declared `in_dim → out_dim`
+    /// geometry and reject non-finite weights.
+    pub fn check(&self, what: &str) -> Result<(), FrozenCheckError> {
+        check_matrix(&format!("{what}.w"), &self.w, self.in_dim, self.out_dim)?;
+        if let Some(b) = &self.b {
+            check_matrix(&format!("{what}.b"), b, 1, self.out_dim)?;
+        }
+        Ok(())
+    }
+}
+
+impl FrozenMlp {
+    /// Validate the layer chain: `in_dim` feeds the first layer, consecutive
+    /// layers agree on their shared dimension, and the last layer emits
+    /// `out_dim` — plus per-layer shape/finiteness checks.
+    pub fn check(&self, what: &str, in_dim: usize, out_dim: usize) -> Result<(), FrozenCheckError> {
+        let Some(first) = self.layers.first() else {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: MLP has no layers"
+            )));
+        };
+        if first.in_dim != in_dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: first layer consumes {} features, expected {in_dim}",
+                first.in_dim
+            )));
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.check(&format!("{what}.layer{i}"))?;
+            if let Some(next) = self.layers.get(i + 1) {
+                if next.in_dim != layer.out_dim {
+                    return Err(FrozenCheckError::Shape(format!(
+                        "{what}: layer {i} emits {} features but layer {} consumes {}",
+                        layer.out_dim,
+                        i + 1,
+                        next.in_dim
+                    )));
+                }
+            }
+        }
+        let last = self.layers.last().expect("checked non-empty");
+        if last.out_dim != out_dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: last layer emits {} features, expected {out_dim}",
+                last.out_dim
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl FrozenMha {
+    /// Validate head count, per-head projection shapes, and the output
+    /// projection against the declared model dimension `dim`.
+    pub fn check(&self, what: &str, dim: usize) -> Result<(), FrozenCheckError> {
+        if self.dim != dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: attention dim {} does not match the branch dim {dim}",
+                self.dim
+            )));
+        }
+        if self.heads == 0 || self.heads * self.dk != dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: {} heads of width {} do not tile dim {dim}",
+                self.heads, self.dk
+            )));
+        }
+        for (name, mats) in [("wq", &self.wq), ("wk", &self.wk), ("wv", &self.wv)] {
+            if mats.len() != self.heads {
+                return Err(FrozenCheckError::Shape(format!(
+                    "{what}.{name}: {} projections for {} heads",
+                    mats.len(),
+                    self.heads
+                )));
+            }
+            for (h, m) in mats.iter().enumerate() {
+                check_matrix(&format!("{what}.{name}[{h}]"), m, dim, self.dk)?;
+            }
+        }
+        check_matrix(&format!("{what}.wo"), &self.wo, dim, dim)
+    }
+}
+
+impl FrozenBilinear {
+    /// Validate the bilinear matrix against the declared dimension.
+    pub fn check(&self, what: &str, dim: usize) -> Result<(), FrozenCheckError> {
+        if self.dim != dim {
+            return Err(FrozenCheckError::Shape(format!(
+                "{what}: bilinear dim {} does not match the branch dim {dim}",
+                self.dim
+            )));
+        }
+        check_matrix(&format!("{what}.w"), &self.w, dim, dim)
     }
 }
 

@@ -14,7 +14,7 @@ use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::{HsgBuilder, UserId};
 use odnet_core::{
-    evaluate_on_fliggy, train, FeatureExtractor, FrozenOdNet, OdNetModel, OdnetConfig, Variant,
+    evaluate_on_fliggy, try_train, FeatureExtractor, FrozenOdNet, OdNetModel, OdnetConfig, Variant,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -64,6 +64,7 @@ USAGE:
   odnet recommend --model FILE --user ID [--top K]
   odnet serve-bench [--users N] [--cities N] [--workers N] [--requests N]
                   [--clients N] [--batch N] [--no-coalesce] [--check]
+                  [--inject-panics N]
 ";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -152,7 +153,9 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         model.num_weights()
     );
     let groups = fx.groups_from_samples(&ds, &ds.train);
-    let report = train(&mut model, &groups);
+    // Surface a non-finite-loss abort as a CLI error (with its epoch and
+    // batch index) instead of a panic.
+    let report = try_train(&mut model, &groups).map_err(|e| e.to_string())?;
     eprintln!(
         "done in {:.1}s; losses {:?}",
         report.wall_time.as_secs_f64(),
@@ -210,9 +213,14 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
 /// Stress the concurrent serving engine against an untrained frozen model
 /// and report throughput/latency. With `--check`, assert that every
 /// response matched direct single-threaded scoring bit-for-bit and that
-/// cross-request coalescing actually engaged — the CI smoke gate.
+/// cross-request coalescing actually engaged — the CI smoke gate. With
+/// `--inject-panics N`, kill N worker batches through the fault-injection
+/// hook; `--check` then additionally asserts that the run survived —
+/// zero lost tickets, surviving responses still bit-exact, and the
+/// supervisor's health counters reconciling with the injected fault count.
 fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
-    use od_serve::{drive, score_all, Engine, EngineConfig};
+    use od_serve::{drive, score_all, Engine, EngineConfig, FailPoint, FailSite};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     let workers = get_usize(flags, "workers", 2)?.max(1);
@@ -221,6 +229,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let max_batch = get_usize(flags, "batch", 64)?.max(1);
     let coalesce = !flags.contains_key("no-coalesce");
     let check = flags.contains_key("check");
+    let inject = get_usize(flags, "inject-panics", 0)? as u64;
 
     let data_config = FliggyConfig {
         num_users: get_usize(flags, "users", 60)?,
@@ -266,6 +275,34 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let expected = score_all(&model, &groups);
 
+    // Deterministic fault seed: kill batches 3, 7, 11, … (every 4th) at
+    // the BeforeBatch site until the budget is spent. Spacing guarantees
+    // healthy batches interleave with the faulted ones; even a maximally
+    // coalesced run (requests / max_batch drains) reaches the last seed.
+    let injected = Arc::new(AtomicU64::new(0));
+    let fail_point: Option<FailPoint> = (inject > 0).then(|| {
+        let counter = Arc::clone(&injected);
+        let budget = inject;
+        Arc::new(move |site: FailSite, seq: u64| {
+            if site == FailSite::BeforeBatch
+                && seq >= 3
+                && (seq - 3).is_multiple_of(4)
+                && counter
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                        (c < budget).then_some(c + 1)
+                    })
+                    .is_ok()
+            {
+                panic!("injected fault at batch {seq}");
+            }
+        }) as FailPoint
+    });
+
+    if inject > 0 {
+        // Injected worker panics are expected here; keep each report to a
+        // single line instead of the default multi-line backtrace dump.
+        std::panic::set_hook(Box::new(|info| eprintln!("worker fault: {info}")));
+    }
     let engine = Engine::new(
         Arc::clone(&model),
         EngineConfig {
@@ -273,18 +310,21 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             queue_capacity: 1024,
             max_batch,
             coalesce,
+            fail_point,
         },
     );
     eprintln!(
         "driving {requests} requests through {workers} worker(s) from {clients} client(s) \
-         (coalescing {})…",
+         (coalescing {}, injecting {inject} panic(s))…",
         if coalesce { "on" } else { "off" }
     );
     let r = drive(&engine, &groups, Some(&expected), requests, clients);
+    let health = engine.health();
     println!(
         "requests      {}\nthroughput    {:.0} req/s\np50 latency   {:.0} us\n\
          p99 latency   {:.0} us\nforwards      {}\nreq/forward   {:.2}\n\
-         coalesced     {}\nrejected      {}\nmismatches    {}",
+         coalesced     {}\nrejected      {}\nmismatches    {}\nfaulted       {}\n\
+         worker panics {}\nrespawns      {}\nlive workers  {}/{}",
         r.requests,
         r.requests_per_sec,
         r.p50_us,
@@ -293,7 +333,12 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         r.mean_requests_per_forward,
         r.coalesced_requests,
         r.rejected_retries,
-        r.mismatches
+        r.mismatches,
+        r.faulted,
+        health.worker_panics,
+        health.respawns,
+        health.live_workers,
+        health.configured_workers,
     );
     if check {
         if r.mismatches != 0 {
@@ -302,18 +347,62 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 r.mismatches
             ));
         }
-        if r.requests != requests as u64 {
+        if r.requests + r.faulted != requests as u64 {
             return Err(format!(
-                "engine completed {} of {requests} requests",
-                r.requests
+                "lost tickets: {} scored + {} faulted != {requests} submitted",
+                r.requests, r.faulted
             ));
         }
         if coalesce && r.coalesced_requests == 0 {
             return Err("coalescing never engaged under concurrent load".into());
         }
+        if inject > 0 {
+            if injected.load(Ordering::SeqCst) != inject {
+                return Err(format!(
+                    "fault harness only fired {} of {inject} injected panics",
+                    injected.load(Ordering::SeqCst)
+                ));
+            }
+            if health.worker_panics != inject {
+                return Err(format!(
+                    "health counted {} worker panics, expected {inject}",
+                    health.worker_panics
+                ));
+            }
+            if r.faulted < inject {
+                return Err(format!(
+                    "{} faulted responses for {inject} killed batches",
+                    r.faulted
+                ));
+            }
+            // The supervisor must have healed the pool by the time the
+            // closed loop drained (give it a beat in case the last fault
+            // was near the end of the run).
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            loop {
+                let h = engine.health();
+                if h.respawns == inject && h.live_workers == h.configured_workers {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(format!(
+                        "worker pool never recovered: {} respawns, {}/{} live",
+                        h.respawns, h.live_workers, h.configured_workers
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        } else if r.faulted != 0 {
+            return Err(format!("{} faulted responses without injection", r.faulted));
+        }
         eprintln!(
-            "check passed: bit-exact responses{}",
-            if coalesce { ", coalescing engaged" } else { "" }
+            "check passed: bit-exact responses{}{}",
+            if coalesce { ", coalescing engaged" } else { "" },
+            if inject > 0 {
+                ", survived injected faults with zero lost tickets"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
