@@ -20,11 +20,25 @@ cargo test -q -p odnet-core --test frozen_equivalence
 echo "==> serving bench (smoke)"
 CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench
 
+echo "==> observability unit + property suites (od-obs)"
+cargo test -q -p od-obs
+
+echo "==> Prometheus exposition lint (render -> parse-back reconciliation)"
+# Renders a populated registry to text exposition and parses it back,
+# asserting bucket monotonicity, label round-trips, and +Inf == _count.
+cargo test -q -p od-obs --test exposition
+
 echo "==> throughput smoke (engine vs direct scoring, coalescing engaged)"
-# Tiny model, 2 workers, 1k requests; --check fails the gate unless every
-# engine response is bit-identical to single-threaded scoring and
-# cross-request coalescing merged at least one batch.
-cargo run --release --bin odnet -- serve-bench --workers 2 --requests 1000 --check
+# Tiny model, 2 workers, 2k requests; --check fails the gate unless every
+# engine response is bit-identical to single-threaded scoring,
+# cross-request coalescing merged at least one batch, and the stage clock
+# populated the queue-wait / forward / end-to-end histograms. The JSON
+# snapshot is written while the engine is live (gauges still set).
+cargo run --release --bin odnet -- serve-bench --workers 2 --requests 2000 \
+    --check --metrics-json target/metrics_snapshot.json
+
+echo "==> metrics overhead gate (stage clock within 3% of metrics-off)"
+CRITERION_QUICK=1 ODNET_OVERHEAD_GATE=1 cargo bench -p od-bench --bench throughput_bench
 
 echo "==> chaos suite (panic isolation, deadlines, supervision)"
 cargo test -q -p od-serve --test chaos

@@ -12,10 +12,24 @@
 //! 2. **Coalescing on vs off** — identical engines (2 workers) except for
 //!    the `coalesce` flag, isolating what cross-request micro-batching
 //!    itself buys.
+//! 3. **Metrics overhead** — identical engines (2 workers, coalescing on)
+//!    with the per-request stage clock on vs off. The accounting counters
+//!    stay on in both configurations (they are part of the engine
+//!    contract); what is toggled is the ~7 stage-timestamp reads per
+//!    request. Measured as three back-to-back on/off *pairs* (order
+//!    alternating) and judged on the best pair's ratio: on a shared
+//!    single-core CI box, ambient load perturbs individual runs by more
+//!    than the effect size, but it perturbs both halves of a
+//!    back-to-back pair together — and a *real* overhead regression
+//!    (say, reintroduced cache-line contention in the histogram)
+//!    depresses every pair, while noise only dents some. With
+//!    `ODNET_OVERHEAD_GATE=1` the run *fails* unless the best pair is
+//!    within 3% — the ci.sh gate.
 //!
 //! Every response is verified bit-for-bit against direct single-threaded
 //! `FrozenOdNet::score_group` scores while measuring. Results land in
-//! `BENCH_throughput.json` at the repository root.
+//! `BENCH_throughput.json` at the repository root (skipped under quick
+//! runs so smoke gates never clobber the committed full-scale numbers).
 //!
 //! Run with `cargo bench --bench throughput_bench`; set
 //! `CRITERION_QUICK=1` (or pass `--quick`) for a fast smoke run.
@@ -68,6 +82,7 @@ fn run(
     expected: &[Vec<(f32, f32)>],
     workers: usize,
     coalesce: bool,
+    stage_timing: bool,
     total: usize,
 ) -> LoadReport {
     let engine = Engine::new(
@@ -81,6 +96,7 @@ fn run(
             // configuration whose throughput the <2% regression gate
             // guards.
             fail_point: None,
+            stage_timing,
         },
     );
     let report = drive(&engine, groups, Some(expected), total, workers * 2);
@@ -89,6 +105,27 @@ fn run(
         "engine responses diverged from direct scoring"
     );
     report
+}
+
+/// One back-to-back (stage clock on, stage clock off) pair. `flip`
+/// reverses the execution order so drift in ambient load cancels across
+/// pairs instead of biasing one side.
+fn overhead_pair(
+    model: &Arc<FrozenOdNet>,
+    groups: &[GroupInput],
+    expected: &[Vec<(f32, f32)>],
+    total: usize,
+    flip: bool,
+) -> (LoadReport, LoadReport) {
+    if flip {
+        let off = run(model, groups, expected, 2, true, false, total);
+        let on = run(model, groups, expected, 2, true, true, total);
+        (on, off)
+    } else {
+        let on = run(model, groups, expected, 2, true, true, total);
+        let off = run(model, groups, expected, 2, true, false, total);
+        (on, off)
+    }
 }
 
 #[derive(serde::Serialize)]
@@ -106,6 +143,14 @@ struct Report {
     coalesce_off: LoadReport,
     /// requests/sec ratio of coalescing on over off.
     coalesce_speedup: f64,
+    /// Same engine (2 workers, 4 clients, coalescing) with the per-request
+    /// stage clock on vs off — the best of three back-to-back pairs.
+    metrics_on: LoadReport,
+    metrics_off: LoadReport,
+    /// on/off requests/sec ratio of every back-to-back pair, in run order.
+    metrics_overhead_ratios: Vec<f64>,
+    /// Best pair's ratio (1.0 = free; the ci.sh gate requires ≥ 0.97).
+    metrics_overhead_ratio: f64,
 }
 
 fn main() {
@@ -117,7 +162,7 @@ fn main() {
 
     let mut worker_scaling = Vec::new();
     for workers in [1usize, 2, 4, 8] {
-        let r = run(&model, &groups, &expected, workers, true, total);
+        let r = run(&model, &groups, &expected, workers, true, true, total);
         println!(
             "workers {workers}: {:.0} req/s, p50 {:.0}us, p99 {:.0}us, {:.2} req/forward",
             r.requests_per_sec, r.p50_us, r.p99_us, r.mean_requests_per_forward
@@ -125,13 +170,52 @@ fn main() {
         worker_scaling.push(r);
     }
 
-    let coalesce_on = run(&model, &groups, &expected, 2, true, total);
-    let coalesce_off = run(&model, &groups, &expected, 2, false, total);
+    let coalesce_on = run(&model, &groups, &expected, 2, true, true, total);
+    let coalesce_off = run(&model, &groups, &expected, 2, false, true, total);
     let coalesce_speedup = coalesce_on.requests_per_sec / coalesce_off.requests_per_sec;
     println!(
         "coalescing on {:.0} req/s vs off {:.0} req/s ({coalesce_speedup:.2}x)",
         coalesce_on.requests_per_sec, coalesce_off.requests_per_sec
     );
+
+    // A 3% gate needs more signal than a 2k-request smoke run provides, so
+    // the overhead pairs always drive at least 10k requests per run.
+    let overhead_total = total.max(10_000);
+    let mut pairs = Vec::new();
+    for i in 0..3 {
+        let (on, off) = overhead_pair(&model, &groups, &expected, overhead_total, i % 2 == 1);
+        println!(
+            "overhead pair {i}: on {:.0} req/s vs off {:.0} req/s (ratio {:.3})",
+            on.requests_per_sec,
+            off.requests_per_sec,
+            on.requests_per_sec / off.requests_per_sec
+        );
+        pairs.push((on, off));
+    }
+    let metrics_overhead_ratios: Vec<f64> = pairs
+        .iter()
+        .map(|(on, off)| on.requests_per_sec / off.requests_per_sec)
+        .collect();
+    let best = metrics_overhead_ratios
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("three pairs ran");
+    let metrics_overhead_ratio = metrics_overhead_ratios[best];
+    let (metrics_on, metrics_off) = pairs.swap_remove(best);
+    println!(
+        "stage clock on {:.0} req/s vs off {:.0} req/s (best pair ratio {metrics_overhead_ratio:.3})",
+        metrics_on.requests_per_sec, metrics_off.requests_per_sec
+    );
+    if std::env::var("ODNET_OVERHEAD_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            metrics_overhead_ratio >= 0.97,
+            "stage clock costs more than 3% of throughput in every pair: \
+             ratios {metrics_overhead_ratios:?}",
+        );
+        println!("overhead gate passed: stage clock within 3% of metrics-off throughput");
+    }
 
     let report = Report {
         generated_by: "cargo bench --bench throughput_bench".to_string(),
@@ -149,7 +233,15 @@ fn main() {
         coalesce_on,
         coalesce_off,
         coalesce_speedup,
+        metrics_on,
+        metrics_off,
+        metrics_overhead_ratios,
+        metrics_overhead_ratio,
     };
+    if quick {
+        println!("quick run: leaving the committed BENCH_throughput.json untouched");
+        return;
+    }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(path, pretty + "\n").expect("write BENCH_throughput.json");

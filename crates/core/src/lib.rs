@@ -75,4 +75,6 @@ pub use intent::IntentModule;
 pub use mmoe::{MmoeHead, SingleTaskHead};
 pub use model::{CheckpointError, GroupForward, GroupForwardBatched, OdNetModel, Variant};
 pub use pec::PecModule;
-pub use trainer::{train, try_train, TrainError, TrainHyper, TrainReport, TrainableModel};
+pub use trainer::{
+    train, try_train, EpochMetrics, TrainError, TrainHyper, TrainReport, TrainableModel,
+};

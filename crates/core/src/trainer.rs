@@ -57,6 +57,12 @@ pub trait TrainableModel: Sync {
     fn group_loss(&self, g: &mut Graph, group: &GroupInput) -> Value;
     /// Optimization hyper-parameters.
     fn hyper(&self) -> TrainHyper;
+    /// The model's learnable θ (the Eq. 8 long/short-term blend), when it
+    /// has one — surfaced in per-epoch telemetry and the `od_train_theta`
+    /// gauge. Models without a θ (the baselines) report `None`.
+    fn probe_theta(&self) -> Option<f32> {
+        None
+    }
 }
 
 impl TrainableModel for OdNetModel {
@@ -74,6 +80,10 @@ impl TrainableModel for OdNetModel {
 
     fn hyper(&self) -> TrainHyper {
         TrainHyper::from(&self.config)
+    }
+
+    fn probe_theta(&self) -> Option<f32> {
+        Some(self.theta())
     }
 }
 
@@ -127,11 +137,35 @@ impl std::fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
+/// One epoch's telemetry row: what `train --metrics-jsonl` writes per
+/// line, and what feeds the `od_train_*` registry series.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EpochMetrics {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean per-group loss over the epoch.
+    pub mean_loss: f32,
+    /// The learnable θ after the epoch ([`TrainableModel::probe_theta`]);
+    /// `None` for models without one.
+    pub theta: Option<f32>,
+    /// Mean pre-clip global gradient norm across the epoch's batches.
+    pub grad_norm_mean: f32,
+    /// Largest pre-clip global gradient norm seen in the epoch.
+    pub grad_norm_max: f32,
+    /// Mini-batches processed.
+    pub batches: usize,
+    /// Wall-clock seconds this epoch took.
+    pub wall_secs: f64,
+}
+
 /// Per-epoch training telemetry.
 #[derive(Clone, Debug)]
 pub struct TrainReport {
     /// Mean per-group loss for each epoch.
     pub epoch_losses: Vec<f32>,
+    /// Full per-epoch telemetry (losses, θ, gradient norms, timing) —
+    /// `epoch_losses` remains as the compact view of the same run.
+    pub epochs: Vec<EpochMetrics>,
     /// Wall-clock time of the whole run.
     pub wall_time: Duration,
     /// Groups processed per second, averaged over the run.
@@ -143,6 +177,49 @@ impl TrainReport {
     pub fn final_loss(&self) -> f32 {
         *self.epoch_losses.last().expect("at least one epoch")
     }
+
+    /// The per-epoch rows as JSON Lines — one object per epoch, newline
+    /// terminated, ready to append to a metrics file.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.epochs {
+            out.push_str(&serde_json::to_string(row).expect("epoch row serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Registry-backed training instruments, registered once per process (the
+/// trainer is a library: several sequential runs fold into the same
+/// monotone series, matching the engine's Prometheus-style semantics).
+struct TrainInstruments {
+    epochs: od_obs::Counter,
+    batches: od_obs::Counter,
+    epoch_ns: od_obs::LatencyHistogram,
+    /// Pre-clip global gradient norms ×10⁶ (the histogram domain is
+    /// integer, so norms are recorded in micro-units: 1.0 → 1_000_000).
+    grad_norm_micro: od_obs::LatencyHistogram,
+    loss: od_obs::FloatGauge,
+    theta: od_obs::FloatGauge,
+}
+
+fn train_instruments() -> &'static TrainInstruments {
+    static INSTRUMENTS: std::sync::OnceLock<TrainInstruments> = std::sync::OnceLock::new();
+    INSTRUMENTS.get_or_init(|| {
+        let reg = od_obs::global();
+        TrainInstruments {
+            epochs: reg.counter("od_train_epochs_total", "Training epochs completed"),
+            batches: reg.counter("od_train_batches_total", "Training mini-batches applied"),
+            epoch_ns: reg.histogram("od_train_epoch_ns", "Wall-clock time per training epoch"),
+            grad_norm_micro: reg.histogram(
+                "od_train_grad_norm_micro",
+                "Pre-clip global gradient norm per mini-batch, in 1e-6 units",
+            ),
+            loss: reg.float_gauge("od_train_loss", "Mean per-group loss of the last epoch"),
+            theta: reg.float_gauge("od_train_theta", "Learnable θ after the last epoch"),
+        }
+    })
 }
 
 /// Worker-local gradient accumulator keyed by dense parameter index.
@@ -201,11 +278,17 @@ pub fn try_train<M: TrainableModel>(
     let mut order: Vec<usize> = (0..groups.len()).collect();
     let mut rng = StdRng::seed_from_u64(hyper.seed ^ 0x7EA1);
     let mut epoch_losses = Vec::with_capacity(epochs);
+    let mut epoch_rows: Vec<EpochMetrics> = Vec::with_capacity(epochs);
+    let instruments = train_instruments();
     let started = Instant::now();
     for epoch in 0..epochs {
+        let epoch_started = Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut loss_groups = 0usize;
+        let mut grad_norm_sum = 0.0f64;
+        let mut grad_norm_max = 0.0f32;
+        let mut batches = 0usize;
         for (batch_idx, batch) in order.chunks(batch_groups).enumerate() {
             let buffers = process_batch(model, groups, batch, workers);
             let store = model.store_mut();
@@ -247,15 +330,46 @@ pub fn try_train<M: TrainableModel>(
                     });
                 }
             }
+            // Pre-clip norm: `clip_grad_norm` recomputes it anyway, so the
+            // probe is the only extra O(P) pass, and the *unclipped* norm
+            // is the diagnostic one (a clipped norm saturates at the
+            // configured ceiling and hides divergence).
+            let norm = store.grad_norm();
+            grad_norm_sum += norm as f64;
+            grad_norm_max = grad_norm_max.max(norm);
+            instruments
+                .grad_norm_micro
+                .record((norm.max(0.0) as f64 * 1e6) as u64);
+            batches += 1;
             store.clip_grad_norm(hyper.grad_clip);
             opt.step(store);
         }
-        epoch_losses.push((loss_sum / loss_groups.max(1) as f64) as f32);
+        let mean_loss = (loss_sum / loss_groups.max(1) as f64) as f32;
+        let theta = model.probe_theta();
+        let epoch_wall = epoch_started.elapsed();
+        epoch_losses.push(mean_loss);
+        epoch_rows.push(EpochMetrics {
+            epoch,
+            mean_loss,
+            theta,
+            grad_norm_mean: (grad_norm_sum / batches.max(1) as f64) as f32,
+            grad_norm_max,
+            batches,
+            wall_secs: epoch_wall.as_secs_f64(),
+        });
+        instruments.epochs.inc();
+        instruments.batches.add(batches as u64);
+        instruments.epoch_ns.record_duration(epoch_wall);
+        instruments.loss.set(mean_loss as f64);
+        if let Some(theta) = theta {
+            instruments.theta.set(theta as f64);
+        }
     }
     let wall_time = started.elapsed();
     let total_groups = groups.len() * epochs;
     Ok(TrainReport {
         epoch_losses,
+        epochs: epoch_rows,
         wall_time,
         groups_per_second: total_groups as f64 / wall_time.as_secs_f64().max(1e-9),
     })
@@ -420,6 +534,40 @@ mod tests {
         for id in model.store.ids().collect::<Vec<_>>() {
             assert!(model.store.value(id).all_finite(), "parameters corrupted");
         }
+    }
+
+    #[test]
+    fn epoch_telemetry_rows_are_complete_and_jsonl_parses() {
+        let (mut model, groups) = setup(Variant::Odnet, 1);
+        let report = train(&mut model, &groups);
+        assert_eq!(report.epochs.len(), report.epoch_losses.len());
+        for (i, row) in report.epochs.iter().enumerate() {
+            assert_eq!(row.epoch, i);
+            assert_eq!(row.mean_loss, report.epoch_losses[i]);
+            assert!(row.batches > 0);
+            assert!(row.grad_norm_mean > 0.0, "training must have gradients");
+            assert!(row.grad_norm_max >= row.grad_norm_mean);
+            assert!(row.wall_secs >= 0.0);
+        }
+        // The full variant exposes θ in every row.
+        assert!(report.epochs.iter().all(|r| r.theta.is_some()));
+        assert_eq!(
+            report.epochs.last().unwrap().theta,
+            Some(model.theta()),
+            "last row's θ is the final trained θ"
+        );
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), report.epochs.len());
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON row");
+            for key in ["epoch", "mean_loss", "theta", "grad_norm_mean", "wall_secs"] {
+                assert!(v.get(key).is_some(), "JSONL row missing {key}");
+            }
+        }
+        // The registry saw the run: epochs counted, norms recorded.
+        let snap = od_obs::global().snapshot();
+        assert!(snap.counter("od_train_epochs_total") >= report.epochs.len() as u64);
+        assert!(snap.histogram("od_train_grad_norm_micro").count() > 0);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Exposition: render a [`Snapshot`] as Prometheus text format or JSON,
+//! with no serializer dependency.
+//!
+//! The Prometheus renderer follows the text exposition format: one
+//! `# HELP` / `# TYPE` block per metric name, histograms expanded into
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+//! Histograms record nanoseconds and the `le` bounds are emitted in the
+//! metric's own unit (the name carries the `_ns` suffix), keeping the
+//! series self-describing. Only non-empty buckets are emitted (cumulative
+//! counts stay correct — an omitted bucket adds nothing), plus the
+//! mandatory `+Inf` bucket; the exposition lint in
+//! `crates/obs/tests/exposition.rs` parses the output back and checks the
+//! format invariants.
+
+use crate::registry::{Snapshot, Value};
+use std::fmt::Write;
+
+/// Escape a HELP string: backslashes and newlines per the text format.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslashes, quotes, newlines.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render `{k="v",…}` (empty string for no labels), with `extra` appended
+/// (used for the `le` label of histogram buckets).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for s in &snap.series {
+        // One HELP/TYPE block per name; labeled variants follow under it.
+        if last_name != Some(s.name.as_str()) {
+            let kind = match &s.value {
+                Value::Counter(_) => "counter",
+                Value::Gauge(_) | Value::Float(_) => "gauge",
+                Value::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(&s.help));
+            let _ = writeln!(out, "# TYPE {} {kind}", s.name);
+            last_name = Some(s.name.as_str());
+        }
+        match &s.value {
+            Value::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+            }
+            Value::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+            }
+            Value::Float(v) => {
+                let _ = writeln!(out, "{}{} {v}", s.name, label_block(&s.labels, None));
+            }
+            Value::Histogram(h) => {
+                let total = h.count();
+                for (hi, cum) in h.cumulative() {
+                    // The overflow bucket's bound is u64::MAX; it is
+                    // indistinguishable from +Inf, which follows anyway.
+                    if hi == u64::MAX {
+                        continue;
+                    }
+                    let le = hi.to_string();
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cum}",
+                        s.name,
+                        label_block(&s.labels, Some(("le", &le)))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {total}",
+                    s.name,
+                    label_block(&s.labels, Some(("le", "+Inf")))
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {total}",
+                    s.name,
+                    label_block(&s.labels, None)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON-safe float literal (JSON has no NaN/∞; they render as null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 is shortest-round-trip and always includes enough
+        // digits; integral values print without a dot, still valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the snapshot as a JSON document:
+/// `{"series": [{"name": …, "kind": …, "labels": {…}, …}]}` — scalar
+/// series carry `"value"`, histograms carry `count`/`sum`/`max`/`mean`,
+/// conservative `p50`/`p95`/`p99` bounds, and the non-empty `buckets`.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"series\":[");
+    for (i, s) in snap.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"help\":\"{}\",\"labels\":{{",
+            escape_json(&s.name),
+            escape_json(&s.help)
+        );
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("},");
+        match &s.value {
+            Value::Counter(v) => {
+                let _ = write!(out, "\"kind\":\"counter\",\"value\":{v}");
+            }
+            Value::Gauge(v) => {
+                let _ = write!(out, "\"kind\":\"gauge\",\"value\":{v}");
+            }
+            Value::Float(v) => {
+                let _ = write!(out, "\"kind\":\"float_gauge\",\"value\":{}", json_f64(*v));
+            }
+            Value::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                    h.count(),
+                    h.sum,
+                    h.max,
+                    json_f64(h.mean()),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                );
+                for (j, b) in h.buckets().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"lo\":{},\"hi\":{},\"count\":{}}}",
+                        b.lo, b.hi, b.count
+                    );
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_text_has_help_type_and_samples() {
+        let reg = Registry::new();
+        reg.counter("odnet_requests_total", "Requests accepted")
+            .add(5);
+        let h = reg.histogram("odnet_wait_ns", "Queue wait");
+        h.record(100);
+        h.record(900);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE odnet_requests_total counter"));
+        assert!(text.contains("odnet_requests_total 5"));
+        assert!(text.contains("# TYPE odnet_wait_ns histogram"));
+        assert!(text.contains("odnet_wait_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("odnet_wait_ns_sum 1000"));
+        assert!(text.contains("odnet_wait_ns_count 2"));
+    }
+
+    #[test]
+    fn json_is_wellformed_for_odd_strings() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "c_total",
+            "has \"quotes\" and \\slashes\\",
+            &[("k", "v\n2")],
+        )
+        .inc();
+        let json = reg.snapshot().to_json();
+        // Quick structural sanity; the full parse-back happens in the CLI
+        // (serde_json reads this output in `odnet serve-bench`).
+        assert!(json.starts_with("{\"series\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\"k\":\"v\\n2\""));
+    }
+}

@@ -1,0 +1,225 @@
+//! Prometheus exposition lint: render a snapshot and parse it back,
+//! checking the text-format invariants a real scraper relies on:
+//!
+//! - every sample line is `name{labels} value` with a legal metric name;
+//! - every sample's base name was declared by a preceding `# TYPE` line;
+//! - histogram `_bucket` series are cumulative and non-decreasing in
+//!   `le` order, end with `le="+Inf"`, and the `+Inf` count equals the
+//!   `_count` sample;
+//! - no duplicate `(name, labels)` sample lines.
+
+use od_obs::Registry;
+use std::collections::{HashMap, HashSet};
+
+/// A parsed sample line.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_labels(block: &str) -> Vec<(String, String)> {
+    // `k="v",k2="v2"` — values may contain escaped quotes.
+    let mut out = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").expect("label must be k=\"v\"");
+        let key = rest[..eq].trim_start_matches(',').to_string();
+        let mut val = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut consumed = eq + 2;
+        let mut escaped = false;
+        for (i, c) in &mut chars {
+            consumed = eq + 2 + i + c.len_utf8();
+            if escaped {
+                val.push(c);
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                break;
+            } else {
+                val.push(c);
+            }
+        }
+        out.push((key, val));
+        rest = &rest[consumed..];
+    }
+    out
+}
+
+fn parse(text: &str) -> (HashMap<String, String>, Vec<Sample>) {
+    let mut types = HashMap::new();
+    let mut samples = Vec::new();
+    let name_ok = |n: &str| -> bool {
+        n.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().expect("TYPE needs a name");
+            let kind = it.next().expect("TYPE needs a kind");
+            assert!(name_ok(name), "illegal metric name {name:?}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE {kind:?}"
+            );
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+        let value: f64 = if value == "+Inf" {
+            f64::INFINITY
+        } else {
+            value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value in {line:?}"))
+        };
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let body = rest.strip_suffix('}').expect("unclosed label block");
+                (n.to_string(), parse_labels(body))
+            }
+            None => (series.to_string(), Vec::new()),
+        };
+        assert!(name_ok(&name), "illegal metric name {name:?}");
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    (types, samples)
+}
+
+/// Base name of a sample (strips histogram suffixes).
+fn base(name: &str) -> &str {
+    name.strip_suffix("_bucket")
+        .or_else(|| name.strip_suffix("_sum"))
+        .or_else(|| name.strip_suffix("_count"))
+        .unwrap_or(name)
+}
+
+fn fixture() -> Registry {
+    let reg = Registry::new();
+    reg.counter("od_test_requests_total", "Accepted requests")
+        .add(12_345);
+    reg.gauge("od_test_queue_depth", "Requests queued").set(7);
+    reg.float_gauge("od_test_theta", "Learnable θ").set(0.41);
+    let h = reg.histogram("od_test_wait_ns", "Queue wait");
+    for v in [0u64, 3, 17, 900, 901, 65_536, 1_000_000, 123_456_789] {
+        h.record(v);
+    }
+    // Labeled + merged variants exercise the grouping logic.
+    let w0 = reg.histogram_with("od_test_forward_ns", "Forward time", &[("worker", "0")]);
+    let w1 = reg.histogram_with("od_test_forward_ns", "Forward time", &[("worker", "1")]);
+    w0.record(500);
+    w1.record(1_500);
+    reg.counter("od_test_requests_total", "Accepted requests")
+        .add(5); // merges
+    reg
+}
+
+#[test]
+fn exposition_parses_back_with_valid_structure() {
+    let reg = fixture();
+    let text = reg.snapshot().to_prometheus();
+    let (types, samples) = parse(&text);
+    assert!(!samples.is_empty());
+
+    // Every sample's base name must have a TYPE, and histogram-suffixed
+    // names must belong to histogram-typed metrics.
+    for s in &samples {
+        let b = base(&s.name);
+        let kind = types
+            .get(b)
+            .unwrap_or_else(|| panic!("sample {} has no TYPE declaration", s.name));
+        if s.name != b {
+            assert_eq!(kind, "histogram", "{} suffix on non-histogram", s.name);
+        }
+    }
+
+    // No duplicate (name, labels) pairs.
+    let mut seen = HashSet::new();
+    for s in &samples {
+        let key = format!("{}{:?}", s.name, s.labels);
+        assert!(
+            seen.insert(key),
+            "duplicate sample {} {:?}",
+            s.name,
+            s.labels
+        );
+    }
+
+    // Merged counter: 12345 + 5.
+    let c = samples
+        .iter()
+        .find(|s| s.name == "od_test_requests_total")
+        .expect("counter sample");
+    assert_eq!(c.value, 12_350.0);
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_reconcile() {
+    let reg = fixture();
+    let text = reg.snapshot().to_prometheus();
+    let (_, samples) = parse(&text);
+
+    // Group _bucket samples per (base name, non-le labels).
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut series: HashMap<SeriesKey, Vec<(f64, f64)>> = HashMap::new();
+    for s in &samples {
+        if let Some(b) = s.name.strip_suffix("_bucket") {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| {
+                    if v == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        v.parse::<f64>().expect("numeric le")
+                    }
+                })
+                .expect("_bucket must carry le");
+            let others: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            series
+                .entry((b.to_string(), others))
+                .or_default()
+                .push((le, s.value));
+        }
+    }
+    assert!(!series.is_empty(), "fixture must produce histogram series");
+    for ((b, labels), buckets) in &series {
+        // le strictly increasing as emitted, counts non-decreasing,
+        // terminated by +Inf.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "{b}: le not increasing");
+            assert!(w[0].1 <= w[1].1, "{b}: cumulative count decreased");
+        }
+        let (last_le, inf_count) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "{b}: missing +Inf bucket");
+        // +Inf equals the _count sample with the same label set.
+        let count = samples
+            .iter()
+            .find(|s| s.name == format!("{b}_count") && &s.labels == labels)
+            .unwrap_or_else(|| panic!("{b}{labels:?}: no matching _count sample"));
+        assert_eq!(inf_count, count.value, "{b}{labels:?}: +Inf != _count");
+    }
+}

@@ -1,0 +1,137 @@
+//! Concurrency suite: counters under a multi-thread hammer, and
+//! histogram snapshots taken *while* other threads are recording.
+
+use od_obs::{Counter, LatencyHistogram, Registry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// 8 threads × 100k increments must lose nothing: the sharded counter's
+/// relaxed adds still sum exactly (each add hits exactly one shard).
+#[test]
+fn counter_hammer_loses_no_increments() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let c = Counter::new();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+/// Mixed-width adds across threads sum exactly too.
+#[test]
+fn counter_hammer_mixed_adds() {
+    let c = Counter::new();
+    std::thread::scope(|s| {
+        for t in 1..=4u64 {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    c.add(t);
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 10_000 * (1 + 2 + 3 + 4));
+}
+
+/// Snapshots raced against recorders are always *internally consistent*
+/// (count derives from the buckets, never a separate atomic) and
+/// *monotone* (bucket counts only grow), and the final snapshot after
+/// joining sees every sample.
+#[test]
+fn snapshot_while_recording_is_consistent_and_monotone() {
+    const RECORDERS: usize = 4;
+    const PER_THREAD: u64 = 50_000;
+    let h = LatencyHistogram::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        for t in 0..RECORDERS as u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread over several octaves.
+                    h.record((i * 7 + t) % 100_000);
+                }
+            });
+        }
+        let snapshotter = {
+            let h = h.clone();
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut last_count = 0u64;
+                let mut last_sum = 0u64;
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = h.snapshot();
+                    let count = snap.count();
+                    assert!(
+                        count >= last_count,
+                        "bucket totals went backwards: {count} < {last_count}"
+                    );
+                    assert!(snap.sum >= last_sum, "sum went backwards");
+                    assert!(
+                        count <= RECORDERS as u64 * PER_THREAD,
+                        "snapshot invented samples"
+                    );
+                    // Quantiles on a mid-storm snapshot must still be
+                    // well-formed (max is tracked separately from the
+                    // buckets, so allow one bucket width of skew).
+                    if count > 0 {
+                        let p99 = snap.quantile(0.99);
+                        assert!(p99 <= 100_000 + 100_000 / 16);
+                    }
+                    last_count = count;
+                    last_sum = snap.sum;
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        // Recorders finish when the scope joins them; signal the
+        // snapshotter afterwards via a sentinel thread ordering: simplest
+        // is to join recorders implicitly by ending the loop spawns above,
+        // but scope joins at block end — so spin the snapshotter down on a
+        // timer instead.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let snaps = snapshotter.join().expect("snapshotter must not panic");
+        assert!(snaps > 0, "snapshotter never ran");
+    });
+
+    let fin = h.snapshot();
+    assert_eq!(
+        fin.count(),
+        RECORDERS as u64 * PER_THREAD,
+        "final snapshot must see every sample"
+    );
+}
+
+/// Registering from many threads while snapshotting must neither dead-lock
+/// nor drop entries.
+#[test]
+fn registry_is_thread_safe_under_registration_and_snapshot() {
+    let reg: &'static Registry = Box::leak(Box::new(Registry::new()));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                for i in 0..50 {
+                    let c = reg.counter("shared_total", "hammered");
+                    c.add(1);
+                    if i % 10 == t {
+                        let _ = reg.snapshot().to_prometheus();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(reg.snapshot().counter("shared_total"), 200);
+}

@@ -52,6 +52,7 @@
 //! survive a panic-riddled run are still bit-identical to the oracle.
 
 use crate::error::ServeError;
+use crate::metrics::{EngineMetrics, HistSummary};
 use crate::oneshot;
 use crate::queue::Queue;
 use crate::sync;
@@ -61,14 +62,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Coalesced-batch-size histogram width: index `i` counts forwards that
-/// merged `i` requests, with the last bucket absorbing everything larger.
-pub const HIST_BUCKETS: usize = 65;
 
 /// Where a [`FailPoint`] hook fires relative to one worker batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +102,12 @@ pub struct EngineConfig {
     /// Optional fault-injection hook; `None` (the default) compiles the
     /// call sites down to a branch on a never-taken `Option`.
     pub fail_point: Option<FailPoint>,
+    /// Record the per-request stage clock (validate, queue wait, coalesce,
+    /// forward, scatter, end-to-end histograms). On by default — the
+    /// throughput gate in `ci.sh` holds its cost under 3%. When off, each
+    /// stage site is a single never-taken branch and no clock is read;
+    /// the accounting counters stay on either way.
+    pub stage_timing: bool,
 }
 
 impl fmt::Debug for EngineConfig {
@@ -115,6 +118,7 @@ impl fmt::Debug for EngineConfig {
             .field("max_batch", &self.max_batch)
             .field("coalesce", &self.coalesce)
             .field("fail_point", &self.fail_point.as_ref().map(|_| "<hook>"))
+            .field("stage_timing", &self.stage_timing)
             .finish()
     }
 }
@@ -129,6 +133,7 @@ impl Default for EngineConfig {
             max_batch: 64,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         }
     }
 }
@@ -186,35 +191,10 @@ struct Request {
     deadline: Option<Instant>,
     /// Taken (exactly once) when the request is answered.
     tx: Option<oneshot::Sender<Response>>,
-}
-
-/// Monotonic counters shared by workers and the [`Engine`] handle.
-struct StatsInner {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    invalid: AtomicU64,
-    expired: AtomicU64,
-    panicked_requests: AtomicU64,
-    completed: AtomicU64,
-    forwards: AtomicU64,
-    coalesced_requests: AtomicU64,
-    hist: [AtomicU64; HIST_BUCKETS],
-}
-
-impl Default for StatsInner {
-    fn default() -> Self {
-        StatsInner {
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            invalid: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            panicked_requests: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            forwards: AtomicU64::new(0),
-            coalesced_requests: AtomicU64::new(0),
-            hist: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
+    /// Stage clock origin (an [`od_obs::clock`] stamp), taken at submit
+    /// when [`EngineConfig::stage_timing`] is on: queue wait and
+    /// end-to-end latency are measured from here.
+    submitted: Option<od_obs::clock::Stamp>,
 }
 
 /// Snapshot of the engine's counters.
@@ -236,9 +216,11 @@ pub struct EngineStats {
     pub forwards: u64,
     /// Requests that shared their forward with at least one other request.
     pub coalesced_requests: u64,
-    /// `batch_hist[i]` = forwards that merged `i` requests (last bucket
-    /// absorbs larger batches).
-    pub batch_hist: Vec<u64>,
+    /// Distribution of requests merged per forward. Batch sizes below 32
+    /// land in exact (`lo == hi`) buckets of the od-obs log-linear
+    /// histogram, so for the usual `max_batch` the histogram loses
+    /// nothing over the old fixed-width array it replaced.
+    pub batch_hist: HistSummary,
 }
 
 impl EngineStats {
@@ -280,14 +262,6 @@ pub struct EngineHealth {
     pub panicked_requests: u64,
 }
 
-/// Live-worker gauge and fault counters (split from [`StatsInner`]: these
-/// are written on the supervision path, not the request path).
-struct HealthInner {
-    live_workers: AtomicUsize,
-    worker_panics: AtomicU64,
-    respawns: AtomicU64,
-}
-
 /// Rendezvous between dying workers and the supervisor thread.
 struct Supervisor {
     state: Mutex<SupState>,
@@ -306,8 +280,9 @@ struct SupState {
 struct Shared {
     queue: Queue<Request>,
     model: Arc<FrozenOdNet>,
-    stats: StatsInner,
-    health: HealthInner,
+    /// Registry-backed instruments: accounting counters, gauges, and the
+    /// stage-clock histograms (see `metrics.rs` for the inventory).
+    metrics: EngineMetrics,
     supervisor: Supervisor,
     fail: Option<FailPoint>,
     /// Engine-global batch sequence number, fed to the fail point — the
@@ -315,6 +290,7 @@ struct Shared {
     batch_seq: AtomicU64,
     max_batch: usize,
     coalesce: bool,
+    stage_timing: bool,
     configured_workers: usize,
 }
 
@@ -331,15 +307,17 @@ impl Engine {
     /// `model`.
     pub fn new(model: Arc<FrozenOdNet>, config: EngineConfig) -> Engine {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        if config.stage_timing {
+            // One-time tick→ns calibration, paid here instead of inside
+            // the first request's stage sample.
+            od_obs::clock::calibrate();
+        }
+        let metrics = EngineMetrics::register(config.workers);
+        metrics.live_workers.set(config.workers as i64);
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
             model,
-            stats: StatsInner::default(),
-            health: HealthInner {
-                live_workers: AtomicUsize::new(config.workers),
-                worker_panics: AtomicU64::new(0),
-                respawns: AtomicU64::new(0),
-            },
+            metrics,
             supervisor: Supervisor {
                 state: Mutex::new(SupState {
                     dead: Vec::new(),
@@ -352,6 +330,7 @@ impl Engine {
             batch_seq: AtomicU64::new(0),
             max_batch: config.max_batch,
             coalesce: config.coalesce,
+            stage_timing: config.stage_timing,
             configured_workers: config.workers,
         });
         {
@@ -385,22 +364,33 @@ impl Engine {
     /// it is dropped and resolves with [`ServeError::DeadlineExceeded`]
     /// instead of being scored late.
     pub fn submit_with_deadline(&self, group: GroupInput, deadline: Option<Instant>) -> Submit {
+        let metrics = &self.shared.metrics;
+        // The stage clock starts before validation so `od_request_e2e_ns`
+        // covers the full lifecycle of an accepted request.
+        let submitted = self.shared.stage_timing.then(od_obs::clock::now);
         if let Err(error) = self.shared.model.validate_group(&group) {
-            self.shared.stats.invalid.fetch_add(1, Ordering::Relaxed);
+            metrics.invalid.inc();
             return Submit::Invalid { group, error };
+        }
+        if let Some(t0) = submitted {
+            metrics
+                .validate_ns
+                .record(od_obs::clock::ns_between(t0, od_obs::clock::now()));
         }
         let (tx, rx) = oneshot::channel();
         match self.shared.queue.try_push(Request {
             group,
             deadline,
             tx: Some(tx),
+            submitted,
         }) {
             Ok(()) => {
-                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                metrics.submitted.inc();
+                metrics.queue_depth.add(1);
                 Submit::Accepted(Ticket { rx })
             }
             Err(req) => {
-                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                metrics.rejected.inc();
                 Submit::Rejected(req.group)
             }
         }
@@ -417,33 +407,38 @@ impl Engine {
 
     /// Snapshot the engine's counters.
     pub fn stats(&self) -> EngineStats {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         EngineStats {
-            submitted: s.submitted.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            invalid: s.invalid.load(Ordering::Relaxed),
-            expired: s.expired.load(Ordering::Relaxed),
-            panicked_requests: s.panicked_requests.load(Ordering::Relaxed),
-            completed: s.completed.load(Ordering::Relaxed),
-            forwards: s.forwards.load(Ordering::Relaxed),
-            coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
-            batch_hist: s.hist.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+            submitted: m.submitted.get(),
+            rejected: m.rejected.get(),
+            invalid: m.invalid.get(),
+            expired: m.expired.get(),
+            panicked_requests: m.panicked_requests.get(),
+            completed: m.completed.get(),
+            forwards: m.forwards.get(),
+            coalesced_requests: m.coalesced_requests.get(),
+            batch_hist: HistSummary::from(&m.batch_size.snapshot()),
         }
+    }
+
+    /// Raw coalesced-batch-size histogram (this engine's only — the
+    /// registry merge never mixes other engines into this handle).
+    pub(crate) fn batch_hist_raw(&self) -> od_obs::HistogramSnapshot {
+        self.shared.metrics.batch_size.snapshot()
     }
 
     /// Snapshot the supervision state and fault counters.
     pub fn health(&self) -> EngineHealth {
-        let h = &self.shared.health;
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         EngineHealth {
             configured_workers: self.shared.configured_workers,
-            live_workers: h.live_workers.load(Ordering::Relaxed),
-            worker_panics: h.worker_panics.load(Ordering::Relaxed),
-            respawns: h.respawns.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            invalid: s.invalid.load(Ordering::Relaxed),
-            expired: s.expired.load(Ordering::Relaxed),
-            panicked_requests: s.panicked_requests.load(Ordering::Relaxed),
+            live_workers: m.live_workers.get().max(0) as usize,
+            worker_panics: m.worker_panics.get(),
+            respawns: m.respawns.get(),
+            rejected: m.rejected.get(),
+            invalid: m.invalid.get(),
+            expired: m.expired.get(),
+            panicked_requests: m.panicked_requests.get(),
         }
     }
 
@@ -483,6 +478,10 @@ impl Drop for Engine {
             // itself died — nothing to do about it in drop.
             let _ = h.join();
         }
+        // Counters stay (monotone, Prometheus-style), but this engine's
+        // instantaneous series must stop contributing to process-wide
+        // snapshots now that nothing is queued or running.
+        self.shared.metrics.zero_gauges();
     }
 }
 
@@ -497,10 +496,10 @@ fn spawn_worker(shared: Arc<Shared>, idx: usize) -> JoinHandle<()> {
 /// panics; in the latter case report the death so the supervisor respawns
 /// this slot.
 fn worker_main(shared: &Arc<Shared>, idx: usize) {
-    let clean = worker_run(shared);
-    shared.health.live_workers.fetch_sub(1, Ordering::Relaxed);
+    let clean = worker_run(shared, idx);
+    shared.metrics.live_workers.sub(1);
     if !clean {
-        shared.health.worker_panics.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.worker_panics.inc();
         let mut st = sync::lock(&shared.supervisor.state);
         st.dead.push(idx);
         drop(st);
@@ -511,13 +510,27 @@ fn worker_main(shared: &Arc<Shared>, idx: usize) {
 /// The batch loop. Returns `true` on clean shutdown (queue closed and
 /// drained), `false` if a batch panicked — after resolving every
 /// unanswered ticket in that batch with [`ServeError::WorkerPanicked`].
-fn worker_run(shared: &Shared) -> bool {
+fn worker_run(shared: &Shared, idx: usize) -> bool {
     let mut ws = Workspace::new();
     let mut batch: Vec<Request> = Vec::new();
     let mut out: Vec<(f32, f32)> = Vec::new();
     let mut merged = empty_group();
     let mut plan = CoalescePlan::default();
     while shared.queue.pop_up_to(shared.max_batch, &mut batch) {
+        shared.metrics.queue_depth.sub(batch.len() as i64);
+        // Queue wait is stamped at drain, before expiry: expired requests
+        // waited too, and their wait is precisely what expired them.
+        if shared.stage_timing {
+            let drained = od_obs::clock::now();
+            for req in &batch {
+                if let Some(t0) = req.submitted {
+                    shared
+                        .metrics
+                        .queue_wait_ns
+                        .record(od_obs::clock::ns_between(t0, drained));
+                }
+            }
+        }
         drop_expired(shared, &mut batch);
         let seq = shared.batch_seq.fetch_add(1, Ordering::Relaxed);
         // Everything from the fail-point hook through scoring runs under
@@ -529,13 +542,20 @@ fn worker_run(shared: &Shared) -> bool {
             if let Some(fp) = &shared.fail {
                 fp(FailSite::BeforeBatch, seq);
             }
+            let plan_start = shared.stage_timing.then(od_obs::clock::now);
             if shared.coalesce {
                 plan.build(&batch);
             } else {
                 plan.singletons(batch.len());
             }
+            if let Some(t0) = plan_start {
+                shared
+                    .metrics
+                    .coalesce_ns
+                    .record(od_obs::clock::ns_between(t0, od_obs::clock::now()));
+            }
             for set in plan.sets() {
-                score_set(shared, &mut ws, &mut out, &mut merged, &mut batch, set);
+                score_set(shared, idx, &mut ws, &mut out, &mut merged, &mut batch, set);
             }
             if let Some(fp) = &shared.fail {
                 fp(FailSite::AfterBatch, seq);
@@ -544,15 +564,14 @@ fn worker_run(shared: &Shared) -> bool {
         if scored.is_err() {
             for req in batch.iter_mut() {
                 if let Some(tx) = req.tx.take() {
-                    shared
-                        .stats
-                        .panicked_requests
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.panicked_requests.inc();
                     tx.send(Err(ServeError::WorkerPanicked));
                 }
             }
+            shared.metrics.update_hit_rate();
             return false;
         }
+        shared.metrics.update_hit_rate();
         // Senders were consumed by scatter; clear for the next drain.
         batch.clear();
     }
@@ -570,7 +589,7 @@ fn drop_expired(shared: &Shared, batch: &mut Vec<Request>) {
     let now = Instant::now();
     batch.retain_mut(|req| match req.deadline {
         Some(d) if d <= now => {
-            shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.expired.inc();
             req.take_tx().send(Err(ServeError::DeadlineExceeded));
             false
         }
@@ -590,8 +609,8 @@ fn supervisor_loop(shared: &Arc<Shared>) {
                 let _ = h.join();
             }
             let replacement = spawn_worker(Arc::clone(shared), idx);
-            shared.health.live_workers.fetch_add(1, Ordering::Relaxed);
-            shared.health.respawns.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.live_workers.add(1);
+            shared.metrics.respawns.inc();
             st = sync::lock(&shared.supervisor.state);
             st.handles[idx] = Some(replacement);
             continue;
@@ -612,30 +631,46 @@ fn supervisor_loop(shared: &Arc<Shared>) {
 }
 
 /// Score one coalesced set of requests (indices into `batch`) and scatter
-/// the per-request score slices back through their oneshots.
+/// the per-request score slices back through their oneshots. `widx` is the
+/// worker slot, keying the per-worker forward-time histogram.
 fn score_set(
     shared: &Shared,
+    widx: usize,
     ws: &mut Workspace,
     out: &mut Vec<(f32, f32)>,
     merged: &mut GroupInput,
     batch: &mut [Request],
     set: &[usize],
 ) {
-    let stats = &shared.stats;
-    stats.forwards.fetch_add(1, Ordering::Relaxed);
-    stats.hist[set.len().min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    let metrics = &shared.metrics;
+    metrics.forwards.inc();
+    metrics.batch_size.record(set.len() as u64);
     if set.len() == 1 {
         let req = &mut batch[set[0]];
+        let fwd_start = shared.stage_timing.then(od_obs::clock::now);
         shared.model.score_group_into(ws, &req.group, out);
+        let fwd_end = fwd_start.map(|t0| {
+            let now = od_obs::clock::now();
+            metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+            now
+        });
         // Count before sending: the oneshot's lock handoff then publishes
         // the increment to whoever observes the response.
-        stats.completed.fetch_add(1, Ordering::Relaxed);
+        metrics.completed.inc();
+        let submitted = req.submitted;
         req.take_tx().send(Ok(out.clone()));
+        if let Some(t1) = fwd_end {
+            let done = od_obs::clock::now();
+            metrics
+                .scatter_ns
+                .record(od_obs::clock::ns_between(t1, done));
+            if let Some(t0) = submitted {
+                metrics.e2e_ns.record(od_obs::clock::ns_between(t0, done));
+            }
+        }
         return;
     }
-    stats
-        .coalesced_requests
-        .fetch_add(set.len() as u64, Ordering::Relaxed);
+    metrics.coalesced_requests.add(set.len() as u64);
     // One forward over the concatenated candidate lists. The context is
     // shared by construction (that is what the plan grouped on).
     copy_context(merged, &batch[set[0]].group);
@@ -645,14 +680,33 @@ fn score_set(
             .candidates
             .extend_from_slice(&batch[i].group.candidates);
     }
+    let fwd_start = shared.stage_timing.then(od_obs::clock::now);
     shared.model.score_group_into(ws, merged, out);
+    let fwd_end = fwd_start.map(|t0| {
+        let now = od_obs::clock::now();
+        metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+        now
+    });
     let mut offset = 0;
     for &i in set {
         let req = &mut batch[i];
         let n = req.group.candidates.len();
-        stats.completed.fetch_add(1, Ordering::Relaxed);
+        metrics.completed.inc();
         req.take_tx().send(Ok(out[offset..offset + n].to_vec()));
         offset += n;
+    }
+    // One clock read covers the whole scatter; every member of the set
+    // shares it as its end-to-end endpoint.
+    if let Some(t1) = fwd_end {
+        let done = od_obs::clock::now();
+        metrics
+            .scatter_ns
+            .record(od_obs::clock::ns_between(t1, done));
+        for &i in set {
+            if let Some(t0) = batch[i].submitted {
+                metrics.e2e_ns.record(od_obs::clock::ns_between(t0, done));
+            }
+        }
     }
 }
 

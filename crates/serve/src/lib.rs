@@ -48,10 +48,11 @@ mod queue;
 mod sync;
 
 pub mod loadgen;
+pub mod metrics;
 
 pub use engine::{
     Engine, EngineConfig, EngineHealth, EngineStats, FailPoint, FailSite, Submit, Ticket,
-    HIST_BUCKETS,
 };
 pub use error::ServeError;
 pub use loadgen::{drive, score_all, LoadReport};
+pub use metrics::{HistBucket, HistSummary};

@@ -16,6 +16,8 @@
 //! benchmark measures.
 
 use crate::engine::{Engine, Submit};
+use crate::metrics::HistSummary;
+use od_obs::LatencyHistogram;
 use odnet_core::GroupInput;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -44,11 +46,14 @@ pub struct LoadReport {
     pub elapsed_secs: f64,
     /// Completed requests per second.
     pub requests_per_sec: f64,
-    /// Median request latency (submit → scores) in microseconds.
+    /// Median request latency (submit → scores) in microseconds —
+    /// conservative upper bound from the od-obs log-linear histogram
+    /// (≤ 6.25% relative bucket width).
     pub p50_us: f64,
-    /// 99th-percentile request latency in microseconds.
+    /// 99th-percentile request latency in microseconds (same bound).
     pub p99_us: f64,
-    /// Worst observed request latency in microseconds.
+    /// Worst observed request latency in microseconds (exact: the
+    /// histogram tracks the max outside the buckets).
     pub max_us: f64,
     /// Frozen forwards executed by the engine during the run.
     pub forwards: u64,
@@ -56,8 +61,9 @@ pub struct LoadReport {
     pub coalesced_requests: u64,
     /// Mean requests merged per forward (1.0 = no coalescing).
     pub mean_requests_per_forward: f64,
-    /// `batch_hist[i]` = forwards that merged `i` requests.
-    pub batch_hist: Vec<u64>,
+    /// Distribution of requests merged per forward during this run
+    /// (engine-lifetime histogram differenced across the run window).
+    pub batch_hist: HistSummary,
 }
 
 /// Drive `engine` with `total` requests drawn round-robin from `groups`,
@@ -84,12 +90,17 @@ pub fn drive(
     let mismatches = AtomicU64::new(0);
     let faulted = AtomicU64::new(0);
     let start_stats = engine.stats();
+    let start_batch_hist = engine.batch_hist_raw();
+    // One histogram per client, merged at join: recording is one relaxed
+    // fetch_add on a thread-private structure (no cross-client contention),
+    // and the merged snapshot gives exact max plus ≤ 6.25%-wide
+    // conservative percentiles without buffering one `u64` per request.
     let started = Instant::now();
-    let mut latencies: Vec<u64> = std::thread::scope(|s| {
+    let latencies = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 s.spawn(|| {
-                    let mut lat = Vec::new();
+                    let lat = LatencyHistogram::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
@@ -111,7 +122,7 @@ pub fn drive(
                                 }
                             }
                         };
-                        lat.push(begin.elapsed().as_micros() as u64);
+                        lat.record_duration(begin.elapsed());
                         match outcome {
                             Ok(scores) => {
                                 if let Some(exp) = expected {
@@ -127,25 +138,19 @@ pub fn drive(
                             }
                         }
                     }
-                    lat
+                    lat.snapshot()
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("load client must not panic"))
-            .collect()
+        let mut merged = od_obs::HistogramSnapshot::empty();
+        for h in handles {
+            merged.merge(&h.join().expect("load client must not panic"));
+        }
+        merged
     });
     let elapsed = started.elapsed().as_secs_f64();
     let stats = engine.stats();
-    latencies.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
-        latencies[idx] as f64
-    };
+    let ns_to_us = |ns: u64| ns as f64 / 1_000.0;
     let completed = stats.completed - start_stats.completed;
     let forwards = stats.forwards - start_stats.forwards;
     LoadReport {
@@ -158,9 +163,9 @@ pub fn drive(
         faulted: faulted.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         requests_per_sec: completed as f64 / elapsed.max(1e-9),
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-        max_us: latencies.last().copied().unwrap_or(0) as f64,
+        p50_us: ns_to_us(latencies.quantile(0.50)),
+        p99_us: ns_to_us(latencies.quantile(0.99)),
+        max_us: ns_to_us(latencies.max),
         forwards,
         coalesced_requests: stats.coalesced_requests - start_stats.coalesced_requests,
         mean_requests_per_forward: if forwards == 0 {
@@ -168,12 +173,7 @@ pub fn drive(
         } else {
             completed as f64 / forwards as f64
         },
-        batch_hist: stats
-            .batch_hist
-            .iter()
-            .zip(&start_stats.batch_hist)
-            .map(|(&a, &b)| a - b)
-            .collect(),
+        batch_hist: HistSummary::from(&engine.batch_hist_raw().delta_since(&start_batch_hist)),
     }
 }
 

@@ -160,6 +160,7 @@ fn injected_panics_are_isolated_and_supervised() {
             max_batch: 16,
             coalesce: true,
             fail_point: Some(panic_at_batches(FAULT_SEQS)),
+            stage_timing: true,
         },
     );
 
@@ -287,6 +288,7 @@ fn expired_requests_are_dropped_at_drain_time() {
             max_batch: 16,
             coalesce: true,
             fail_point: Some(gate.fail_point()),
+            stage_timing: true,
         },
     );
     // Request A occupies the worker (its batch parks at the gate)...
@@ -325,6 +327,7 @@ fn wait_timeout_bounds_waiting_on_a_stalled_engine() {
             max_batch: 8,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let t = match engine.submit(fix.groups[0].clone()) {
@@ -358,6 +361,7 @@ fn late_response_after_wait_timeout_is_harmless() {
             max_batch: 16,
             coalesce: true,
             fail_point: Some(gate.fail_point()),
+            stage_timing: true,
         },
     );
     let t = match engine.submit(fix.groups[0].clone()) {
@@ -392,6 +396,7 @@ fn dropped_ticket_is_harmless() {
             max_batch: 16,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     match engine.submit(fix.groups[0].clone()) {
@@ -419,6 +424,7 @@ fn shutdown_races_inflight_submits() {
             max_batch: 16,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let (scored, rejected) = std::thread::scope(|s| {
@@ -475,6 +481,7 @@ fn invalid_input_is_refused_at_admission() {
             max_batch: 8,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let mut bad = fix.groups[0].clone();
@@ -522,6 +529,7 @@ fn teardown_resolves_unscored_tickets() {
                 max_batch: 8,
                 coalesce: true,
                 fail_point: None,
+                stage_timing: true,
             },
         );
         t = match engine.submit(fix.groups[0].clone()) {

@@ -81,6 +81,7 @@ fn concurrent_engine_matches_direct_scoring_bitwise() {
             max_batch: 16,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 800, 8);
@@ -90,15 +91,22 @@ fn concurrent_engine_matches_direct_scoring_bitwise() {
     assert_eq!(stats.completed, 800);
     assert_eq!(stats.submitted, 800);
     // Histogram bookkeeping: every forward is binned, batch sizes sum back
-    // to the completed requests (no bucket overflow at max_batch = 16).
-    assert_eq!(stats.batch_hist.iter().sum::<u64>(), stats.forwards);
+    // to the completed requests. At max_batch = 16 every size lands in an
+    // exact (lo == hi) bucket of the log-linear histogram, so the weighted
+    // sum is recoverable from the buckets and must agree with the exact
+    // tracked sum.
+    assert_eq!(stats.batch_hist.count, stats.forwards);
     let weighted: u64 = stats
         .batch_hist
+        .buckets
         .iter()
-        .enumerate()
-        .map(|(i, &c)| i as u64 * c)
+        .map(|b| {
+            assert_eq!(b.lo, b.hi, "batch sizes < 32 bin exactly");
+            b.lo * b.count
+        })
         .sum();
     assert_eq!(weighted, stats.completed);
+    assert_eq!(stats.batch_hist.sum, stats.completed);
 }
 
 /// Coalescing disabled must also match the oracle (and never merge).
@@ -113,6 +121,7 @@ fn no_coalesce_engine_matches_direct_scoring_bitwise() {
             max_batch: 16,
             coalesce: false,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 400, 8);
@@ -138,6 +147,7 @@ fn coalescing_engages_for_same_context_bursts() {
                 max_batch: 64,
                 coalesce: true,
                 fail_point: None,
+                stage_timing: true,
             },
         );
         // One template, submitted as a burst before waiting on anything.
@@ -175,6 +185,7 @@ fn backpressure_rejects_and_returns_the_group() {
             max_batch: 8,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let mut tickets = Vec::new();
@@ -211,6 +222,7 @@ fn shutdown_drains_pending_requests() {
             max_batch: 4,
             coalesce: true,
             fail_point: None,
+            stage_timing: true,
         },
     );
     let tickets: Vec<(usize, Ticket)> = (0..10)
@@ -226,6 +238,72 @@ fn shutdown_drains_pending_requests() {
     for (gi, t) in tickets {
         assert_eq!(t.wait().expect("drained and scored"), fix.expected[gi]);
     }
+}
+
+/// After a loaded run, the stage clock has populated every request
+/// lifecycle histogram in the process-global registry, and the
+/// stage-timing-off path still scores correctly (its sites reduce to a
+/// never-taken branch; the 3% overhead gate in ci.sh covers the cost).
+#[test]
+fn stage_clock_populates_lifecycle_histograms() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+        },
+    );
+    let report = drive(&engine, &fix.groups, Some(&fix.expected), 200, 4);
+    assert_eq!(report.mismatches, 0);
+    let snap = od_obs::global().snapshot();
+    for name in [
+        "od_request_validate_ns",
+        "od_request_queue_wait_ns",
+        "od_batch_coalesce_ns",
+        "od_request_scatter_ns",
+        "od_request_e2e_ns",
+        "od_engine_batch_size",
+    ] {
+        assert!(
+            snap.histogram(name).count() > 0,
+            "{name} must have samples after a loaded run"
+        );
+    }
+    // Forward time is labeled per worker slot; at least one slot must
+    // have recorded.
+    let forwards: u64 = snap
+        .series
+        .iter()
+        .filter(|s| s.name == "od_request_forward_ns")
+        .map(|s| match &s.value {
+            od_obs::Value::Histogram(h) => h.count(),
+            _ => 0,
+        })
+        .sum();
+    assert!(forwards > 0, "per-worker forward histograms must populate");
+    assert!(snap.counter("od_engine_completed_total") >= 200);
+
+    // The timing-off path: identical scores, no crash, no stage samples
+    // needed — only the branch.
+    let quiet = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: false,
+        },
+    );
+    let report = drive(&quiet, &fix.groups, Some(&fix.expected), 200, 4);
+    assert_eq!(report.mismatches, 0);
+    assert_eq!(report.requests, 200);
 }
 
 /// Candidate-free requests are legal and answered with an empty score set.

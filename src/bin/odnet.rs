@@ -14,7 +14,8 @@ use od_bench::recall_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::{HsgBuilder, UserId};
 use odnet_core::{
-    evaluate_on_fliggy, try_train, FeatureExtractor, FrozenOdNet, OdNetModel, OdnetConfig, Variant,
+    evaluate_on_fliggy, try_train, FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel,
+    OdnetConfig, Variant,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&flags),
         "recommend" => cmd_recommend(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
+        "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,11 +62,18 @@ odnet — ODNET (ICDE 2022) reproduction CLI
 USAGE:
   odnet train     --out FILE [--variant odnet|odnet-g|stl+g|stl-g]
                   [--users N] [--cities N] [--epochs N] [--seed N]
+                  [--metrics-jsonl FILE]
   odnet eval      --model FILE
   odnet recommend --model FILE --user ID [--top K]
   odnet serve-bench [--users N] [--cities N] [--workers N] [--requests N]
                   [--clients N] [--batch N] [--no-coalesce] [--check]
-                  [--inject-panics N]
+                  [--inject-panics N] [--no-stage-timing]
+                  [--metrics-json FILE]
+  odnet metrics   [--json] [--out FILE] [--requests N]
+
+`metrics` exercises the trainer and the serving engine briefly, then
+renders every series in the process-global od-obs registry as Prometheus
+text exposition (default) or JSON (--json).
 ";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -120,6 +129,31 @@ fn build_hsg(ds: &FliggyDataset) -> od_hsg::Hsg {
     b.build()
 }
 
+/// 1-candidate-heavy request templates from a few distinct user contexts —
+/// the workload cross-request micro-batching exists for. Shared by
+/// `serve-bench` and `metrics`.
+fn serving_templates(ds: &FliggyDataset, fx: &FeatureExtractor) -> Result<Vec<GroupInput>, String> {
+    let day = ds.train_end_day();
+    let mut groups = Vec::new();
+    for user in (0..ds.world.num_users() as u32)
+        .map(UserId)
+        .filter(|&u| !ds.long_term(u, day).is_empty())
+        .take(4)
+    {
+        let pairs = recall_candidates(ds, user, day, 32);
+        for p in pairs.iter().take(4) {
+            groups.push(fx.group_for_serving(ds, user, day, std::slice::from_ref(p)));
+        }
+        if pairs.len() >= 8 {
+            groups.push(fx.group_for_serving(ds, user, day, &pairs[..8]));
+        }
+    }
+    if groups.is_empty() {
+        return Err("no serving templates: dataset too small".into());
+    }
+    Ok(groups)
+}
+
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = flags.get("out").ok_or("--out FILE is required")?;
     let variant = parse_variant(flags.get("variant").map(String::as_str).unwrap_or("odnet"))?;
@@ -161,6 +195,16 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         report.wall_time.as_secs_f64(),
         report.epoch_losses
     );
+    if let Some(path) = flags.get("metrics-jsonl") {
+        if path.is_empty() {
+            return Err("--metrics-jsonl expects a file path".into());
+        }
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} epoch telemetry rows to {path}",
+            report.epochs.len()
+        );
+    }
     let bundle = ModelFile {
         data_config,
         variant: variant.name().to_string(),
@@ -228,6 +272,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let clients = get_usize(flags, "clients", workers * 2)?.max(1);
     let max_batch = get_usize(flags, "batch", 64)?.max(1);
     let coalesce = !flags.contains_key("no-coalesce");
+    let stage_timing = !flags.contains_key("no-stage-timing");
     let check = flags.contains_key("check");
     let inject = get_usize(flags, "inject-panics", 0)? as u64;
 
@@ -252,27 +297,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(build_hsg(&ds)),
     );
     let model = Arc::new(model.freeze());
-
-    // 1-candidate-heavy request templates from a few distinct contexts —
-    // the workload micro-batching exists for.
-    let day = ds.train_end_day();
-    let mut groups = Vec::new();
-    for user in (0..ds.world.num_users() as u32)
-        .map(UserId)
-        .filter(|&u| !ds.long_term(u, day).is_empty())
-        .take(4)
-    {
-        let pairs = recall_candidates(&ds, user, day, 32);
-        for p in pairs.iter().take(4) {
-            groups.push(fx.group_for_serving(&ds, user, day, std::slice::from_ref(p)));
-        }
-        if pairs.len() >= 8 {
-            groups.push(fx.group_for_serving(&ds, user, day, &pairs[..8]));
-        }
-    }
-    if groups.is_empty() {
-        return Err("no serving templates: dataset too small".into());
-    }
+    let groups = serving_templates(&ds, &fx)?;
     let expected = score_all(&model, &groups);
 
     // Deterministic fault seed: kill batches 3, 7, 11, … (every 4th) at
@@ -311,6 +336,7 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             max_batch,
             coalesce,
             fail_point,
+            stage_timing,
         },
     );
     eprintln!(
@@ -320,6 +346,16 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     let r = drive(&engine, &groups, Some(&expected), requests, clients);
     let health = engine.health();
+    // Snapshot the registry while the engine is still alive: dropping the
+    // engine zeroes its gauges (queue depth, live workers, hit-rate).
+    let snap = od_obs::global().snapshot();
+    if let Some(path) = flags.get("metrics-json") {
+        if path.is_empty() {
+            return Err("--metrics-json expects a file path".into());
+        }
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} metric series to {path}", snap.series.len());
+    }
     println!(
         "requests      {}\nthroughput    {:.0} req/s\np50 latency   {:.0} us\n\
          p99 latency   {:.0} us\nforwards      {}\nreq/forward   {:.2}\n\
@@ -355,6 +391,41 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         if coalesce && r.coalesced_requests == 0 {
             return Err("coalescing never engaged under concurrent load".into());
+        }
+        // Stage clock: a loaded run must have populated the lifecycle
+        // histograms end to end, and the engine-level hit-rate gauge must
+        // agree that coalescing engaged.
+        if stage_timing {
+            for name in [
+                "od_request_queue_wait_ns",
+                "od_request_e2e_ns",
+                "od_engine_batch_size",
+            ] {
+                if snap.histogram(name).count() == 0 {
+                    return Err(format!("{name} has no samples after a loaded run"));
+                }
+            }
+            let forward_samples: u64 = snap
+                .series
+                .iter()
+                .filter(|s| s.name == "od_request_forward_ns")
+                .map(|s| match &s.value {
+                    od_obs::Value::Histogram(h) => h.count(),
+                    _ => 0,
+                })
+                .sum();
+            if forward_samples == 0 {
+                return Err("od_request_forward_ns has no samples after a loaded run".into());
+            }
+        }
+        if coalesce {
+            let hit_rate = match snap.find("od_engine_coalesce_hit_rate").map(|s| &s.value) {
+                Some(od_obs::Value::Float(v)) => *v,
+                _ => 0.0,
+            };
+            if hit_rate <= 0.0 {
+                return Err("od_engine_coalesce_hit_rate stayed at zero".into());
+            }
         }
         if inject > 0 {
             if injected.load(Ordering::SeqCst) != inject {
@@ -404,6 +475,80 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 ""
             }
         );
+    }
+    Ok(())
+}
+
+/// Exercise the full pipeline briefly — a tiny training run, then a loaded
+/// drive of the serving engine on the freshly frozen model — and render
+/// every series in the process-global od-obs registry. The quickest way to
+/// see the whole metric inventory with live values.
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    use od_serve::{drive, score_all, Engine, EngineConfig};
+    use std::sync::Arc;
+
+    let data_config = FliggyConfig {
+        num_users: get_usize(flags, "users", 40)?,
+        num_cities: get_usize(flags, "cities", 12)?,
+        seed: get_usize(flags, "seed", 0xF11667)? as u64,
+        ..FliggyConfig::tiny()
+    };
+    let requests = get_usize(flags, "requests", 2000)?;
+    eprintln!(
+        "exercising trainer + serving engine ({} users, {} cities, {requests} requests)…",
+        data_config.num_users, data_config.num_cities
+    );
+    let ds = build_dataset(&data_config);
+    let cfg = OdnetConfig {
+        epochs: 2,
+        ..OdnetConfig::tiny()
+    };
+    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+    let mut model = OdNetModel::new(
+        Variant::Odnet,
+        cfg,
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        Some(build_hsg(&ds)),
+    );
+    let train_groups = fx.groups_from_samples(&ds, &ds.train);
+    try_train(&mut model, &train_groups).map_err(|e| e.to_string())?;
+
+    let frozen = Arc::new(model.freeze());
+    let templates = serving_templates(&ds, &fx)?;
+    let expected = score_all(&frozen, &templates);
+    let engine = Engine::new(
+        Arc::clone(&frozen),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 32,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+        },
+    );
+    let r = drive(&engine, &templates, Some(&expected), requests, 4);
+    if r.mismatches != 0 {
+        return Err(format!(
+            "{} engine responses diverged from direct scoring",
+            r.mismatches
+        ));
+    }
+    // Snapshot while the engine is alive so its gauges are still set.
+    let snap = od_obs::global().snapshot();
+    drop(engine);
+    let rendered = if flags.contains_key("json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    match flags.get("out") {
+        Some(path) if !path.is_empty() => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} metric series to {path}", snap.series.len());
+        }
+        _ => print!("{rendered}"),
     }
     Ok(())
 }
