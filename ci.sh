@@ -14,8 +14,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> frozen-equivalence (serving artifact vs live tape)"
+echo "==> frozen-equivalence (serving artifact vs live tape; JSON/bin/mmap bit-identity)"
 cargo test -q -p odnet-core --test frozen_equivalence
+
+echo "==> artifact corruption robustness (.odz loader rejects tampered files)"
+cargo test -q -p odnet-core --test artifact_corruption
+
+echo "==> artifact round trip: freeze -> mmap -> serve (bit-exact)"
+# Freezes an untrained artifact in both formats, then serves from the
+# mmap'd .odz; --check fails the gate unless engine responses are
+# bit-identical to direct scoring against the same mapped tables.
+cargo run --release --bin odnet -- freeze --out target/ci_artifact
+cargo run --release --bin odnet -- serve-bench --artifact target/ci_artifact.odz \
+    --workers 2 --requests 1000 --check
+
+echo "==> artifact cold-start smoke (JSON vs owned read vs mmap)"
+# Small-universe run of the cold-start experiment: asserts all three load
+# paths score bit-identically and mmap beats the JSON parse, without
+# touching the committed paper-scale BENCH_artifact.json.
+CRITERION_QUICK=1 cargo bench -p od-bench --bench artifact_bench
 
 echo "==> serving bench (smoke)"
 CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench

@@ -1,0 +1,379 @@
+//! Artifact cold-start experiment: JSON parse vs `.odz` owned read vs
+//! `.odz` zero-copy mmap, at paper scale (2.6M users × 200 cities).
+//!
+//! Serving cold start is load-to-first-score: a replica is useless until
+//! it answers its first request. This bench freezes an untrained ODNET−G
+//! at the requested scale (universe sizes are all that matter for table
+//! geometry; no training or dataset roll-out is needed), saves it in both
+//! formats, and measures each load path's cold start plus the resident
+//! memory of 1 vs 4 serving processes mapping the same artifact — the
+//! sharing claim: N mmap replicas hold ~one physical copy of the tables
+//! (PSS ≈ RSS / N), while N owned-load replicas hold N copies.
+//!
+//! Full scale writes `BENCH_artifact.json` at the repository root.
+//! `CRITERION_QUICK=1` (or `--quick` / `--test`) runs a small-universe
+//! smoke that asserts the invariants (bit-identical scores, mmap no
+//! slower than JSON) without touching the committed report.
+//!
+//! The multi-process measurement re-invokes this bench binary as children
+//! (`ODNET_ARTIFACT_CHILD=<path>`): each child mmap- or read-loads the
+//! artifact, scores once, faults every table page in, then reports its
+//! `/proc/self` RSS and PSS while all siblings hold their mappings.
+
+use od_hsg::{CityId, UserId};
+use odnet_core::{
+    CandidateInput, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant, XST_DIM,
+};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// One child process's self-report, printed as a JSON line on stdout.
+#[derive(Debug, Serialize, Deserialize)]
+struct ChildReport {
+    load_ns: u64,
+    first_score_ns: u64,
+    touch_ns: u64,
+    rss_kb: u64,
+    pss_kb: u64,
+}
+
+/// One load path's cold-start numbers in the parent process.
+#[derive(Debug, Serialize)]
+struct ColdStart {
+    path: String,
+    load_ns: u64,
+    first_score_ns: u64,
+    cold_start_ns: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetReport {
+    mode: String,
+    processes: usize,
+    total_rss_kb: u64,
+    total_pss_kb: u64,
+    mean_load_ns: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    generated_by: String,
+    scale: String,
+    num_users: usize,
+    num_cities: usize,
+    embed_dim: usize,
+    odz_bytes: u64,
+    json_bytes: u64,
+    cold_starts: Vec<ColdStart>,
+    /// JSON cold start / mmap cold start (the headline number; the
+    /// acceptance bar is ≥ 50).
+    mmap_cold_start_speedup: f64,
+    fleets: Vec<FleetReport>,
+}
+
+fn main() {
+    if let Ok(path) = std::env::var("ODNET_ARTIFACT_CHILD") {
+        child_main(Path::new(&path));
+        return;
+    }
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+
+    let (users, cities, embed_dim, scale) = if quick {
+        (40_000, 50, 8, "smoke")
+    } else {
+        // Paper Table I magnitude: 2.6M users, 200 origin/dest cities.
+        (2_600_000, 200, 16, "paper")
+    };
+    eprintln!("freezing untrained ODNET-G at {users} users × {cities} cities (d = {embed_dim})…");
+    let config = OdnetConfig {
+        embed_dim,
+        ..OdnetConfig::default()
+    };
+    let t = Instant::now();
+    let frozen = OdNetModel::new(Variant::OdnetG, config, users, cities, None).freeze();
+    eprintln!("  frozen in {:.1}s", t.elapsed().as_secs_f64());
+
+    let dir = std::env::temp_dir().join(format!("odnet_artifact_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let json_path = dir.join("artifact.json");
+    let odz_path = dir.join("artifact.odz");
+
+    let t = Instant::now();
+    std::fs::write(&json_path, frozen.save_json()).expect("write JSON artifact");
+    eprintln!(
+        "  JSON artifact written in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+    let t = Instant::now();
+    frozen.save_bin(&odz_path).expect("write .odz artifact");
+    eprintln!(
+        "  .odz artifact written in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+    let json_bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
+    let odz_bytes = std::fs::metadata(&odz_path).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "  sizes: JSON {:.1} MiB, .odz {:.1} MiB",
+        json_bytes as f64 / (1 << 20) as f64,
+        odz_bytes as f64 / (1 << 20) as f64
+    );
+
+    let group = probe_group(users, cities);
+    let baseline = frozen.score_group(&group);
+    drop(frozen);
+
+    // Cold starts, one path at a time (each loaded copy is dropped before
+    // the next so peak memory stays one-copy).
+    let mut cold_starts = Vec::new();
+    let mut cold = |name: &str, load: &dyn Fn() -> FrozenOdNet| {
+        let t = Instant::now();
+        let loaded = load();
+        let load_ns = t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let scores = loaded.score_group(&group);
+        let first_score_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(scores, baseline, "{name} scores diverged from in-memory");
+        eprintln!(
+            "  {name:<10} load {:>12.3} ms   first score {:>9.3} ms",
+            load_ns as f64 / 1e6,
+            first_score_ns as f64 / 1e6
+        );
+        cold_starts.push(ColdStart {
+            path: name.to_string(),
+            load_ns,
+            first_score_ns,
+            cold_start_ns: load_ns + first_score_ns,
+        });
+    };
+    cold("json", &|| {
+        let text = std::fs::read_to_string(&json_path).expect("read JSON");
+        FrozenOdNet::load_json(&text).expect("parse JSON artifact")
+    });
+    cold("bin", &|| {
+        FrozenOdNet::load_bin(&odz_path).expect("owned binary read")
+    });
+    cold("mmap", &|| {
+        FrozenOdNet::load_bin_mmap(&odz_path).expect("zero-copy mmap")
+    });
+
+    let json_cold = cold_starts[0].cold_start_ns;
+    let mmap_cold = cold_starts[2].cold_start_ns.max(1);
+    let speedup = json_cold as f64 / mmap_cold as f64;
+    eprintln!("  mmap cold-start speedup over JSON: {speedup:.0}x");
+    assert!(
+        speedup >= if quick { 1.0 } else { 50.0 },
+        "mmap cold start must beat JSON parse (got {speedup:.1}x)"
+    );
+
+    // Fleet resident memory: 1 vs 4 processes mapping the same artifact,
+    // plus the owned-read counterfactual at the same process counts.
+    let mut fleets = Vec::new();
+    for mode in ["mmap", "bin"] {
+        for n in [1usize, 4] {
+            let fleet = run_fleet(&odz_path, mode, n);
+            eprintln!(
+                "  {n} process(es), {mode:<4}: total RSS {:>9.1} MiB, total PSS {:>9.1} MiB",
+                fleet.total_rss_kb as f64 / 1024.0,
+                fleet.total_pss_kb as f64 / 1024.0
+            );
+            fleets.push(fleet);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if quick {
+        eprintln!("smoke scale: skipping BENCH_artifact.json (paper-scale numbers are committed)");
+        return;
+    }
+    let report = Report {
+        generated_by: "cargo bench --bench artifact_bench".to_string(),
+        scale: scale.to_string(),
+        num_users: users,
+        num_cities: cities,
+        embed_dim,
+        odz_bytes,
+        json_bytes,
+        cold_starts,
+        mmap_cold_start_speedup: speedup,
+        fleets,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_artifact.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, pretty + "\n").expect("write BENCH_artifact.json");
+    println!("wrote {path}");
+}
+
+/// A minimal but non-trivial scoring request touching real table rows.
+fn probe_group(users: usize, cities: usize) -> GroupInput {
+    let city = |i: usize| CityId((i % cities) as u32);
+    let cand = |i: usize| CandidateInput {
+        origin: city(3 + i),
+        dest: city(11 + 2 * i),
+        xst_o: [0.25; XST_DIM],
+        xst_d: [0.75; XST_DIM],
+        label_o: 0.0,
+        label_d: 0.0,
+    };
+    GroupInput {
+        user: UserId((users - 1) as u32),
+        day: 400,
+        current_city: city(1),
+        lt_origins: (0..4).map(city).collect(),
+        lt_dests: (4..8).map(city).collect(),
+        lt_days: vec![10, 40, 90, 200],
+        st_origins: vec![city(2)],
+        st_dests: vec![city(9)],
+        st_days: vec![399],
+        candidates: (0..8).map(cand).collect(),
+    }
+}
+
+/// Spawn `n` children loading `path` in `mode`, keep them alive together
+/// (so PSS reflects `n` concurrent mappers), and sum their reports.
+fn run_fleet(path: &Path, mode: &str, n: usize) -> FleetReport {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children: Vec<std::process::Child> = (0..n)
+        .map(|_| {
+            std::process::Command::new(&exe)
+                .env("ODNET_ARTIFACT_CHILD", path)
+                .env("ODNET_ARTIFACT_CHILD_MODE", mode)
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn child")
+        })
+        .collect();
+    let mut readers: Vec<BufReader<std::process::ChildStdout>> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("child stdout")))
+        .collect();
+    // Phase 1: wait until every child holds its loaded artifact.
+    for r in &mut readers {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("child READY");
+        assert_eq!(line.trim(), "READY", "unexpected child handshake: {line:?}");
+    }
+    // Phase 2: all siblings are mapped — tell each to measure itself.
+    for c in &mut children {
+        let stdin = c.stdin.as_mut().expect("child stdin");
+        writeln!(stdin, "measure").expect("signal child");
+    }
+    let mut total_rss = 0u64;
+    let mut total_pss = 0u64;
+    let mut load_ns = 0u64;
+    for r in &mut readers {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("child report");
+        let rep: ChildReport = serde_json::from_str(line.trim()).expect("child report JSON");
+        total_rss += rep.rss_kb;
+        total_pss += rep.pss_kb;
+        load_ns += rep.load_ns;
+    }
+    for mut c in children {
+        let status = c.wait().expect("child exit");
+        assert!(status.success(), "child failed: {status:?}");
+    }
+    FleetReport {
+        mode: mode.to_string(),
+        processes: n,
+        total_rss_kb: total_rss,
+        total_pss_kb: total_pss,
+        mean_load_ns: load_ns / n as u64,
+    }
+}
+
+/// Child mode: load, score once, fault every table page in, then report
+/// resident memory when the parent says all siblings are up.
+fn child_main(path: &Path) {
+    let mode = std::env::var("ODNET_ARTIFACT_CHILD_MODE").unwrap_or_else(|_| "mmap".to_string());
+    let t = Instant::now();
+    let frozen = match mode.as_str() {
+        "bin" => FrozenOdNet::load_bin(path).expect("child owned read"),
+        _ => FrozenOdNet::load_bin_mmap(path).expect("child mmap load"),
+    };
+    let load_ns = t.elapsed().as_nanos() as u64;
+
+    let group = probe_group(frozen.num_users(), frozen.num_cities());
+    let t = Instant::now();
+    let scores = frozen.score_group(&group);
+    assert!(!scores.is_empty());
+    let first_score_ns = t.elapsed().as_nanos() as u64;
+
+    // Fault in every page of every table: a long-lived replica eventually
+    // touches its whole working set, and the sharing claim is about that
+    // steady state, not the first request.
+    let t = Instant::now();
+    let mut acc = 0.0f64;
+    for i in (0..frozen.num_users()).step_by(64) {
+        acc += serving_probe(&frozen, UserId(i as u32)) as f64;
+    }
+    std::hint::black_box(acc);
+    let touch_ns = t.elapsed().as_nanos() as u64;
+
+    println!("READY");
+    let mut line = String::new();
+    std::io::stdin()
+        .read_line(&mut line)
+        .expect("parent signal");
+
+    let (rss_kb, pss_kb) = proc_memory();
+    let report = ChildReport {
+        load_ns,
+        first_score_ns,
+        touch_ns,
+        rss_kb,
+        pss_kb,
+    };
+    println!("{}", serde_json::to_string(&report).expect("report JSON"));
+}
+
+/// Touch one user's rows on both branches through the public scoring API
+/// (one tiny group per user id) — faults table pages without private API.
+fn serving_probe(frozen: &FrozenOdNet, user: UserId) -> usize {
+    let cities = frozen.num_cities();
+    let group = GroupInput {
+        user,
+        day: 1,
+        current_city: CityId((user.index() % cities) as u32),
+        lt_origins: Vec::new(),
+        lt_dests: Vec::new(),
+        lt_days: Vec::new(),
+        st_origins: Vec::new(),
+        st_dests: Vec::new(),
+        st_days: Vec::new(),
+        candidates: vec![CandidateInput {
+            origin: CityId((user.index().wrapping_mul(7) % cities) as u32),
+            dest: CityId((user.index().wrapping_mul(13) % cities) as u32),
+            xst_o: [0.0; XST_DIM],
+            xst_d: [0.0; XST_DIM],
+            label_o: 0.0,
+            label_d: 0.0,
+        }],
+    };
+    frozen.score_group(&group).len()
+}
+
+/// (VmRSS, Pss) of this process in kB, from `/proc/self`.
+fn proc_memory() -> (u64, u64) {
+    let field = |text: &str, key: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(key))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let rss = std::fs::read_to_string("/proc/self/status")
+        .map(|s| field(&s, "VmRSS:"))
+        .unwrap_or(0);
+    let pss = std::fs::read_to_string("/proc/self/smaps_rollup")
+        .map(|s| field(&s, "Pss:"))
+        .unwrap_or(0);
+    (rss, pss)
+}

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// §V-B of the paper where the paper specifies a value (heads = 4, K = 2,
 /// neighbor cap = 5, Adam lr = 0.01, batch 128, 5 epochs) and sensible
 /// laptop-scale widths elsewhere.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OdnetConfig {
     /// Embedding width `d` (the output dimension of the HSGC's `M_T`).
     pub embed_dim: usize,

@@ -19,6 +19,7 @@
 //! path remains the correctness oracle; see
 //! `tests/frozen_equivalence.rs`).
 
+use crate::artifact::Table;
 use crate::config::OdnetConfig;
 use crate::eval::OdScorer;
 use crate::features::{GroupInput, XST_DIM};
@@ -28,7 +29,7 @@ use crate::model::{CheckpointError, Variant};
 use crate::pec::FrozenPec;
 use od_hsg::CityId;
 use od_tensor::infer::Workspace;
-use od_tensor::{stable_sigmoid, Tensor};
+use od_tensor::stable_sigmoid;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
@@ -38,12 +39,14 @@ const FROZEN_FORMAT_VERSION: u32 = 1;
 
 /// One frozen branch: dense embedding tables (already depth-`K` aggregated
 /// for graph variants) plus the frozen PEC and optional intent module.
+/// The tables are [`Table`]s so they can be owned (JSON / binary read) or
+/// borrowed zero-copy from an mmap'd `.odz` file — scoring never copies.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub(crate) struct FrozenBranch {
     /// `num_users×d` final user embeddings.
-    pub(crate) users: Tensor,
+    pub(crate) users: Table,
     /// `num_cities×d` final city embeddings.
-    pub(crate) cities: Tensor,
+    pub(crate) cities: Table,
     pub(crate) pec: FrozenPec,
     pub(crate) intent: Option<FrozenIntent>,
 }
@@ -256,6 +259,21 @@ impl FrozenOdNet {
     /// carry NaN/±∞. Runs automatically inside [`FrozenOdNet::load_json`]
     /// and [`FrozenOdNet::from_checkpoint_json`].
     pub fn validate_artifact(&self) -> Result<(), CheckpointError> {
+        self.validate_impl(true)
+    }
+
+    /// Shallow validation for the zero-copy mmap load path: all geometry
+    /// and the (small, resident) module weights are fully checked, but the
+    /// big embedding tables are not scanned for non-finite values — a scan
+    /// would fault in every page of a multi-GB artifact and defeat lazy
+    /// loading. Trust in the payload bytes comes from [`FrozenOdNet::save_bin`]
+    /// validating before writing plus the header/meta checksums; an
+    /// end-to-end audit of a file is [`FrozenOdNet::load_bin`]'s job.
+    pub(crate) fn validate_geometry(&self) -> Result<(), CheckpointError> {
+        self.validate_impl(false)
+    }
+
+    fn validate_impl(&self, deep: bool) -> Result<(), CheckpointError> {
         let d = self.config.embed_dim;
         if self.num_users == 0 || self.num_cities == 0 {
             return Err(CheckpointError::Inconsistent(format!(
@@ -264,18 +282,12 @@ impl FrozenOdNet {
             )));
         }
         for (name, branch) in [("origin", &self.origin), ("dest", &self.dest)] {
-            od_tensor::nn::check_matrix(
-                &format!("{name}.users"),
-                &branch.users,
-                self.num_users,
-                d,
-            )?;
-            od_tensor::nn::check_matrix(
-                &format!("{name}.cities"),
-                &branch.cities,
-                self.num_cities,
-                d,
-            )?;
+            branch
+                .users
+                .check(&format!("{name}.users"), self.num_users, d, deep)?;
+            branch
+                .cities
+                .check(&format!("{name}.cities"), self.num_cities, d, deep)?;
             branch.pec.check(&format!("{name}.pec"), d)?;
             if branch.intent.is_some() != (self.config.intents > 0) {
                 return Err(CheckpointError::Inconsistent(format!(

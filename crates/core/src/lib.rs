@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod config;
 mod eval;
 mod features;
@@ -62,6 +63,7 @@ mod trainer;
 
 pub mod hsgc;
 
+pub use artifact::{MmapRegion, ODZ_VERSION};
 pub use config::OdnetConfig;
 pub use eval::{
     evaluate_auc, evaluate_on_checkin, evaluate_on_fliggy, evaluate_ranking,

@@ -502,8 +502,8 @@ impl OdNetModel {
                 }
             };
             FrozenBranch {
-                users,
-                cities,
+                users: users.into(),
+                cities: cities.into(),
                 pec: branch.pec.freeze(&self.store),
                 intent: branch.intent.as_ref().map(|m| m.freeze(&self.store)),
             }
@@ -675,6 +675,11 @@ pub enum CheckpointError {
     /// The frozen artifact carries NaN or infinite weights, which would
     /// silently produce NaN scores at serving time.
     NonFinite(String),
+    /// Filesystem failure while reading or writing a binary artifact.
+    Io(String),
+    /// Malformed `.odz` binary artifact: bad magic, checksum mismatch,
+    /// truncation, misaligned or out-of-bounds table directory.
+    Binary(String),
 }
 
 impl From<od_tensor::nn::FrozenCheckError> for CheckpointError {
@@ -709,6 +714,10 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::NonFinite(what) => {
                 write!(f, "non-finite weights in frozen artifact: {what}")
+            }
+            CheckpointError::Io(what) => write!(f, "artifact I/O error: {what}"),
+            CheckpointError::Binary(what) => {
+                write!(f, "malformed binary artifact: {what}")
             }
         }
     }

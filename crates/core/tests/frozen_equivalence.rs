@@ -22,6 +22,10 @@ struct Fixture {
     /// `(frozen, batched live, per-candidate live)` triples sharing
     /// identical parameters.
     triples: Vec<(FrozenOdNet, OdNetModel, OdNetModel)>,
+    /// Per-triple reloads of the frozen artifact through every persistence
+    /// path: `[JSON round-trip, .odz owned read, .odz zero-copy mmap]`.
+    /// All three must score bit-identically to the original.
+    reloaded: Vec<[FrozenOdNet; 3]>,
     /// A real group (with history) providing the user context.
     template: GroupInput,
     num_cities: usize,
@@ -65,6 +69,22 @@ fn fixture() -> &'static Fixture {
             build(Variant::OdnetG, 3),
             build(Variant::StlPlusG, 0),
         ];
+        let reloaded = triples
+            .iter()
+            .enumerate()
+            .map(|(i, (frozen, _, _))| {
+                let json = FrozenOdNet::load_json(&frozen.save_json()).expect("json round trip");
+                let path = std::env::temp_dir()
+                    .join(format!("odnet_equiv_{}_{i}.odz", std::process::id()));
+                frozen.save_bin(&path).expect("save .odz");
+                let bin = FrozenOdNet::load_bin(&path).expect("owned binary read");
+                let mapped = FrozenOdNet::load_bin_mmap(&path).expect("zero-copy mmap");
+                // Unlink immediately: on unix the mapping stays valid, and
+                // the fixture leaves no temp litter behind.
+                let _ = std::fs::remove_file(&path);
+                [json, bin, mapped]
+            })
+            .collect();
         let fx = FeatureExtractor::new(6, 4);
         let template = fx
             .groups_from_samples(&ds, &ds.train)
@@ -73,6 +93,7 @@ fn fixture() -> &'static Fixture {
             .expect("a group with history exists");
         Fixture {
             triples,
+            reloaded,
             template,
             num_cities: ds.world.num_cities(),
             num_users: ds.world.num_users(),
@@ -134,6 +155,46 @@ proptest! {
                     frozen.variant().name()
                 );
             }
+        }
+    }
+
+    /// Every persistence path — JSON round-trip, `.odz` owned read, and
+    /// `.odz` zero-copy mmap — scores **bit-identically** to the original
+    /// in-memory artifact, for every variant and arbitrary candidate sets.
+    /// Exact equality (not tolerance): all four serve the same IEEE-754
+    /// bit patterns through the same kernels.
+    #[test]
+    fn persistence_paths_score_bit_identically(cands in candidates(fixture().num_cities)) {
+        let fix = fixture();
+        let mut group = fix.template.clone();
+        group.candidates = cands;
+        for ((frozen, _, _), reloaded) in fix.triples.iter().zip(&fix.reloaded) {
+            let expected = frozen.score_group(&group);
+            for (path, other) in ["json", "bin", "mmap"].iter().zip(reloaded.iter()) {
+                let got = other.score_group(&group);
+                prop_assert_eq!(
+                    &expected,
+                    &got,
+                    "{} via {} diverged from the in-memory artifact",
+                    frozen.variant().name(),
+                    path
+                );
+            }
+        }
+    }
+}
+
+/// Reloaded artifacts carry identical metadata on every path.
+#[test]
+fn persistence_paths_preserve_metadata() {
+    let fix = fixture();
+    for ((frozen, _, _), reloaded) in fix.triples.iter().zip(&fix.reloaded) {
+        for other in reloaded {
+            assert_eq!(other.variant(), frozen.variant());
+            assert_eq!(other.theta().to_bits(), frozen.theta().to_bits());
+            assert_eq!(other.num_users(), frozen.num_users());
+            assert_eq!(other.num_cities(), frozen.num_cities());
+            assert_eq!(other.config(), frozen.config());
         }
     }
 }

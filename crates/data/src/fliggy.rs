@@ -81,7 +81,62 @@ impl FliggyConfig {
             ..Self::default()
         }
     }
+
+    /// The paper's production magnitude (Table I): 2.6M users over a 200
+    /// origin / 200 destination city universe. Generation is linear in
+    /// users (histories, samples, and eval cases all scale per-user; only
+    /// the price model is quadratic, and only in the 200 cities), so a
+    /// full roll-out fits in memory on a large host — but the intended use
+    /// is freezing paper-scale *artifacts*, where only the [`World`]'s
+    /// universe sizes matter, not the behavioural roll-out.
+    pub fn paper_scale() -> Self {
+        FliggyConfig {
+            num_users: 2_600_000,
+            num_cities: 200,
+            ..Self::default()
+        }
+    }
 }
+
+/// A [`World`] handed to [`FliggyDataset::generate_from_world`] whose
+/// universe does not match the configuration it is rolled out under.
+/// Every downstream index (histories, samples, eval cases) assumes the
+/// config's sizes, so the mismatch is rejected up front as a typed error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorldMismatch {
+    /// The world holds a different number of users than `config.num_users`.
+    Users {
+        /// `config.num_users`.
+        expected: usize,
+        /// `world.num_users()`.
+        found: usize,
+    },
+    /// The world holds a different number of cities than
+    /// `config.num_cities`.
+    Cities {
+        /// `config.num_cities`.
+        expected: usize,
+        /// `world.num_cities()`.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for WorldMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorldMismatch::Users { expected, found } => write!(
+                f,
+                "world holds {found} users but the config declares {expected}"
+            ),
+            WorldMismatch::Cities { expected, found } => write!(
+                f,
+                "world holds {found} cities but the config declares {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorldMismatch {}
 
 /// One labelled training/testing sample: a candidate (O, D) with per-side
 /// labels (`label_o` says whether O is the true next origin, `label_d`
@@ -151,13 +206,31 @@ impl FliggyDataset {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let world = World::generate(config.num_users, config.num_cities, &mut rng);
         Self::generate_from_world(world, config, &mut rng)
+            .expect("world generated from the same config")
     }
 
     /// Roll out a dataset over a caller-supplied world (e.g. a rail
-    /// corridor). `config.num_users`/`num_cities` must match the world.
-    pub fn generate_from_world(world: World, config: FliggyConfig, rng: &mut StdRng) -> Self {
-        assert_eq!(world.num_users(), config.num_users, "user count mismatch");
-        assert_eq!(world.num_cities(), config.num_cities, "city count mismatch");
+    /// corridor). `config.num_users`/`num_cities` must match the world;
+    /// a mismatch is returned as a typed [`WorldMismatch`] instead of
+    /// panicking, so callers assembling worlds from external inputs can
+    /// surface the error.
+    pub fn generate_from_world(
+        world: World,
+        config: FliggyConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, WorldMismatch> {
+        if world.num_users() != config.num_users {
+            return Err(WorldMismatch::Users {
+                expected: config.num_users,
+                found: world.num_users(),
+            });
+        }
+        if world.num_cities() != config.num_cities {
+            return Err(WorldMismatch::Cities {
+                expected: config.num_cities,
+                found: world.num_cities(),
+            });
+        }
         let mut histories = Vec::with_capacity(config.num_users);
         for u in 0..config.num_users {
             histories.push(roll_out_user(&world, UserId(u as u32), &config, rng));
@@ -204,7 +277,7 @@ impl FliggyDataset {
                 .flat_map(|h| h.bookings.iter())
                 .filter(|b| b.day < train_end),
         );
-        FliggyDataset {
+        Ok(FliggyDataset {
             world,
             histories,
             train,
@@ -212,7 +285,7 @@ impl FliggyDataset {
             eval_cases,
             temporal,
             config,
-        }
+        })
     }
 
     /// First day of the test window.
@@ -644,5 +717,38 @@ mod tests {
         assert!(pairs > 0);
         let share = returns as f64 / pairs as f64;
         assert!(share > 0.1, "return-trip share too small: {share}");
+    }
+
+    #[test]
+    fn mismatched_world_is_a_typed_error_not_a_panic() {
+        let config = FliggyConfig::tiny();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let world = World::generate(config.num_users + 1, config.num_cities, &mut rng);
+        match FliggyDataset::generate_from_world(world, config.clone(), &mut rng) {
+            Err(WorldMismatch::Users { expected, found }) => {
+                assert_eq!(expected, config.num_users);
+                assert_eq!(found, config.num_users + 1);
+            }
+            other => panic!("expected WorldMismatch::Users, got {other:?}"),
+        }
+
+        let world = World::generate(config.num_users, config.num_cities + 2, &mut rng);
+        match FliggyDataset::generate_from_world(world, config.clone(), &mut rng) {
+            Err(WorldMismatch::Cities { expected, found }) => {
+                assert_eq!(expected, config.num_cities);
+                assert_eq!(found, config.num_cities + 2);
+                // The error renders both sides for the operator.
+                let msg = WorldMismatch::Cities { expected, found }.to_string();
+                assert!(msg.contains(&expected.to_string()) && msg.contains(&found.to_string()));
+            }
+            other => panic!("expected WorldMismatch::Cities, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_scale_preset_matches_table_one() {
+        let cfg = FliggyConfig::paper_scale();
+        assert_eq!(cfg.num_users, 2_600_000);
+        assert_eq!(cfg.num_cities, 200);
     }
 }

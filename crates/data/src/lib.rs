@@ -34,7 +34,9 @@ pub mod world;
 pub use abtest::{AbTestConfig, AbTestHarness, AbTestResult, DayOutcome};
 pub use checkin::{Checkin, CheckinConfig, CheckinDataset, PoiEvalCase, PoiSample};
 pub use cities::{generate_cities, generate_corridor_cities, City, Pattern};
-pub use fliggy::{DatasetStatistics, EvalCase, FliggyConfig, FliggyDataset, OdSample, UserHistory};
+pub use fliggy::{
+    DatasetStatistics, EvalCase, FliggyConfig, FliggyDataset, OdSample, UserHistory, WorldMismatch,
+};
 pub use metrics::{auc, ctr, rank_of_truth, RankingAccumulator, RankingMetrics};
 pub use stats::{Side, TemporalStats, TEMPORAL_FEATURES};
 pub use world::{Booking, Click, Context, PriceModel, UserProfile, World};

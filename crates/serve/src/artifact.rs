@@ -1,0 +1,112 @@
+//! Serving-side artifact loading: one entry point for every artifact
+//! format, instrumented for cold-start observability.
+//!
+//! The serving cold-start path is the time between "process starts" and
+//! "first request scored" — at paper scale it is dominated by artifact
+//! loading, which is exactly what the `.odz` mmap path collapses (see
+//! `odnet_core::artifact` and DESIGN.md §12). [`load_frozen`] wraps the
+//! three load paths and records what happened into the process-global
+//! [`od_obs`] registry:
+//!
+//! | series | kind | meaning |
+//! |---|---|---|
+//! | `od_artifact_load_ns` | gauge | wall time of the last artifact load |
+//! | `od_artifact_bytes` | gauge | on-disk size of the last loaded artifact |
+//! | `od_artifact_loads_total{mode=…}` | counter | loads by mode (json/bin/mmap) |
+//!
+//! `odnet metrics --artifact` renders these next to the engine series, so
+//! a deployment can tell at a glance whether a replica cold-started from
+//! the zero-copy path or fell back to a parse.
+
+use odnet_core::{CheckpointError, FrozenOdNet};
+use std::path::Path;
+use std::time::Instant;
+
+/// Which load path [`load_frozen`] takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArtifactMode {
+    /// Parse a `FrozenOdNet::save_json` artifact (owned tables).
+    Json,
+    /// Read an `.odz` binary with full checksum + finiteness audit
+    /// (owned tables).
+    Bin,
+    /// Zero-copy mmap of an `.odz` binary (borrowed tables, lazy pages).
+    Mmap,
+}
+
+impl ArtifactMode {
+    /// Metric label / CLI name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactMode::Json => "json",
+            ArtifactMode::Bin => "bin",
+            ArtifactMode::Mmap => "mmap",
+        }
+    }
+
+    /// Infer the mode from a path's extension: `.odz` maps zero-copy,
+    /// anything else parses as JSON.
+    pub fn infer(path: &Path) -> ArtifactMode {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("odz") => ArtifactMode::Mmap,
+            _ => ArtifactMode::Json,
+        }
+    }
+}
+
+/// Load a frozen artifact for serving, recording cold-start gauges.
+///
+/// The returned artifact is ready to hand to
+/// [`Engine::new`](crate::Engine::new) behind an `Arc`; for the mmap mode
+/// the first scores will fault pages in on demand, which is the point.
+pub fn load_frozen(path: &Path, mode: ArtifactMode) -> Result<FrozenOdNet, CheckpointError> {
+    let start = Instant::now();
+    let frozen = match mode {
+        ArtifactMode::Json => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CheckpointError::Io(format!("reading {path:?}: {e}")))?;
+            FrozenOdNet::load_json(&json)?
+        }
+        ArtifactMode::Bin => FrozenOdNet::load_bin(path)?,
+        ArtifactMode::Mmap => FrozenOdNet::load_bin_mmap(path)?,
+    };
+    let elapsed_ns = start.elapsed().as_nanos().min(i64::MAX as u128) as i64;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let reg = od_obs::global();
+    reg.gauge(
+        "od_artifact_load_ns",
+        "wall time of the last serving artifact load",
+    )
+    .set(elapsed_ns);
+    reg.gauge(
+        "od_artifact_bytes",
+        "on-disk size of the last loaded serving artifact",
+    )
+    .set(bytes.min(i64::MAX as u64) as i64);
+    reg.counter_with(
+        "od_artifact_loads_total",
+        "artifact loads by mode",
+        &[("mode", mode.name())],
+    )
+    .inc();
+    Ok(frozen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_inference_follows_extension() {
+        assert_eq!(ArtifactMode::infer(Path::new("m.odz")), ArtifactMode::Mmap);
+        assert_eq!(ArtifactMode::infer(Path::new("m.json")), ArtifactMode::Json);
+        assert_eq!(ArtifactMode::infer(Path::new("model")), ArtifactMode::Json);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = load_frozen(Path::new("/nonexistent/model.odz"), ArtifactMode::Mmap)
+            .expect_err("missing file must fail");
+        assert!(matches!(err, CheckpointError::Io(_)), "got {err:?}");
+    }
+}

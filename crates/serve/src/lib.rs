@@ -47,9 +47,11 @@ mod oneshot;
 mod queue;
 mod sync;
 
+pub mod artifact;
 pub mod loadgen;
 pub mod metrics;
 
+pub use artifact::{load_frozen, ArtifactMode};
 pub use engine::{
     Engine, EngineConfig, EngineHealth, EngineStats, FailPoint, FailSite, Submit, Ticket,
 };

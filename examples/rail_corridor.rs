@@ -27,7 +27,8 @@ fn main() {
     println!("building a {}-station rail corridor…", config.num_cities);
     let stations = generate_corridor_cities(config.num_cities, &mut rng);
     let world = World::from_cities(stations, config.num_users, &mut rng);
-    let ds = FliggyDataset::generate_from_world(world, config, &mut rng);
+    let ds = FliggyDataset::generate_from_world(world, config, &mut rng)
+        .expect("corridor world built from the same config");
     println!(
         "  {} train itinerary samples, {} ranking cases",
         ds.train.len(),

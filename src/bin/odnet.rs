@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
         "recommend" => cmd_recommend(&flags),
+        "freeze" => cmd_freeze(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
@@ -65,11 +66,24 @@ USAGE:
                   [--metrics-jsonl FILE]
   odnet eval      --model FILE
   odnet recommend --model FILE --user ID [--top K]
-  odnet serve-bench [--users N] [--cities N] [--workers N] [--requests N]
-                  [--clients N] [--batch N] [--no-coalesce] [--check]
-                  [--inject-panics N] [--no-stage-timing]
+  odnet freeze    --out BASE (--model FILE |
+                  [--variant V] [--users N] [--cities N] [--embed-dim D])
+  odnet serve-bench [--artifact FILE] [--users N] [--cities N] [--workers N]
+                  [--requests N] [--clients N] [--batch N] [--no-coalesce]
+                  [--check] [--inject-panics N] [--no-stage-timing]
                   [--metrics-json FILE]
-  odnet metrics   [--json] [--out FILE] [--requests N]
+  odnet metrics   [--artifact FILE] [--json] [--out FILE] [--requests N]
+
+`freeze` writes a serving artifact in both formats: BASE.json (the
+debuggable interchange format) and BASE.odz (the zero-copy binary that
+serving replicas mmap; see DESIGN.md §12). From --model it extracts the
+trained artifact embedded in the checkpoint; without it, it freezes an
+untrained model of the given universe size — the paper-scale cold-start
+path (odnet-g needs no graph, so freezing 2.6M users is cheap).
+
+`serve-bench` and `metrics` accept --artifact to serve a frozen artifact
+from disk (mmap'd when the file ends in .odz) instead of building a model
+in process; the dataset defaults to the artifact's universe sizes.
 
 `metrics` exercises the trainer and the serving engine briefly, then
 renders every series in the process-global od-obs registry as Prometheus
@@ -254,6 +268,118 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Write a frozen serving artifact to `BASE.json` + `BASE.odz`. From
+/// `--model` it extracts the artifact a training run embedded in its
+/// checkpoint; otherwise it freezes an untrained model of the requested
+/// universe size, which is how paper-scale (2.6M user) artifacts are
+/// produced for cold-start experiments without a week of training.
+fn cmd_freeze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .filter(|p| !p.is_empty())
+        .ok_or("--out BASE is required (writes BASE.json and BASE.odz)")?;
+    let frozen = if flags.contains_key("model") {
+        let bundle = read_bundle(flags)?;
+        FrozenOdNet::from_checkpoint_json(&bundle.checkpoint).map_err(|e| e.to_string())?
+    } else {
+        let variant = parse_variant(
+            flags
+                .get("variant")
+                .map(String::as_str)
+                .unwrap_or("odnet-g"),
+        )?;
+        let users = get_usize(flags, "users", 400)?;
+        let cities = get_usize(flags, "cities", 30)?;
+        let config = OdnetConfig {
+            embed_dim: get_usize(flags, "embed-dim", OdnetConfig::default().embed_dim)?,
+            ..OdnetConfig::default()
+        };
+        // Graph variants need the HSG (and therefore the dataset) to
+        // materialize their tables; the graph-free variants freeze from
+        // universe sizes alone, which is what makes paper scale cheap.
+        let hsg = variant
+            .uses_graph()
+            .then(|| {
+                eprintln!(
+                    "building dataset + HSG for graph variant {}…",
+                    variant.name()
+                );
+                let ds = build_dataset(&FliggyConfig {
+                    num_users: users,
+                    num_cities: cities,
+                    seed: get_usize(flags, "seed", 0xF11667)? as u64,
+                    ..FliggyConfig::default()
+                });
+                Ok::<_, String>(build_hsg(&ds))
+            })
+            .transpose()?;
+        eprintln!(
+            "freezing untrained {} ({users} users × {cities} cities, d = {})…",
+            variant.name(),
+            config.embed_dim
+        );
+        OdNetModel::new(variant, config, users, cities, hsg).freeze()
+    };
+    let json_path = format!("{out}.json");
+    let odz_path = format!("{out}.odz");
+    std::fs::write(&json_path, frozen.save_json())
+        .map_err(|e| format!("writing {json_path}: {e}"))?;
+    frozen
+        .save_bin(std::path::Path::new(&odz_path))
+        .map_err(|e| e.to_string())?;
+    let size = |p: &str| {
+        std::fs::metadata(p)
+            .map(|m| m.len() as f64 / (1 << 20) as f64)
+            .unwrap_or(0.0)
+    };
+    eprintln!(
+        "wrote {json_path} ({:.1} MiB) and {odz_path} ({:.1} MiB): {} — {} users × {} cities",
+        size(&json_path),
+        size(&odz_path),
+        frozen.variant().name(),
+        frozen.num_users(),
+        frozen.num_cities()
+    );
+    Ok(())
+}
+
+/// Load `--artifact` for serving commands: mmap'd for `.odz`, parsed for
+/// JSON, with cold-start gauges recorded into the od-obs registry.
+fn load_artifact_flag(flags: &HashMap<String, String>) -> Result<Option<FrozenOdNet>, String> {
+    let Some(path) = flags.get("artifact").filter(|p| !p.is_empty()) else {
+        return Ok(None);
+    };
+    let path = std::path::Path::new(path);
+    let mode = od_serve::ArtifactMode::infer(path);
+    let frozen = od_serve::load_frozen(path, mode).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded {} artifact {path:?} ({} mode): {} users × {} cities",
+        frozen.variant().name(),
+        mode.name(),
+        frozen.num_users(),
+        frozen.num_cities()
+    );
+    Ok(Some(frozen))
+}
+
+/// The regenerated benchmark dataset must cover the artifact's id universe
+/// (requests draw users/cities from the dataset and score against the
+/// artifact's tables).
+fn check_artifact_universe(frozen: &FrozenOdNet, ds: &FliggyDataset) -> Result<(), String> {
+    if frozen.num_users() != ds.world.num_users() || frozen.num_cities() != ds.world.num_cities() {
+        return Err(format!(
+            "artifact universe ({} users × {} cities) does not match the dataset \
+             ({} users × {} cities); pass --users/--cities matching the artifact \
+             (or omit them to use its sizes)",
+            frozen.num_users(),
+            frozen.num_cities(),
+            ds.world.num_users(),
+            ds.world.num_cities()
+        ));
+    }
+    Ok(())
+}
+
 /// Stress the concurrent serving engine against an untrained frozen model
 /// and report throughput/latency. With `--check`, assert that every
 /// response matched direct single-threaded scoring bit-for-bit and that
@@ -276,9 +402,14 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let check = flags.contains_key("check");
     let inject = get_usize(flags, "inject-panics", 0)? as u64;
 
+    let artifact = load_artifact_flag(flags)?;
+    let (default_users, default_cities) = artifact
+        .as_ref()
+        .map(|f| (f.num_users(), f.num_cities()))
+        .unwrap_or((60, 15));
     let data_config = FliggyConfig {
-        num_users: get_usize(flags, "users", 60)?,
-        num_cities: get_usize(flags, "cities", 15)?,
+        num_users: get_usize(flags, "users", default_users)?,
+        num_cities: get_usize(flags, "cities", default_cities)?,
         seed: get_usize(flags, "seed", 0xF11667)? as u64,
         ..FliggyConfig::tiny()
     };
@@ -287,16 +418,24 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         data_config.num_users, data_config.num_cities
     );
     let ds = build_dataset(&data_config);
-    let cfg = OdnetConfig::tiny();
-    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
-    let model = OdNetModel::new(
-        Variant::Odnet,
-        cfg,
-        ds.world.num_users(),
-        ds.world.num_cities(),
-        Some(build_hsg(&ds)),
-    );
-    let model = Arc::new(model.freeze());
+    let model = match artifact {
+        Some(frozen) => {
+            check_artifact_universe(&frozen, &ds)?;
+            Arc::new(frozen)
+        }
+        None => {
+            let cfg = OdnetConfig::tiny();
+            let model = OdNetModel::new(
+                Variant::Odnet,
+                cfg,
+                ds.world.num_users(),
+                ds.world.num_cities(),
+                Some(build_hsg(&ds)),
+            );
+            Arc::new(model.freeze())
+        }
+    };
+    let fx = FeatureExtractor::new(model.config().max_long_seq, model.config().max_short_seq);
     let groups = serving_templates(&ds, &fx)?;
     let expected = score_all(&model, &groups);
 
@@ -487,34 +626,56 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     use od_serve::{drive, score_all, Engine, EngineConfig};
     use std::sync::Arc;
 
+    let artifact = load_artifact_flag(flags)?;
+    let (default_users, default_cities) = artifact
+        .as_ref()
+        .map(|f| (f.num_users(), f.num_cities()))
+        .unwrap_or((40, 12));
     let data_config = FliggyConfig {
-        num_users: get_usize(flags, "users", 40)?,
-        num_cities: get_usize(flags, "cities", 12)?,
+        num_users: get_usize(flags, "users", default_users)?,
+        num_cities: get_usize(flags, "cities", default_cities)?,
         seed: get_usize(flags, "seed", 0xF11667)? as u64,
         ..FliggyConfig::tiny()
     };
     let requests = get_usize(flags, "requests", 2000)?;
     eprintln!(
-        "exercising trainer + serving engine ({} users, {} cities, {requests} requests)…",
-        data_config.num_users, data_config.num_cities
+        "exercising {} + serving engine ({} users, {} cities, {requests} requests)…",
+        if artifact.is_some() {
+            "frozen artifact"
+        } else {
+            "trainer"
+        },
+        data_config.num_users,
+        data_config.num_cities
     );
     let ds = build_dataset(&data_config);
-    let cfg = OdnetConfig {
-        epochs: 2,
-        ..OdnetConfig::tiny()
+    let frozen = match artifact {
+        Some(frozen) => {
+            // Serving an on-disk artifact: no training pass, so the
+            // rendered registry shows the cold-start series instead of the
+            // trainer's.
+            check_artifact_universe(&frozen, &ds)?;
+            Arc::new(frozen)
+        }
+        None => {
+            let cfg = OdnetConfig {
+                epochs: 2,
+                ..OdnetConfig::tiny()
+            };
+            let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
+            let mut model = OdNetModel::new(
+                Variant::Odnet,
+                cfg,
+                ds.world.num_users(),
+                ds.world.num_cities(),
+                Some(build_hsg(&ds)),
+            );
+            let train_groups = fx.groups_from_samples(&ds, &ds.train);
+            try_train(&mut model, &train_groups).map_err(|e| e.to_string())?;
+            Arc::new(model.freeze())
+        }
     };
-    let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
-    let mut model = OdNetModel::new(
-        Variant::Odnet,
-        cfg,
-        ds.world.num_users(),
-        ds.world.num_cities(),
-        Some(build_hsg(&ds)),
-    );
-    let train_groups = fx.groups_from_samples(&ds, &ds.train);
-    try_train(&mut model, &train_groups).map_err(|e| e.to_string())?;
-
-    let frozen = Arc::new(model.freeze());
+    let fx = FeatureExtractor::new(frozen.config().max_long_seq, frozen.config().max_short_seq);
     let templates = serving_templates(&ds, &fx)?;
     let expected = score_all(&frozen, &templates);
     let engine = Engine::new(

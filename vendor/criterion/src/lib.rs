@@ -1,0 +1,239 @@
+//! Minimal offline benchmark harness with the criterion API surface this
+//! workspace uses: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], the `criterion_group!` /
+//! `criterion_main!` macros, and a [`Criterion::measurements`] accessor the
+//! bench binaries read to emit their own JSON reports.
+//!
+//! Timing model: after a calibration warmup, each benchmark runs a fixed
+//! number of samples; each sample times a batch of iterations sized so one
+//! batch is long enough for the monotonic clock to resolve. `mean_ns` /
+//! `min_ns` / `max_ns` summarize per-iteration times across samples.
+//!
+//! `--quick` on the command line or `CRITERION_QUICK=1` in the environment
+//! shrinks warmup and sample budgets ~20x for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's timing summary (nanoseconds per iteration).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    /// Total timed iterations across all samples.
+    pub iters: u64,
+}
+
+/// How `iter_batched` amortizes setup; the vendored harness sizes batches
+/// by wall-clock regardless, so this is informational.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurements: Vec::new(),
+            quick: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honor `--quick` (and ignore the filter/exact args cargo-bench
+    /// forwards; the workspace's bench mains run everything).
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        self.quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("CRITERION_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // treat that as quick mode so tier-1 stays fast.
+        if args.iter().any(|a| a == "--test") {
+            self.quick = true;
+        }
+        self
+    }
+
+    /// Force quick mode (used by bench mains that embed their own gating).
+    pub fn quick_mode(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// True when running in the reduced-budget mode.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Run one benchmark and record its summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warmup, samples, target_sample) = if self.quick {
+            (Duration::from_millis(5), 5u32, Duration::from_millis(2))
+        } else {
+            (Duration::from_millis(100), 20u32, Duration::from_millis(25))
+        };
+
+        // Calibration: run single iterations until the warmup budget is
+        // spent, estimating the per-iteration cost.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        let mut calib_elapsed = Duration::ZERO;
+        while calib_elapsed < warmup {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            calib_elapsed = calib_start.elapsed();
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_elapsed
+            .checked_div(calib_iters.max(1) as u32)
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_nanos(1));
+        let batch =
+            (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000_000) as u64;
+
+        let mut total_iters: u64 = 0;
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: batch,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total_iters += batch;
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+        }
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        let min_ns = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_ns = per_iter_ns.iter().copied().fold(0.0f64, f64::max);
+        eprintln!(
+            "bench {name:<48} mean {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} iters)",
+            mean_ns, min_ns, max_ns, total_iters
+        );
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            mean_ns,
+            min_ns,
+            max_ns,
+            iters: total_iters,
+        });
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Print a one-line summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        eprintln!(
+            "criterion: {} benchmark(s) complete{}",
+            self.measurements.len(),
+            if self.quick { " (quick mode)" } else { "" }
+        );
+    }
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the batch, accumulating only the routine time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over per-iteration inputs built by `setup`; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Cap per-sample input storage; run in chunks when the batch is big.
+        const CHUNK: u64 = 4096;
+        let mut remaining = self.iters;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK);
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.elapsed += start.elapsed();
+            remaining -= n;
+        }
+    }
+}
+
+/// Group benchmark functions: `criterion_group!(benches, f1, f2)` defines
+/// `fn benches(c: &mut Criterion)` running each in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point: `criterion_main!(benches)` defines `fn main()`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_measurements() {
+        let mut c = Criterion::default().quick_mode(true);
+        c.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        let ms = c.measurements();
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].name, "spin");
+        assert!(ms[0].mean_ns >= 0.0 && ms[0].iters > 0);
+        assert!(ms[0].min_ns <= ms[0].mean_ns && ms[0].mean_ns <= ms[0].max_ns);
+    }
+}

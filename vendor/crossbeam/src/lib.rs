@@ -1,0 +1,90 @@
+//! Minimal shim exposing the `crossbeam::thread::scope` API this workspace
+//! uses, implemented over `std::thread::scope` (stabilized long after
+//! crossbeam introduced the pattern, with the same soundness guarantees).
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure (crossbeam passes the scope so workers can spawn
+    /// nested workers; the workspace ignores that argument).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the worker, returning `Err` with the panic payload if
+        /// it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The closure receives the scope
+        /// (ignored throughout this workspace: `move |_| …`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; every spawned worker is joined before this
+    /// returns. Unlike crossbeam, an unjoined worker panic propagates as a
+    /// panic rather than `Err` — all call sites `.expect()` the result, so
+    /// the observable behavior (abort the caller) is identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u32, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u32>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_at_join() {
+        let result = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .expect("scope");
+        assert!(result);
+    }
+}

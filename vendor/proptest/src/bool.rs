@@ -1,0 +1,19 @@
+//! `proptest::bool::ANY` — a fair coin strategy.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy type of [`ANY`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Uniform boolean strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal reimplementation of the `rand_distr` distributions this
+//! workspace uses: [`Normal`] (Box–Muller), [`Uniform`], and [`Gumbel`],
+//! generic over `f32`/`f64`.
+
+use rand::{RngCore, StandardSample};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Float abstraction so each distribution works for `f32` and `f64`.
+pub trait Float: Copy + PartialOrd {
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn is_finite_f(self) -> bool;
+}
+
+impl Float for f32 {
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn is_finite_f(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Float for f64 {
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn is_finite_f(self) -> bool {
+        self.is_finite()
+    }
+}
+
+/// Uniform f64 in the open interval `(0, 1)` — safe for `ln`.
+#[inline]
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // [0,1) shifted away from zero by half an ulp of the 53-bit lattice.
+    f64::standard_sample(rng) + f64::EPSILON / 2.0
+}
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistError {
+    /// Scale parameter (σ, β, …) was negative, NaN, or infinite.
+    BadScale,
+    /// Location parameter was NaN or infinite.
+    BadLocation,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::BadScale => write!(f, "scale parameter must be finite and non-negative"),
+            DistError::BadLocation => write!(f, "location parameter must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Gaussian `N(mean, std_dev²)` sampled by Box–Muller.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    pub fn new(mean: F, std_dev: F) -> Result<Self, DistError> {
+        if !mean.is_finite_f() {
+            return Err(DistError::BadLocation);
+        }
+        if !std_dev.is_finite_f() || std_dev.to_f64() < 0.0 {
+            return Err(DistError::BadScale);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u1 = open01(rng);
+        let u2 = f64::standard_sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Uniform over `[low, high)` (or `[low, high]` via `new_inclusive`).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<F: Float> {
+    low: F,
+    span: F,
+}
+
+impl<F: Float> Uniform<F> {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics when `low >= high` (mirrors upstream).
+    pub fn new(low: F, high: F) -> Self {
+        assert!(
+            low.to_f64() < high.to_f64(),
+            "Uniform::new called with low >= high"
+        );
+        Uniform {
+            low,
+            span: F::from_f64(high.to_f64() - low.to_f64()),
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: F, high: F) -> Self {
+        assert!(
+            low.to_f64() <= high.to_f64(),
+            "Uniform::new_inclusive called with low > high"
+        );
+        Uniform {
+            low,
+            span: F::from_f64(high.to_f64() - low.to_f64()),
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Uniform<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u = f64::standard_sample(rng);
+        F::from_f64(self.low.to_f64() + u * self.span.to_f64())
+    }
+}
+
+/// Gumbel(location, scale): `loc − scale · ln(−ln U)` for `U ∈ (0, 1)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Gumbel<F: Float> {
+    location: F,
+    scale: F,
+}
+
+impl<F: Float> Gumbel<F> {
+    pub fn new(location: F, scale: F) -> Result<Self, DistError> {
+        if !location.is_finite_f() {
+            return Err(DistError::BadLocation);
+        }
+        if !scale.is_finite_f() || scale.to_f64() < 0.0 {
+            return Err(DistError::BadScale);
+        }
+        Ok(Gumbel { location, scale })
+    }
+}
+
+impl<F: Float> Distribution<F> for Gumbel<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        let u = open01(rng).min(1.0 - f64::EPSILON);
+        F::from_f64(self.location.to_f64() - self.scale.to_f64() * (-u.ln()).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = Normal::new(1.0f64, 2.0).unwrap();
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 0.0).is_ok());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let u = Uniform::new(-2.0f32, 3.0);
+        for _ in 0..10_000 {
+            let v = u.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        let inc = Uniform::new_inclusive(-0.5f32, 0.5);
+        for _ in 0..10_000 {
+            let v = inc.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gumbel_finite_and_centered() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gumbel::new(0.0f32, 1.0).unwrap();
+        let samples: Vec<f32> = (0..50_000).map(|_| g.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|v| v.is_finite()));
+        let mean = samples.iter().sum::<f32>() / samples.len() as f32;
+        // Gumbel(0,1) mean is the Euler–Mascheroni constant ≈ 0.5772.
+        assert!((mean - 0.5772).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,473 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! minimal serde.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote in the
+//! offline vendor set): a small walker classifies the input as a named
+//! struct, tuple struct, or enum of unit/tuple variants, honouring
+//! `#[serde(skip)]` on named fields, then emits the impl as source text.
+//! Generated code follows upstream serde's externally-tagged conventions —
+//! see the `serde` crate docs for the mapping.
+//!
+//! Unsupported shapes (generics, struct variants, other `#[serde]`
+//! attributes) panic at expansion time with a clear message rather than
+//! generating subtly wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Does an attribute token pair (`#` + bracket group) carry `serde(skip)`?
+/// Panics on any other `#[serde(...)]` content: silently ignoring an
+/// attribute this vendored derive does not implement would change wire
+/// formats without warning.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let args = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => panic!("malformed #[serde] attribute"),
+    };
+    let names: Vec<String> = args
+        .into_iter()
+        .filter_map(|t| match t {
+            TokenTree::Ident(i) => Some(i.to_string()),
+            _ => None,
+        })
+        .collect();
+    if names == ["skip"] {
+        return true;
+    }
+    panic!(
+        "vendored serde derive supports only #[serde(skip)], found #[serde({})]",
+        names.join(", ")
+    );
+}
+
+/// Skip attributes at `tokens[i..]`, returning the new index and whether a
+/// `#[serde(skip)]` was among them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                skip |= attr_is_serde_skip(g);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, `pub(in …)`).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated items in a field/type list, tracking
+/// `<…>` depth so `HashMap<String, ParamId>` counts as one item. Groups
+/// (parens/brackets/braces) are single trees, so tuple and array types need
+/// no special handling.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut items = 0;
+    let mut saw_token = false;
+    let mut angle = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if saw_token {
+                    items += 1;
+                    saw_token = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    items + usize::from(saw_token)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, skip) = skip_attrs(&tokens, i);
+        let j = skip_vis(&tokens, j);
+        let name = match tokens.get(j) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, found {other}"),
+        };
+        let mut k = j + 1;
+        match tokens.get(k) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => k += 1,
+            _ => panic!("expected `:` after field `{name}`"),
+        }
+        // Consume the type: everything up to a top-level comma.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(k) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        fields.push(Field { name, skip });
+        i = k;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (j, _) = skip_attrs(&tokens, i);
+        if j >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[j] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        let mut k = j + 1;
+        let mut arity = 0;
+        match tokens.get(k) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_items(g.stream());
+                k += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("vendored serde derive does not support struct variant `{name}`")
+            }
+            _ => {}
+        }
+        match tokens.get(k) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => k += 1,
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("vendored serde derive does not support explicit discriminants")
+            }
+            Some(other) => panic!("unexpected token after variant `{name}`: {other}"),
+        }
+        variants.push(Variant { name, arity });
+        i = k;
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.get(i + 1) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                entries.push_str(&format!(
+                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_content(&self.{0})),",
+                    f.name
+                ));
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(::std::vec::Vec::from([{entries}]))\n\
+                 }}\n}}\n"
+            ));
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Content::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(",")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}\n"
+            ));
+        }
+        Input::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n}}\n"
+            ));
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec::Vec::from([\
+                         (::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_content(f0))])),\n"
+                    )),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Seq(::std::vec::Vec::from([{}])))])),\n",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: match ::serde::Content::get_field(__map, \"{0}\") {{\n\
+                         Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+                         None => return ::core::result::Result::Err(\
+                         ::serde::DeError::missing_field(\"{0}\", \"{name}\")),\n\
+                         }},\n",
+                        f.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 let __map = content.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            ));
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = content.as_seq().ok_or_else(|| \
+                     ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                     if __items.len() != {arity} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::expected(\
+                     \"sequence of {arity} elements\", \"{name}\"));\n}}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(",")
+                )
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            ));
+        }
+        Input::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match content {{\n\
+                 ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match v.arity {
+                    0 => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    1 => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_content(__value)?)),\n"
+                    )),
+                    n => {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __value.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::DeError::expected(\
+                             \"sequence of {n} elements\", \"{name}::{vname}\"));\n}}\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 match content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __value) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {keyed_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"variant string or single-entry map\", \"{name}\")),\n\
+                 }}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,507 @@
+//! Minimal offline serde.
+//!
+//! Instead of upstream serde's visitor architecture, this vendored variant
+//! round-trips every value through a self-describing [`Content`] tree:
+//!
+//! - [`Serialize`] renders a value into a `Content`;
+//! - [`Deserialize`] rebuilds a value from a borrowed `Content`;
+//! - `serde_json` is then just `Content` ⇄ text.
+//!
+//! The derive macro (feature `derive`, crate `serde_derive`) generates both
+//! impls for structs and enums using upstream's *externally tagged* JSON
+//! conventions, so documents written by real serde with default attributes
+//! parse identically here:
+//!
+//! - named struct → map of fields (`#[serde(skip)]` supported);
+//! - newtype struct → the inner value, transparent;
+//! - tuple struct → sequence;
+//! - unit enum variant → `"VariantName"`;
+//! - 1-field tuple variant → `{"VariantName": value}`;
+//! - n-field tuple variant → `{"VariantName": [v0, …, vn]}`.
+//!
+//! Two non-upstream `Content` variants, [`Content::Floats`] and
+//! [`Content::F32s`], hold all-numeric arrays as packed vectors instead of
+//! one node per element. The JSON parser collapses large numeric arrays
+//! into `Floats`, and `Tensor` serializes its buffer as `F32s` — together
+//! they keep multi-hundred-MB embedding-table checkpoints from exploding
+//! into tens of GB of enum nodes. Textually they are ordinary JSON arrays.
+
+use std::collections::HashMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing value tree — the interchange format between typed values
+/// and concrete encodings such as JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    F32(f32),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Packed all-numeric array (parser-produced for large arrays).
+    Floats(Vec<f64>),
+    /// Packed f32 array (producer-side fast path for tensor buffers).
+    F32s(Vec<f32>),
+    /// Key–value map with insertion order preserved.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Borrow the entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements when this is a general sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view when this is any number variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            Content::F32(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Map-field lookup by key (linear scan; checkpoint maps are small).
+    pub fn get_field<'a>(map: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+        map.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Map-field lookup on a `Content::Map` value (`serde_json::Value::get`).
+    pub fn get(&self, name: &str) -> Option<&Content> {
+        Content::get_field(self.as_map()?, name)
+    }
+
+    /// Sequence view as a general `Vec<Content>`-like slice; packed numeric
+    /// arrays do not satisfy this (callers wanting numbers should use typed
+    /// deserialization instead).
+    pub fn as_array(&self) -> Option<&[Content]> {
+        self.as_seq()
+    }
+
+    /// Human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) | Content::F32(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) | Content::Floats(_) | Content::F32s(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Render `self` into a [`Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild `Self` from a borrowed [`Content`] tree.
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Typed deserialization error: what was expected, while building which type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// `expected("map", "Checkpoint")` → "expected map while deserializing Checkpoint".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError {
+            message: format!("expected {what} while deserializing {ty}"),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(name: &str, ty: &str) -> Self {
+        DeError {
+            message: format!("missing field `{name}` while deserializing {ty}"),
+        }
+    }
+
+    /// Free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    // Integral floats appear when a large numeric array was
+                    // packed into `Content::Floats`.
+                    Content::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                        f as u64
+                    }
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::expected("in-range unsigned integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(f)
+                        if f.fract() == 0.0
+                            && f >= i64::MIN as f64
+                            && f <= i64::MAX as f64 =>
+                    {
+                        f as i64
+                    }
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F32(*self)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F32(v) => Ok(v),
+            // f64 -> f32 via a single rounding; JSON numbers parsed as f64
+            // from the shortest f32 representation recover the exact f32.
+            Content::F64(v) => Ok(v as f32),
+            Content::U64(v) => Ok(v as f32),
+            Content::I64(v) => Ok(v as f32),
+            _ => Err(DeError::expected("number", "f32")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            // Packed numeric arrays: rebuild each element through a
+            // stack-allocated F64 node (no per-element heap traffic).
+            Content::Floats(values) => values
+                .iter()
+                .map(|&v| T::from_content(&Content::F64(v)))
+                .collect(),
+            Content::F32s(values) => values
+                .iter()
+                .map(|&v| T::from_content(&Content::F32(v)))
+                .collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_content(content)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                if items.len() != ARITY {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {ARITY} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trips() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(f32::from_content(&1.5f32.to_content()), Ok(1.5));
+        assert_eq!(u32::from_content(&Content::F64(3.0)), Ok(3));
+        assert!(u32::from_content(&Content::F64(3.5)).is_err());
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_content(&Content::U64(1)), Ok(Some(1)));
+        assert_eq!(Serialize::to_content(&Option::<u32>::None), Content::Null);
+    }
+
+    #[test]
+    fn packed_arrays_deserialize_like_seqs() {
+        let packed = Content::Floats(vec![1.0, 2.0, 3.0]);
+        assert_eq!(Vec::<f32>::from_content(&packed), Ok(vec![1.0, 2.0, 3.0]));
+        assert_eq!(Vec::<u32>::from_content(&packed), Ok(vec![1, 2, 3]));
+        let packed32 = Content::F32s(vec![0.5, -0.5]);
+        assert_eq!(Vec::<f32>::from_content(&packed32), Ok(vec![0.5, -0.5]));
+    }
+
+    #[test]
+    fn tuples_and_arrays() {
+        let t = (1u32, 2.5f32);
+        let c = t.to_content();
+        assert_eq!(<(u32, f32)>::from_content(&c), Ok(t));
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(<[f32; 3]>::from_content(&a.to_content()), Ok(a));
+        assert!(<[f32; 4]>::from_content(&a.to_content()).is_err());
+    }
+
+    #[test]
+    fn map_field_lookup() {
+        let m = Content::Map(vec![
+            ("a".into(), Content::U64(1)),
+            ("b".into(), Content::Str("x".into())),
+        ]);
+        let entries = m.as_map().unwrap();
+        assert_eq!(Content::get_field(entries, "a"), Some(&Content::U64(1)));
+        assert_eq!(Content::get_field(entries, "z"), None);
+        assert_eq!(m.get("b").and_then(Content::as_str), Some("x"));
+    }
+}

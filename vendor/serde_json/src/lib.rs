@@ -1,0 +1,679 @@
+//! Minimal JSON encoder/decoder over the vendored serde [`Content`] tree.
+//!
+//! Encoding rules (match upstream serde_json where the workspace can
+//! observe them):
+//! - floats print via Rust's shortest round-trip `Display`, so an
+//!   `f32 → JSON → f32` trip is bit-exact (the intermediate f64 parse
+//!   cannot double-round: 53 mantissa bits > 2·24 + 2);
+//! - non-finite floats encode as `null`;
+//! - strings escape `"`/`\\` and control characters.
+//!
+//! Decoding specializes large all-numeric arrays into the packed
+//! [`Content::Floats`] variant (one `Vec<f64>` instead of one enum node per
+//! element) so multi-GB embedding checkpoints parse in O(data) memory, not
+//! O(30× data). Integers that exceed 2⁵³ fall back to exact typed nodes.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Re-export: the dynamic JSON value is just the serde content tree
+/// (`get`, `as_array`, `as_str`, `as_f64`, … are inherent methods).
+pub use serde::Content as Value;
+
+/// JSON encode/decode error with a byte offset where available.
+#[derive(Clone, Debug)]
+pub struct Error {
+    message: String,
+    pos: Option<usize>,
+}
+
+impl Error {
+    fn at(message: impl Into<String>, pos: usize) -> Self {
+        Error {
+            message: message.into(),
+            pos: Some(pos),
+        }
+    }
+
+    fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            pos: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "{} at byte {pos}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::msg(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        use std::fmt::Write;
+        let _ = write!(out, "{v}");
+        // `Display` omits the decimal point for integral floats; that is
+        // still a valid JSON number and parses back to the same value.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_f32(out: &mut String, v: f32) {
+    if v.is_finite() {
+        use std::fmt::Write;
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn encode_into(out: &mut String, content: &Content, indent: Option<usize>) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            use std::fmt::Write;
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::F32(v) => write_f32(out, *v),
+        Content::Str(s) => escape_into(out, s),
+        Content::Seq(items) => {
+            encode_seq(out, items.len(), indent, |out, i, ind| {
+                encode_into(out, &items[i], ind)
+            });
+        }
+        Content::Floats(values) => {
+            encode_seq(out, values.len(), indent, |out, i, _| {
+                write_f64(out, values[i])
+            });
+        }
+        Content::F32s(values) => {
+            encode_seq(out, values.len(), indent, |out, i, _| {
+                write_f32(out, values[i])
+            });
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            let inner = indent.map(|n| n + 1);
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, inner);
+                escape_into(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                encode_into(out, value, inner);
+            }
+            newline_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn encode_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    if len == 0 {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    let inner = indent.map(|n| n + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, inner);
+        item(out, i, inner);
+    }
+    newline_indent(out, indent);
+    out.push(']');
+}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value.to_content();
+    let mut out = String::new();
+    encode_into(&mut out, &content, None);
+    Ok(out)
+}
+
+/// Serialize a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = value.to_content();
+    let mut out = String::new();
+    encode_into(&mut out, &content, Some(0));
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Arrays at least this long whose elements are all numbers collapse into
+/// the packed `Content::Floats` representation.
+const PACK_THRESHOLD: usize = 64;
+
+/// Largest integer magnitude exactly representable in f64.
+const EXACT_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Nesting depth limit: corrupt or adversarial inputs must error, not
+/// overflow the stack.
+const MAX_DEPTH: usize = 192;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+#[derive(Clone, Copy)]
+enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    fn to_content(self) -> Content {
+        match self {
+            Number::U64(v) => Content::U64(v),
+            Number::I64(v) => Content::I64(v),
+            Number::F64(v) => Content::F64(v),
+        }
+    }
+
+    /// The f64 view when it is exact (always for parsed f64 tokens; for
+    /// integer tokens only below 2^53).
+    fn as_exact_f64(self) -> Option<f64> {
+        match self {
+            Number::U64(v) => {
+                let f = v as f64;
+                (f.abs() <= EXACT_INT).then_some(f)
+            }
+            Number::I64(v) => {
+                let f = v as f64;
+                (f.abs() <= EXACT_INT).then_some(f)
+            }
+            Number::F64(v) => Some(v),
+        }
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Content, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::at("nesting too deep", self.pos));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Content::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Content::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Content::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => Ok(self.parse_number()?.to_content()),
+            Some(b) => Err(Error::at(
+                format!("unexpected byte `{}`", b as char),
+                self.pos,
+            )),
+            None => Err(Error::at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::at(format!("expected `{lit}`"), self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Number, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        if token.is_empty() {
+            return Err(Error::at("expected number", start));
+        }
+        if !is_float {
+            if let Some(stripped) = token.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if v <= i64::MAX as u64 {
+                        return Ok(Number::I64(-(v as i64)));
+                    }
+                }
+            } else if let Ok(v) = token.parse::<u64>() {
+                return Ok(Number::U64(v));
+            }
+            // Integer too large for 64 bits: keep the f64 approximation.
+        }
+        token
+            .parse::<f64>()
+            .map(Number::F64)
+            .map_err(|_| Error::at(format!("invalid number `{token}`"), start))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Fast path: copy unescaped ASCII/UTF-8 runs wholesale.
+        loop {
+            let run_start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[run_start..self.pos])
+                    .map_err(|_| Error::at("invalid utf-8 in string", run_start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::at("invalid surrogate pair", self.pos));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(
+                                c.ok_or_else(|| Error::at("invalid unicode escape", self.pos))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::at(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos - 1,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::at("control character in string", self.pos)),
+                None => return Err(Error::at("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+        let s = std::str::from_utf8(slice).map_err(|_| Error::at("bad \\u escape", self.pos))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::at("bad \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(Vec::new()));
+        }
+        // Fast path: accumulate a numeric prefix as packed f64s.
+        let mut packed: Vec<f64> = Vec::new();
+        loop {
+            self.skip_ws();
+            let is_number = matches!(self.peek(), Some(b) if b == b'-' || b.is_ascii_digit());
+            if !is_number {
+                return self.parse_array_general(depth, packed);
+            }
+            let num = self.parse_number()?;
+            match num.as_exact_f64() {
+                Some(f) => packed.push(f),
+                // A >2^53 integer: preserve it exactly via typed nodes.
+                None => {
+                    let mut items: Vec<Content> = packed.into_iter().map(Content::F64).collect();
+                    items.push(num.to_content());
+                    return self.parse_array_tail(depth, items);
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(if packed.len() >= PACK_THRESHOLD {
+                        Content::Floats(packed)
+                    } else {
+                        Content::Seq(packed.into_iter().map(Content::F64).collect())
+                    });
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    /// Continue an array whose next element is not a number.
+    fn parse_array_general(&mut self, depth: usize, packed: Vec<f64>) -> Result<Content, Error> {
+        let items: Vec<Content> = packed.into_iter().map(Content::F64).collect();
+        let mut items = items;
+        items.push(self.parse_value(depth + 1)?);
+        self.parse_array_tail(depth, items)
+    }
+
+    /// Parse remaining elements generically after the packed fast path
+    /// bailed; `items` already holds everything parsed so far.
+    fn parse_array_tail(
+        &mut self,
+        depth: usize,
+        mut items: Vec<Content>,
+    ) -> Result<Content, Error> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    items.push(self.parse_value(depth + 1)?);
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries: Vec<(String, Content)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parse JSON text into the content tree.
+pub fn parse_content(s: &str) -> Result<Content, Error> {
+    let mut parser = Parser::new(s.as_bytes());
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::at("trailing characters", parser.pos));
+    }
+    Ok(value)
+}
+
+/// Deserialize a typed value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse_content(s)?;
+    T::from_content(&content).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f32).unwrap(), "1.5");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("-2.5e3").unwrap(), -2500.0);
+        assert_eq!(from_str::<bool>(" false ").unwrap(), false);
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn f32_bit_exact_round_trip() {
+        let mut x = 0x0000_0001u32;
+        // Walk a spread of bit patterns including subnormals and extremes.
+        for _ in 0..64 {
+            let v = f32::from_bits(x);
+            if v.is_finite() {
+                let json = to_string(&v).unwrap();
+                let back: f32 = from_str(&json).unwrap();
+                assert_eq!(back.to_bits(), v.to_bits(), "pattern {x:#010x} -> {json}");
+            }
+            x = x.wrapping_mul(0x9E37_79B9).wrapping_add(12345);
+        }
+        for v in [0.0f32, -0.0, 1.0, 0.1, f32::MIN_POSITIVE, f32::MAX, 1e-40] {
+            let back: f32 = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn overflowing_exponent_parses_to_infinity() {
+        assert_eq!(from_str::<f64>("1e999").unwrap(), f64::INFINITY);
+        assert_eq!(from_str::<f32>("1e999").unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\te\u{1F600}";
+        let json = to_string(&String::from(s)).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>(r#""A😀""#).unwrap(), "A😀");
+    }
+
+    #[test]
+    fn arrays_pack_above_threshold() {
+        let big: Vec<f32> = (0..100).map(|i| i as f32 * 0.5).collect();
+        let json = to_string(&big).unwrap();
+        let content = parse_content(&json).unwrap();
+        assert!(matches!(content, Content::Floats(_)), "large array packs");
+        assert_eq!(from_str::<Vec<f32>>(&json).unwrap(), big);
+
+        let small = vec![1u32, 2, 3];
+        let content = parse_content(&to_string(&small).unwrap()).unwrap();
+        assert!(
+            matches!(content, Content::Seq(_)),
+            "small array stays general"
+        );
+        assert_eq!(from_str::<Vec<u32>>("[1,2,3]").unwrap(), small);
+    }
+
+    #[test]
+    fn huge_integers_stay_exact() {
+        let vals: Vec<u64> = (0..70).map(|i| u64::MAX - i).collect();
+        let json = to_string(&vals).unwrap();
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), vals);
+    }
+
+    #[test]
+    fn mixed_arrays_fall_back() {
+        let json = r#"[1, "two", 3.5]"#;
+        let content = parse_content(json).unwrap();
+        let items = content.as_seq().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn object_round_trip_and_value_accessors() {
+        let json = r#"{"name": "odnet", "auc": 0.93, "tags": [1, 2]}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("odnet"));
+        assert_eq!(v.get("auc").and_then(Value::as_f64), Some(0.93));
+        assert_eq!(
+            v.get("tags").and_then(Value::as_array).map(|a| a.len()),
+            Some(2)
+        );
+        let rendered = to_string(&v).unwrap();
+        let reparsed: Value = from_str(&rendered).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Value = from_str(r#"{"a": [1, 2], "b": {"c": null}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,").is_err());
+        assert!(from_str::<Value>(r#"{"a" 1}"#).is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+        assert!(from_str::<Value>(&("[".repeat(500) + &"]".repeat(500))).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
