@@ -57,7 +57,12 @@ cargo run --release --bin odnet -- serve-bench --workers 2 --requests 2000 \
 echo "==> metrics overhead gate (stage clock within 3% of metrics-off)"
 CRITERION_QUICK=1 ODNET_OVERHEAD_GATE=1 cargo bench -p od-bench --bench throughput_bench
 
-echo "==> chaos suite (panic isolation, deadlines, supervision)"
+echo "==> chaos suite (panic isolation, deadlines, supervision, hot swaps)"
+# Includes the swap chaos tests: distinct-content generations published
+# under 8-thread load with every response checked against the artifact
+# version its stamp records, grace-period reclamation (Weak-based), an
+# in-flight batch pinned to its generation across a publish, and
+# publish-vs-teardown races.
 cargo test -q -p od-serve --test chaos
 
 echo "==> fault-injection smoke (3 worker panics under load)"
@@ -67,5 +72,21 @@ echo "==> fault-injection smoke (3 worker panics under load)"
 # the injected fault count.
 cargo run --release --bin odnet -- serve-bench --workers 2 --clients 8 \
     --requests 2000 --inject-panics 3 --check
+
+echo "==> hot-swap smoke (publishes under load, zero lost tickets)"
+# A publisher thread hot-swaps a content-identical generation every 250
+# completed requests; --check fails the gate unless at least one swap
+# landed, the publish history reconciles (health vs load generator vs
+# artifact epoch), responses stayed bit-exact across every swap, and no
+# ticket was lost.
+cargo run --release --bin odnet -- serve-bench --workers 2 --clients 8 \
+    --requests 2000 --swap-every 250 --check
+
+echo "==> online loop smoke (drift -> retrain -> freeze -> publish)"
+# Two simulated days through a live engine: serve, fold the click stream
+# into training, freeze to .odz, hot-publish, repeat. Exercises the full
+# odnet online path end to end.
+cargo run --release --bin odnet -- online --rounds 2 --panel 10 --users 40 \
+    --cities 12 --out-dir target/ci_online --metrics-jsonl target/ci_online/rounds.jsonl
 
 echo "CI OK"

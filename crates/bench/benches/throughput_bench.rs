@@ -25,6 +25,16 @@
 //!    depresses every pair, while noise only dents some. With
 //!    `ODNET_OVERHEAD_GATE=1` the run *fails* unless the best pair is
 //!    within 3% — the ci.sh gate.
+//! 4. **Hot-swap overhead** — identical engines (2 workers, coalescing on)
+//!    with a publisher hot-swapping a content-identical model generation
+//!    every `total/8` completed requests vs a pinned artifact. Generations
+//!    are pre-built before the clock starts (a production publish installs
+//!    an already-loaded artifact, so construction is deployment cost, not
+//!    swap cost); what's measured is the publish path plus the per-drain
+//!    slot load — two refcount ops — so swapping should be in the noise.
+//!    Judged like experiment 3 but on the best of five 20k-request
+//!    back-to-back pairs (the publisher thread adds scheduling noise on a
+//!    single-core box), and gated at 3% under `ODNET_OVERHEAD_GATE=1`.
 //!
 //! Every response is verified bit-for-bit against direct single-threaded
 //! `FrozenOdNet::score_group` scores while measuring. Results land in
@@ -35,7 +45,7 @@
 //! `CRITERION_QUICK=1` (or pass `--quick`) for a fast smoke run.
 
 use od_bench::Scale;
-use od_serve::{drive, score_all, Engine, EngineConfig, LoadReport};
+use od_serve::{drive, drive_swapping, score_all, Engine, EngineConfig, LoadReport};
 use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
 use std::sync::Arc;
 
@@ -85,6 +95,31 @@ fn run(
     stage_timing: bool,
     total: usize,
 ) -> LoadReport {
+    run_swapping(
+        model,
+        groups,
+        expected,
+        workers,
+        coalesce,
+        stage_timing,
+        total,
+        0,
+    )
+}
+
+/// [`run`], optionally hot-swapping a content-identical generation into
+/// the engine every `swap_every` completed requests (0 = pinned).
+#[allow(clippy::too_many_arguments)]
+fn run_swapping(
+    model: &Arc<FrozenOdNet>,
+    groups: &[GroupInput],
+    expected: &[Vec<(f32, f32)>],
+    workers: usize,
+    coalesce: bool,
+    stage_timing: bool,
+    total: usize,
+    swap_every: usize,
+) -> LoadReport {
     let engine = Engine::new(
         Arc::clone(model),
         EngineConfig {
@@ -97,9 +132,42 @@ fn run(
             // guards.
             fail_point: None,
             stage_timing,
+            ..EngineConfig::default()
         },
     );
-    let report = drive(&engine, groups, Some(expected), total, workers * 2);
+    let report = if swap_every > 0 {
+        // Generations are pre-built outside the timed region: a production
+        // publish hands the engine an already-loaded artifact (an mmap'd
+        // .odz), so artifact construction is deployment cost, not swap
+        // cost. Two content-identical clones alternate so consecutive
+        // publishes always install a different allocation, and the pool's
+        // strong refs keep retired-generation teardown out of the
+        // measurement too.
+        let pool: Vec<Arc<FrozenOdNet>> = (0..2).map(|_| Arc::new((**model).clone())).collect();
+        let turn = std::sync::atomic::AtomicUsize::new(0);
+        let source = move || {
+            let i = turn.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Arc::clone(&pool[i % pool.len()])
+        };
+        let r = drive_swapping(
+            &engine,
+            groups,
+            Some(expected),
+            total,
+            workers * 2,
+            swap_every,
+            &source,
+        );
+        assert!(r.publishes >= 1, "publisher never swapped");
+        assert_eq!(
+            r.requests + r.faulted,
+            total as u64,
+            "lost tickets across hot swaps"
+        );
+        r
+    } else {
+        drive(&engine, groups, Some(expected), total, workers * 2)
+    };
     assert_eq!(
         report.mismatches, 0,
         "engine responses diverged from direct scoring"
@@ -151,6 +219,15 @@ struct Report {
     metrics_overhead_ratios: Vec<f64>,
     /// Best pair's ratio (1.0 = free; the ci.sh gate requires ≥ 0.97).
     metrics_overhead_ratio: f64,
+    /// Same engine (2 workers, 4 clients, coalescing) with a publisher
+    /// hot-swapping generations every total/8 requests vs pinned — the
+    /// best of three back-to-back pairs.
+    swap_on: LoadReport,
+    swap_off: LoadReport,
+    /// swap/pinned requests/sec ratio of every back-to-back pair.
+    swap_overhead_ratios: Vec<f64>,
+    /// Best pair's ratio (the ci.sh gate requires ≥ 0.97).
+    swap_overhead_ratio: f64,
 }
 
 fn main() {
@@ -217,6 +294,63 @@ fn main() {
         println!("overhead gate passed: stage clock within 3% of metrics-off throughput");
     }
 
+    // Hot-swap overhead: same back-to-back-pair methodology as the stage
+    // clock, but with more signal — the swap side adds a publisher thread,
+    // whose scheduling noise on a single-core box swamps the (near-zero)
+    // effect in short runs. Five pairs of 20k requests keep the gate's
+    // false-failure rate negligible while still judging on the best pair.
+    // ~8 publishes per swap-enabled run.
+    let swap_total = overhead_total.max(20_000);
+    let swap_every = (swap_total / 8).max(1);
+    let mut swap_pairs = Vec::new();
+    for i in 0..5 {
+        let (on, off) = if i % 2 == 1 {
+            let off = run(&model, &groups, &expected, 2, true, true, swap_total);
+            let on = run_swapping(
+                &model, &groups, &expected, 2, true, true, swap_total, swap_every,
+            );
+            (on, off)
+        } else {
+            let on = run_swapping(
+                &model, &groups, &expected, 2, true, true, swap_total, swap_every,
+            );
+            let off = run(&model, &groups, &expected, 2, true, true, swap_total);
+            (on, off)
+        };
+        println!(
+            "swap pair {i}: swapping {:.0} req/s ({} publishes) vs pinned {:.0} req/s (ratio {:.3})",
+            on.requests_per_sec,
+            on.publishes,
+            off.requests_per_sec,
+            on.requests_per_sec / off.requests_per_sec
+        );
+        swap_pairs.push((on, off));
+    }
+    let swap_overhead_ratios: Vec<f64> = swap_pairs
+        .iter()
+        .map(|(on, off)| on.requests_per_sec / off.requests_per_sec)
+        .collect();
+    let best_swap = swap_overhead_ratios
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("five swap pairs ran");
+    let swap_overhead_ratio = swap_overhead_ratios[best_swap];
+    let (swap_on, swap_off) = swap_pairs.swap_remove(best_swap);
+    println!(
+        "hot-swap {:.0} req/s vs pinned {:.0} req/s (best pair ratio {swap_overhead_ratio:.3})",
+        swap_on.requests_per_sec, swap_off.requests_per_sec
+    );
+    if std::env::var("ODNET_OVERHEAD_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            swap_overhead_ratio >= 0.97,
+            "hot-swapping costs more than 3% of throughput in every pair: \
+             ratios {swap_overhead_ratios:?}",
+        );
+        println!("overhead gate passed: hot-swap within 3% of pinned throughput");
+    }
+
     let report = Report {
         generated_by: "cargo bench --bench throughput_bench".to_string(),
         methodology: "closed-loop load generation: clients = 2 x workers, each client \
@@ -237,6 +371,10 @@ fn main() {
         metrics_off,
         metrics_overhead_ratios,
         metrics_overhead_ratio,
+        swap_on,
+        swap_off,
+        swap_overhead_ratios,
+        swap_overhead_ratio,
     };
     if quick {
         println!("quick run: leaving the committed BENCH_throughput.json untouched");

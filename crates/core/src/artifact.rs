@@ -84,6 +84,75 @@ fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
     h
 }
 
+/// FNV-1a (32-bit) checksum of arbitrary bytes — the same hash the `.odz`
+/// header fields use, exposed so other layers can derive artifact
+/// identities comparable with the on-disk checksums.
+pub fn fnv1a_checksum(bytes: &[u8]) -> u32 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
+/// Read only the 64-byte header of an `.odz` file and return its stored
+/// meta-block checksum — the cheapest stable identity of the artifact's
+/// content. The meta block carries the table directory (including every
+/// table's own FNV), so this checksum transitively covers the payload
+/// without touching (or faulting in) a single table page.
+pub fn read_odz_checksum(path: &Path) -> Result<u32, CheckpointError> {
+    let io = |e: std::io::Error| CheckpointError::Io(format!("reading {path:?}: {e}"));
+    let mut file = File::open(path).map_err(io)?;
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header).map_err(io)?;
+    Ok(OdzHeader::decode(&header)?.meta_fnv)
+}
+
+impl FrozenOdNet {
+    /// Cheap FNV-1a content fingerprint of an in-memory artifact, for
+    /// version identity when no `.odz` header is at hand (e.g. a model
+    /// frozen in-process and published without touching disk).
+    ///
+    /// Covers the variant, geometry, config, θ, and a strided sample of
+    /// rows from every embedding table (first, last, and every
+    /// `rows/16`-th row) — mmap-safe: at most a few dozen pages fault in.
+    /// Equal artifacts always fingerprint equal; differently-trained
+    /// artifacts differ in their tables and (with the usual hash caveats)
+    /// fingerprint differently. This is an observability identity, not a
+    /// cryptographic digest.
+    pub fn fingerprint(&self) -> u32 {
+        let mut h = FNV_OFFSET;
+        h = fnv1a(h, format!("{:?}", self.variant).as_bytes());
+        for dim in [self.num_users as u64, self.num_cities as u64] {
+            h = fnv1a(h, &dim.to_le_bytes());
+        }
+        h = fnv1a(h, &self.theta.to_bits().to_le_bytes());
+        if let Ok(cfg) = serde_json::to_string(&self.config) {
+            h = fnv1a(h, cfg.as_bytes());
+        }
+        let tables = [
+            &self.origin.users,
+            &self.origin.cities,
+            &self.dest.users,
+            &self.dest.cities,
+        ];
+        let mut buf = Vec::new();
+        for table in tables {
+            let (rows, cols) = (table.rows(), table.cols());
+            h = fnv1a(h, &(rows as u64).to_le_bytes());
+            h = fnv1a(h, &(cols as u64).to_le_bytes());
+            if rows == 0 {
+                continue;
+            }
+            let step = (rows / 16).max(1);
+            for i in (0..rows).step_by(step).chain(std::iter::once(rows - 1)) {
+                buf.clear();
+                for v in table.row(i) {
+                    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                h = fnv1a(h, &buf);
+            }
+        }
+        h
+    }
+}
+
 // ---------------------------------------------------------------------------
 // MmapRegion: read-only bytes backed by mmap(2) on Unix, by an aligned heap
 // buffer elsewhere (or when the kernel refuses the mapping).

@@ -62,6 +62,23 @@ impl DayOutcome {
     }
 }
 
+/// One served impression and its click outcome — the feedback stream an
+/// online learning loop trains on (clicked slots become positives,
+/// unclicked ones negatives).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Impression {
+    /// The panel user the list slot was served to.
+    pub user: UserId,
+    /// Absolute simulation day of the impression.
+    pub day: u32,
+    /// Served origin.
+    pub origin: CityId,
+    /// Served destination.
+    pub dest: CityId,
+    /// Whether the common-random-number click draw came up heads.
+    pub clicked: bool,
+}
+
 /// Result of running one method through the test.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct AbTestResult {
@@ -136,30 +153,47 @@ impl<'w> AbTestHarness<'w> {
         method: impl Into<String>,
         mut recommend: impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)>,
     ) -> AbTestResult {
-        let mut days = Vec::with_capacity(self.config.days as usize);
-        for d in 0..self.config.days {
-            let abs_day = self.config.start_day + d;
-            let mut impressions = 0u64;
-            let mut clicks = 0u64;
-            for &user in self.panel(d) {
-                let list = recommend(user, abs_day, self.config.top_k);
-                for &(o, dest) in list.iter().take(self.config.top_k) {
-                    impressions += 1;
-                    if self.click_draw(abs_day, user, o, dest) {
-                        clicks += 1;
-                    }
-                }
-            }
-            days.push(DayOutcome {
-                day: d,
-                impressions,
-                clicks,
-            });
-        }
+        let days = (0..self.config.days)
+            .map(|d| self.run_day(d, &mut recommend).0)
+            .collect();
         AbTestResult {
             method: method.into(),
             days,
         }
+    }
+
+    /// Serve one test day (0-based) and return both the aggregate outcome
+    /// and every served impression with its click draw. This is the
+    /// building block the online learning loop uses: serve day `d` on the
+    /// current model, fold the clicked/unclicked impressions back into
+    /// training data, retrain, publish, and move to day `d + 1` — the
+    /// clicks stay common-random-number draws, so two runs with the same
+    /// harness seed see identical coins for identical lists.
+    pub fn run_day(
+        &self,
+        d: u32,
+        mut recommend: impl FnMut(UserId, u32, usize) -> Vec<(CityId, CityId)>,
+    ) -> (DayOutcome, Vec<Impression>) {
+        let abs_day = self.config.start_day + d;
+        let mut served = Vec::with_capacity(self.config.users_per_day * self.config.top_k);
+        for &user in self.panel(d) {
+            let list = recommend(user, abs_day, self.config.top_k);
+            for &(o, dest) in list.iter().take(self.config.top_k) {
+                served.push(Impression {
+                    user,
+                    day: abs_day,
+                    origin: o,
+                    dest,
+                    clicked: self.click_draw(abs_day, user, o, dest),
+                });
+            }
+        }
+        let outcome = DayOutcome {
+            day: d,
+            impressions: served.len() as u64,
+            clicks: served.iter().filter(|i| i.clicked).count() as u64,
+        };
+        (outcome, served)
     }
 
     /// Common-random-number click draw: a hash of (seed, day, user, O, D)

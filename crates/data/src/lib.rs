@@ -31,7 +31,7 @@ pub mod metrics;
 pub mod stats;
 pub mod world;
 
-pub use abtest::{AbTestConfig, AbTestHarness, AbTestResult, DayOutcome};
+pub use abtest::{AbTestConfig, AbTestHarness, AbTestResult, DayOutcome, Impression};
 pub use checkin::{Checkin, CheckinConfig, CheckinDataset, PoiEvalCase, PoiSample};
 pub use cities::{generate_cities, generate_corridor_cities, City, Pattern};
 pub use fliggy::{

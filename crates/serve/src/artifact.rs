@@ -18,7 +18,7 @@
 //! a deployment can tell at a glance whether a replica cold-started from
 //! the zero-copy path or fell back to a parse.
 
-use odnet_core::{CheckpointError, FrozenOdNet};
+use odnet_core::{fnv1a_checksum, read_odz_checksum, CheckpointError, FrozenOdNet};
 use std::path::Path;
 use std::time::Instant;
 
@@ -44,8 +44,9 @@ impl ArtifactMode {
         }
     }
 
-    /// Infer the mode from a path's extension: `.odz` maps zero-copy,
-    /// anything else parses as JSON.
+    /// Infer the mode from a path's extension — the single extension→mode
+    /// table every load path in the repo (library and CLI) goes through:
+    /// `.odz` maps zero-copy, anything else parses as JSON.
     pub fn infer(path: &Path) -> ArtifactMode {
         match path.extension().and_then(|e| e.to_str()) {
             Some("odz") => ArtifactMode::Mmap,
@@ -54,21 +55,43 @@ impl ArtifactMode {
     }
 }
 
-/// Load a frozen artifact for serving, recording cold-start gauges.
+/// A loaded serving artifact plus its content checksum — everything
+/// [`Engine::new_versioned`](crate::Engine::new_versioned) and
+/// [`Engine::publish_versioned`](crate::Engine::publish_versioned) need to
+/// identify the generation they install.
+#[derive(Debug)]
+pub struct LoadedArtifact {
+    /// The artifact, ready to serve (wrap in an `Arc` for the engine).
+    pub frozen: FrozenOdNet,
+    /// FNV-1a content checksum: the `.odz` header's meta checksum for
+    /// binary artifacts (covers config/θ/weights and the table directory
+    /// with its per-table FNVs — read without faulting a single table
+    /// page), or a hash of the raw file bytes for JSON.
+    pub checksum: u32,
+    /// Which load path produced it.
+    pub mode: ArtifactMode,
+}
+
+/// Load a frozen artifact for serving, recording cold-start gauges and
+/// deriving the artifact's content checksum.
 ///
 /// The returned artifact is ready to hand to
-/// [`Engine::new`](crate::Engine::new) behind an `Arc`; for the mmap mode
-/// the first scores will fault pages in on demand, which is the point.
-pub fn load_frozen(path: &Path, mode: ArtifactMode) -> Result<FrozenOdNet, CheckpointError> {
+/// [`Engine::new_versioned`](crate::Engine::new_versioned) behind an
+/// `Arc`; for the mmap mode the first scores will fault pages in on
+/// demand, which is the point.
+pub fn load_frozen(path: &Path, mode: ArtifactMode) -> Result<LoadedArtifact, CheckpointError> {
     let start = Instant::now();
-    let frozen = match mode {
+    let (frozen, checksum) = match mode {
         ArtifactMode::Json => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| CheckpointError::Io(format!("reading {path:?}: {e}")))?;
-            FrozenOdNet::load_json(&json)?
+            (
+                FrozenOdNet::load_json(&json)?,
+                fnv1a_checksum(json.as_bytes()),
+            )
         }
-        ArtifactMode::Bin => FrozenOdNet::load_bin(path)?,
-        ArtifactMode::Mmap => FrozenOdNet::load_bin_mmap(path)?,
+        ArtifactMode::Bin => (FrozenOdNet::load_bin(path)?, read_odz_checksum(path)?),
+        ArtifactMode::Mmap => (FrozenOdNet::load_bin_mmap(path)?, read_odz_checksum(path)?),
     };
     let elapsed_ns = start.elapsed().as_nanos().min(i64::MAX as u128) as i64;
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
@@ -89,7 +112,18 @@ pub fn load_frozen(path: &Path, mode: ArtifactMode) -> Result<FrozenOdNet, Check
         &[("mode", mode.name())],
     )
     .inc();
-    Ok(frozen)
+    Ok(LoadedArtifact {
+        frozen,
+        checksum,
+        mode,
+    })
+}
+
+/// [`load_frozen`] with the mode inferred from the path's extension
+/// ([`ArtifactMode::infer`]) — the one entry point the CLI and the online
+/// loop share.
+pub fn load_frozen_auto(path: &Path) -> Result<LoadedArtifact, CheckpointError> {
+    load_frozen(path, ArtifactMode::infer(path))
 }
 
 #[cfg(test)]

@@ -51,7 +51,8 @@
 //! `tests/chaos.rs` asserts it *under injected faults*: responses that
 //! survive a panic-riddled run are still bit-identical to the oracle.
 
-use crate::error::ServeError;
+use crate::error::{PublishError, ServeError};
+use crate::handle::{ArtifactVersion, ModelHandle, VersionSlot};
 use crate::metrics::{EngineMetrics, HistSummary};
 use crate::oneshot;
 use crate::queue::Queue;
@@ -108,6 +109,12 @@ pub struct EngineConfig {
     /// stage site is a single never-taken branch and no clock is read;
     /// the accounting counters stay on either way.
     pub stage_timing: bool,
+    /// How long a generation retired by [`Engine::publish`] is kept alive
+    /// before its memory is reclaimed. In-flight batches hold their own
+    /// reference and are safe regardless; the grace period keeps the
+    /// (possibly multi-GB) deallocation off the publisher's critical path
+    /// and out of the swap window entirely.
+    pub swap_grace: Duration,
 }
 
 impl fmt::Debug for EngineConfig {
@@ -119,6 +126,7 @@ impl fmt::Debug for EngineConfig {
             .field("coalesce", &self.coalesce)
             .field("fail_point", &self.fail_point.as_ref().map(|_| "<hook>"))
             .field("stage_timing", &self.stage_timing)
+            .field("swap_grace", &self.swap_grace)
             .finish()
     }
 }
@@ -134,6 +142,7 @@ impl Default for EngineConfig {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            swap_grace: Duration::from_millis(200),
         }
     }
 }
@@ -155,8 +164,21 @@ pub enum Submit {
     },
 }
 
+/// A resolved request: the scores plus the identity of the model
+/// generation that produced them. Under hot-swapping ([`Engine::publish`])
+/// concurrent responses can legitimately come from different generations;
+/// the version is what lets a caller (or an A/B harness) attribute each
+/// response to the exact artifact that served it.
+#[derive(Clone, Debug)]
+pub struct ScoredResponse {
+    /// Per-candidate `(p^O, p^D)` probabilities, in candidate order.
+    pub scores: Vec<(f32, f32)>,
+    /// The artifact generation that scored this request.
+    pub version: ArtifactVersion,
+}
+
 /// What a worker sends back through the oneshot.
-type Response = Result<Vec<(f32, f32)>, ServeError>;
+type Response = Result<ScoredResponse, ServeError>;
 
 /// Pending response handle; one per accepted request.
 pub struct Ticket {
@@ -168,7 +190,14 @@ impl Ticket {
     /// scores, or a typed [`ServeError`]. Never panics and never hangs on
     /// a live engine — even a request dropped unscored at teardown
     /// resolves (as [`ServeError::Rejected`]).
-    pub fn wait(self) -> Response {
+    pub fn wait(self) -> Result<Vec<(f32, f32)>, ServeError> {
+        self.wait_versioned().map(|r| r.scores)
+    }
+
+    /// Like [`wait`](Self::wait), but also report which artifact
+    /// generation scored the request — the handle the swap chaos tests
+    /// (and any CTR-attribution consumer) check bit-identity against.
+    pub fn wait_versioned(self) -> Response {
         self.rx.recv().unwrap_or(Err(ServeError::Rejected))
     }
 
@@ -176,9 +205,9 @@ impl Ticket {
     /// [`ServeError::DeadlineExceeded`]. Bounded even if the engine is
     /// wedged or already torn down; a response arriving after the timeout
     /// is discarded harmlessly.
-    pub fn wait_timeout(self, timeout: Duration) -> Response {
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<(f32, f32)>, ServeError> {
         match self.rx.recv_timeout(timeout) {
-            Ok(Some(resp)) => resp,
+            Ok(Some(resp)) => resp.map(|r| r.scores),
             Ok(None) => Err(ServeError::Rejected),
             Err(oneshot::TimedOut) => Err(ServeError::DeadlineExceeded),
         }
@@ -260,6 +289,19 @@ pub struct EngineHealth {
     pub expired: u64,
     /// Requests resolved with [`ServeError::WorkerPanicked`].
     pub panicked_requests: u64,
+    /// Publish epoch of the live artifact (0 = the construction-time
+    /// model, incremented by each successful [`Engine::publish`]).
+    pub artifact_epoch: u64,
+    /// FNV checksum of the live artifact (`.odz` meta checksum for
+    /// on-disk artifacts, [`FrozenOdNet::fingerprint`] otherwise).
+    pub artifact_checksum: u32,
+    /// Successful [`Engine::publish`] calls over the engine's lifetime.
+    pub publishes: u64,
+    /// Publishes refused with a typed [`PublishError`].
+    pub publish_rejected: u64,
+    /// Retired generations still inside their grace period (memory not
+    /// yet reclaimed).
+    pub retired_artifacts: usize,
 }
 
 /// Rendezvous between dying workers and the supervisor thread.
@@ -279,7 +321,10 @@ struct SupState {
 
 struct Shared {
     queue: Queue<Request>,
-    model: Arc<FrozenOdNet>,
+    /// The swappable model slot: workers load it once per batch drain,
+    /// admission validation loads it per submit, [`Engine::publish`]
+    /// swaps it. See `handle.rs` for the epoch/grace protocol.
+    handle: ModelHandle,
     /// Registry-backed instruments: accounting counters, gauges, and the
     /// stage-clock histograms (see `metrics.rs` for the inventory).
     metrics: EngineMetrics,
@@ -304,8 +349,19 @@ pub struct Engine {
 
 impl Engine {
     /// Spawn `config.workers` scoring threads (plus one supervisor) over
-    /// `model`.
+    /// `model`, published as epoch 0 with its in-memory
+    /// [`fingerprint`](FrozenOdNet::fingerprint) as checksum. Use
+    /// [`Engine::new_versioned`] when the artifact came off disk and its
+    /// `.odz` header checksum is at hand.
     pub fn new(model: Arc<FrozenOdNet>, config: EngineConfig) -> Engine {
+        let checksum = model.fingerprint();
+        Engine::new_versioned(model, checksum, config)
+    }
+
+    /// [`Engine::new`] with an explicit artifact checksum (e.g. the `.odz`
+    /// header's meta checksum from
+    /// [`load_frozen`](crate::artifact::load_frozen)).
+    pub fn new_versioned(model: Arc<FrozenOdNet>, checksum: u32, config: EngineConfig) -> Engine {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         if config.stage_timing {
             // One-time tick→ns calibration, paid here instead of inside
@@ -314,9 +370,11 @@ impl Engine {
         }
         let metrics = EngineMetrics::register(config.workers);
         metrics.live_workers.set(config.workers as i64);
+        metrics.artifact_epoch.set(0);
+        metrics.artifact_checksum.set(checksum as i64);
         let shared = Arc::new(Shared {
             queue: Queue::new(config.queue_capacity),
-            model,
+            handle: ModelHandle::new(VersionSlot::register(model, 0, checksum), config.swap_grace),
             metrics,
             supervisor: Supervisor {
                 state: Mutex::new(SupState {
@@ -352,6 +410,53 @@ impl Engine {
         }
     }
 
+    /// Atomically swap in a new model generation, with the artifact's
+    /// in-memory [`fingerprint`](FrozenOdNet::fingerprint) as checksum.
+    /// Use [`Engine::publish_versioned`] when the `.odz` header checksum
+    /// is at hand.
+    ///
+    /// In-flight batches finish on the generation they loaded; the next
+    /// drain (and the next admission validation) observes the new epoch;
+    /// the retired generation's memory is reclaimed only after
+    /// [`EngineConfig::swap_grace`]. No ticket is ever dropped by a swap.
+    ///
+    /// Fails with a typed [`PublishError`] (leaving the live generation
+    /// untouched) if the offered artifact is not drop-in compatible:
+    /// requests validated against the old generation may be scored by the
+    /// new one, so the id universe and sequence-length contract must
+    /// match. Publishing to a shut-down engine succeeds trivially — the
+    /// generation is installed but nothing will score on it.
+    pub fn publish(&self, model: Arc<FrozenOdNet>) -> Result<ArtifactVersion, PublishError> {
+        let checksum = model.fingerprint();
+        self.publish_versioned(model, checksum)
+    }
+
+    /// [`Engine::publish`] with an explicit artifact checksum.
+    pub fn publish_versioned(
+        &self,
+        model: Arc<FrozenOdNet>,
+        checksum: u32,
+    ) -> Result<ArtifactVersion, PublishError> {
+        let metrics = &self.shared.metrics;
+        match self.shared.handle.publish(model, checksum) {
+            Ok(version) => {
+                metrics.publishes.inc();
+                metrics.artifact_epoch.set(version.epoch as i64);
+                metrics.artifact_checksum.set(version.checksum as i64);
+                Ok(version)
+            }
+            Err(e) => {
+                metrics.publish_rejected.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Identity (publish epoch + checksum) of the live model generation.
+    pub fn version(&self) -> ArtifactVersion {
+        self.shared.handle.version()
+    }
+
     /// Enqueue one scoring request. Never blocks: invalid inputs come
     /// straight back as [`Submit::Invalid`], and a full queue hands the
     /// group back as [`Submit::Rejected`].
@@ -368,7 +473,7 @@ impl Engine {
         // The stage clock starts before validation so `od_request_e2e_ns`
         // covers the full lifecycle of an accepted request.
         let submitted = self.shared.stage_timing.then(od_obs::clock::now);
-        if let Err(error) = self.shared.model.validate_group(&group) {
+        if let Err(error) = self.shared.handle.load().model.validate_group(&group) {
             metrics.invalid.inc();
             return Submit::Invalid { group, error };
         }
@@ -397,12 +502,20 @@ impl Engine {
     }
 
     /// Convenience: submit and block for the outcome.
-    pub fn score(&self, group: GroupInput) -> Response {
+    pub fn score(&self, group: GroupInput) -> Result<Vec<(f32, f32)>, ServeError> {
         match self.submit(group) {
             Submit::Accepted(ticket) => ticket.wait(),
             Submit::Rejected(_) => Err(ServeError::Rejected),
             Submit::Invalid { error, .. } => Err(ServeError::InvalidInput(error)),
         }
+    }
+
+    /// Completed-request count alone — a handful of relaxed shard loads,
+    /// cheap enough to poll from a pacing loop. (`stats()` also snapshots
+    /// the batch-size histogram, which allocates; polling it at kHz rates
+    /// measurably competes with workers on small machines.)
+    pub fn completed(&self) -> u64 {
+        self.shared.metrics.completed.get()
     }
 
     /// Snapshot the engine's counters.
@@ -430,6 +543,7 @@ impl Engine {
     /// Snapshot the supervision state and fault counters.
     pub fn health(&self) -> EngineHealth {
         let m = &self.shared.metrics;
+        let version = self.shared.handle.version();
         EngineHealth {
             configured_workers: self.shared.configured_workers,
             live_workers: m.live_workers.get().max(0) as usize,
@@ -439,6 +553,11 @@ impl Engine {
             invalid: m.invalid.get(),
             expired: m.expired.get(),
             panicked_requests: m.panicked_requests.get(),
+            artifact_epoch: version.epoch,
+            artifact_checksum: version.checksum,
+            publishes: m.publishes.get(),
+            publish_rejected: m.publish_rejected.get(),
+            retired_artifacts: self.shared.handle.retired_len(),
         }
     }
 
@@ -517,6 +636,14 @@ fn worker_run(shared: &Shared, idx: usize) -> bool {
     let mut merged = empty_group();
     let mut plan = CoalescePlan::default();
     while shared.queue.pop_up_to(shared.max_batch, &mut batch) {
+        // Load the model generation once per drain: every request in this
+        // batch is scored by (and attributed to) this slot, even if a
+        // publish lands mid-batch — the strong reference held here keeps
+        // the artifact alive until the batch resolves. Reap retired
+        // generations whose grace period has elapsed (one relaxed load
+        // when nothing is retired).
+        let slot = shared.handle.load();
+        shared.handle.reap();
         shared.metrics.queue_depth.sub(batch.len() as i64);
         // Queue wait is stamped at drain, before expiry: expired requests
         // waited too, and their wait is precisely what expired them.
@@ -555,7 +682,16 @@ fn worker_run(shared: &Shared, idx: usize) -> bool {
                     .record(od_obs::clock::ns_between(t0, od_obs::clock::now()));
             }
             for set in plan.sets() {
-                score_set(shared, idx, &mut ws, &mut out, &mut merged, &mut batch, set);
+                score_set(
+                    shared,
+                    &slot,
+                    idx,
+                    &mut ws,
+                    &mut out,
+                    &mut merged,
+                    &mut batch,
+                    set,
+                );
             }
             if let Some(fp) = &shared.fail {
                 fp(FailSite::AfterBatch, seq);
@@ -630,11 +766,14 @@ fn supervisor_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Score one coalesced set of requests (indices into `batch`) and scatter
-/// the per-request score slices back through their oneshots. `widx` is the
-/// worker slot, keying the per-worker forward-time histogram.
+/// Score one coalesced set of requests (indices into `batch`) against one
+/// model generation and scatter the per-request score slices back through
+/// their oneshots. `widx` is the worker slot, keying the per-worker
+/// forward-time histogram.
+#[allow(clippy::too_many_arguments)]
 fn score_set(
     shared: &Shared,
+    slot: &VersionSlot,
     widx: usize,
     ws: &mut Workspace,
     out: &mut Vec<(f32, f32)>,
@@ -648,7 +787,7 @@ fn score_set(
     if set.len() == 1 {
         let req = &mut batch[set[0]];
         let fwd_start = shared.stage_timing.then(od_obs::clock::now);
-        shared.model.score_group_into(ws, &req.group, out);
+        slot.model.score_group_into(ws, &req.group, out);
         let fwd_end = fwd_start.map(|t0| {
             let now = od_obs::clock::now();
             metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
@@ -657,8 +796,13 @@ fn score_set(
         // Count before sending: the oneshot's lock handoff then publishes
         // the increment to whoever observes the response.
         metrics.completed.inc();
+        slot.requests.inc();
+        slot.scores.add(out.len() as u64);
         let submitted = req.submitted;
-        req.take_tx().send(Ok(out.clone()));
+        req.take_tx().send(Ok(ScoredResponse {
+            scores: out.clone(),
+            version: slot.version,
+        }));
         if let Some(t1) = fwd_end {
             let done = od_obs::clock::now();
             metrics
@@ -681,18 +825,23 @@ fn score_set(
             .extend_from_slice(&batch[i].group.candidates);
     }
     let fwd_start = shared.stage_timing.then(od_obs::clock::now);
-    shared.model.score_group_into(ws, merged, out);
+    slot.model.score_group_into(ws, merged, out);
     let fwd_end = fwd_start.map(|t0| {
         let now = od_obs::clock::now();
         metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
         now
     });
+    slot.scores.add(out.len() as u64);
     let mut offset = 0;
     for &i in set {
         let req = &mut batch[i];
         let n = req.group.candidates.len();
         metrics.completed.inc();
-        req.take_tx().send(Ok(out[offset..offset + n].to_vec()));
+        slot.requests.inc();
+        req.take_tx().send(Ok(ScoredResponse {
+            scores: out[offset..offset + n].to_vec(),
+            version: slot.version,
+        }));
         offset += n;
     }
     // One clock read covers the whole scatter; every member of the set

@@ -50,6 +50,69 @@ impl std::error::Error for ServeError {
     }
 }
 
+/// Why [`Engine::publish`](crate::Engine::publish) refused an artifact.
+///
+/// A published model must be drop-in compatible with the live one: requests
+/// already validated and queued against the old generation may be scored by
+/// the new one, so the id universe and the sequence-length admission
+/// contract must match exactly. The offending artifact is simply not
+/// installed — the engine keeps serving the live generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PublishError {
+    /// The offered artifact was frozen over a different user/city universe.
+    UniverseMismatch {
+        /// Live artifact's user universe size.
+        live_users: usize,
+        /// Live artifact's city universe size.
+        live_cities: usize,
+        /// Offered artifact's user universe size.
+        offered_users: usize,
+        /// Offered artifact's city universe size.
+        offered_cities: usize,
+    },
+    /// The offered artifact admits different history-sequence lengths, so a
+    /// queued request could overrun its PEC input contract.
+    SequenceContractMismatch {
+        /// Live artifact's `max_long_seq`.
+        live_long: usize,
+        /// Live artifact's `max_short_seq`.
+        live_short: usize,
+        /// Offered artifact's `max_long_seq`.
+        offered_long: usize,
+        /// Offered artifact's `max_short_seq`.
+        offered_short: usize,
+    },
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::UniverseMismatch {
+                live_users,
+                live_cities,
+                offered_users,
+                offered_cities,
+            } => write!(
+                f,
+                "artifact universe mismatch: live {live_users} users × {live_cities} cities, \
+                 offered {offered_users} × {offered_cities}"
+            ),
+            PublishError::SequenceContractMismatch {
+                live_long,
+                live_short,
+                offered_long,
+                offered_short,
+            } => write!(
+                f,
+                "artifact sequence contract mismatch: live max_long/short \
+                 {live_long}/{live_short}, offered {offered_long}/{offered_short}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,8 +2,8 @@
 //!
 //! PR 2's [`FrozenOdNet`](odnet_core::FrozenOdNet) made a single request
 //! fast (tape-free kernels, 2–3 allocations per request); this crate makes
-//! many *concurrent* requests fast. An [`Engine`] owns an
-//! `Arc<FrozenOdNet>` and N worker threads behind a bounded MPMC queue:
+//! many *concurrent* requests fast. An [`Engine`] owns a versioned,
+//! swappable model slot and N worker threads behind a bounded MPMC queue:
 //!
 //! - **Backpressure, not buffering.** [`Engine::submit`] never blocks and
 //!   never queues unboundedly: a full queue returns
@@ -33,6 +33,17 @@
 //!   A [`FailPoint`] hook injects panics/stalls at chosen batches for the
 //!   chaos tests and `odnet serve-bench --inject-panics`. DESIGN.md §10
 //!   documents the full failure model.
+//! - **Hot-swappable model.** [`Engine::publish`] atomically installs a
+//!   new [`FrozenOdNet`](odnet_core::FrozenOdNet) generation under live
+//!   traffic: workers load the model once per batch drain, so in-flight
+//!   batches finish on the artifact they started with while the next
+//!   drain picks up the new epoch; retired generations are reclaimed
+//!   after a grace period. Every response carries the
+//!   [`ArtifactVersion`] (publish epoch + FNV checksum) that scored it
+//!   ([`Ticket::wait_versioned`]), with per-epoch od-obs counters for
+//!   CTR/volume attribution. DESIGN.md §13 documents the protocol; the
+//!   `odnet online` CLI drives a full drift → retrain → freeze → publish
+//!   loop against it.
 //!
 //! The [`loadgen`] module drives an engine closed-loop and reports
 //! requests/sec, latency percentiles, and coalesced-batch histograms; the
@@ -43,6 +54,7 @@
 
 mod engine;
 mod error;
+mod handle;
 mod oneshot;
 mod queue;
 mod sync;
@@ -51,10 +63,12 @@ pub mod artifact;
 pub mod loadgen;
 pub mod metrics;
 
-pub use artifact::{load_frozen, ArtifactMode};
+pub use artifact::{load_frozen, load_frozen_auto, ArtifactMode, LoadedArtifact};
 pub use engine::{
-    Engine, EngineConfig, EngineHealth, EngineStats, FailPoint, FailSite, Submit, Ticket,
+    Engine, EngineConfig, EngineHealth, EngineStats, FailPoint, FailSite, ScoredResponse, Submit,
+    Ticket,
 };
-pub use error::ServeError;
-pub use loadgen::{drive, score_all, LoadReport};
+pub use error::{PublishError, ServeError};
+pub use handle::ArtifactVersion;
+pub use loadgen::{drive, drive_swapping, score_all, LoadReport};
 pub use metrics::{HistBucket, HistSummary};

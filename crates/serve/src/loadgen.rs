@@ -18,9 +18,10 @@
 use crate::engine::{Engine, Submit};
 use crate::metrics::HistSummary;
 use od_obs::LatencyHistogram;
-use odnet_core::GroupInput;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
+use odnet_core::{FrozenOdNet, GroupInput};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One load-generation run's results (serialized into
 /// `BENCH_throughput.json` by the throughput bench).
@@ -64,6 +65,9 @@ pub struct LoadReport {
     /// Distribution of requests merged per forward during this run
     /// (engine-lifetime histogram differenced across the run window).
     pub batch_hist: HistSummary,
+    /// Model generations published into the engine while the run was in
+    /// flight (0 for a pinned-artifact run).
+    pub publishes: u64,
 }
 
 /// Drive `engine` with `total` requests drawn round-robin from `groups`,
@@ -80,6 +84,48 @@ pub fn drive(
     total: usize,
     clients: usize,
 ) -> LoadReport {
+    drive_inner(engine, groups, expected, total, clients, None)
+}
+
+/// [`drive`], plus a publisher thread that hot-swaps a fresh model
+/// generation into the engine every `swap_every` completed requests,
+/// exercising the full publish path under closed-loop load.
+///
+/// `source` is called per publish and must return a model *bit-identical
+/// in content* to the one the engine started with (e.g. a deep clone of
+/// the same artifact): the oracle comparison against `expected` then stays
+/// valid across every generation, which is exactly the property
+/// `odnet serve-bench --swap-every N --check` gates on. (Distinct-content
+/// swap correctness — responses matching the generation that scored them —
+/// is the swap chaos test's job, via `Ticket::wait_versioned`.)
+pub fn drive_swapping(
+    engine: &Engine,
+    groups: &[GroupInput],
+    expected: Option<&[Vec<(f32, f32)>]>,
+    total: usize,
+    clients: usize,
+    swap_every: usize,
+    source: &(dyn Fn() -> Arc<FrozenOdNet> + Sync),
+) -> LoadReport {
+    assert!(swap_every >= 1, "swap_every must be at least 1");
+    drive_inner(
+        engine,
+        groups,
+        expected,
+        total,
+        clients,
+        Some((swap_every, source)),
+    )
+}
+
+fn drive_inner(
+    engine: &Engine,
+    groups: &[GroupInput],
+    expected: Option<&[Vec<(f32, f32)>]>,
+    total: usize,
+    clients: usize,
+    swap: Option<(usize, &(dyn Fn() -> Arc<FrozenOdNet> + Sync))>,
+) -> LoadReport {
     assert!(!groups.is_empty(), "need at least one template group");
     assert!(clients >= 1, "need at least one client");
     if let Some(exp) = expected {
@@ -91,12 +137,41 @@ pub fn drive(
     let faulted = AtomicU64::new(0);
     let start_stats = engine.stats();
     let start_batch_hist = engine.batch_hist_raw();
+    let publishes = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
     // One histogram per client, merged at join: recording is one relaxed
     // fetch_add on a thread-private structure (no cross-client contention),
     // and the merged snapshot gives exact max plus ≤ 6.25%-wide
     // conservative percentiles without buffering one `u64` per request.
     let started = Instant::now();
     let latencies = std::thread::scope(|s| {
+        // The publisher paces itself on completed-request counts, so the
+        // swap cadence tracks offered load instead of wall time.
+        let publisher = swap.map(|(every, source)| {
+            let base = start_stats.completed;
+            let (publishes, done) = (&publishes, &done);
+            s.spawn(move || {
+                let mut next_mark = every as u64;
+                while !done.load(Ordering::Acquire) {
+                    // Poll only the completed counter (a full stats()
+                    // snapshot allocates a histogram merge), and poll
+                    // coarsely: on a single-core box every publisher
+                    // wakeup preempts a worker, so a kHz poll rate shows
+                    // up as measurable throughput loss in the swap
+                    // overhead gate.
+                    let completed = engine.completed() - base;
+                    if completed >= next_mark {
+                        engine
+                            .publish(source())
+                            .expect("swap-source artifact must be publish-compatible");
+                        publishes.fetch_add(1, Ordering::Relaxed);
+                        next_mark += every as u64;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            })
+        });
         let handles: Vec<_> = (0..clients)
             .map(|_| {
                 s.spawn(|| {
@@ -146,6 +221,10 @@ pub fn drive(
         for h in handles {
             merged.merge(&h.join().expect("load client must not panic"));
         }
+        done.store(true, Ordering::Release);
+        if let Some(p) = publisher {
+            p.join().expect("swap publisher must not panic");
+        }
         merged
     });
     let elapsed = started.elapsed().as_secs_f64();
@@ -174,6 +253,7 @@ pub fn drive(
             completed as f64 / forwards as f64
         },
         batch_hist: HistSummary::from(&engine.batch_hist_raw().delta_since(&start_batch_hist)),
+        publishes: publishes.load(Ordering::Relaxed),
     }
 }
 

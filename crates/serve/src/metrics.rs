@@ -23,6 +23,12 @@
 //! | `od_engine_coalesced_requests_total` | counter | requests that shared a forward |
 //! | `od_engine_worker_panics_total` | counter | worker deaths by panic |
 //! | `od_engine_respawns_total` | counter | supervisor respawns |
+//! | `od_engine_publishes_total` | counter | model generations published |
+//! | `od_engine_publish_rejected_total` | counter | publishes refused (typed error) |
+//! | `od_engine_version_requests_total{epoch=…}` | counter | requests answered, per artifact generation |
+//! | `od_engine_version_scores_total{epoch=…}` | counter | candidate scores produced, per generation |
+//! | `od_engine_artifact_epoch` | gauge | publish epoch of the live artifact |
+//! | `od_engine_artifact_checksum` | gauge | FNV checksum of the live artifact |
 //! | `od_engine_queue_depth` | gauge | requests currently queued |
 //! | `od_engine_live_workers` | gauge | worker threads currently alive |
 //! | `od_engine_coalesce_hit_rate` | float gauge | coalesced / completed |
@@ -54,6 +60,10 @@ pub(crate) struct EngineMetrics {
     pub coalesced_requests: Counter,
     pub worker_panics: Counter,
     pub respawns: Counter,
+    pub publishes: Counter,
+    pub publish_rejected: Counter,
+    pub artifact_epoch: Gauge,
+    pub artifact_checksum: Gauge,
     pub queue_depth: Gauge,
     pub live_workers: Gauge,
     pub coalesce_hit_rate: FloatGauge,
@@ -113,6 +123,22 @@ impl EngineMetrics {
                 "od_engine_respawns_total",
                 "Replacement workers spawned by the supervisor",
             ),
+            publishes: reg.counter(
+                "od_engine_publishes_total",
+                "Successful model generations published into the engine",
+            ),
+            publish_rejected: reg.counter(
+                "od_engine_publish_rejected_total",
+                "Publishes refused with a typed PublishError",
+            ),
+            artifact_epoch: reg.gauge(
+                "od_engine_artifact_epoch",
+                "Publish epoch of the live artifact (0 = construction-time model)",
+            ),
+            artifact_checksum: reg.gauge(
+                "od_engine_artifact_checksum",
+                "FNV checksum of the live artifact",
+            ),
             queue_depth: reg.gauge("od_engine_queue_depth", "Requests currently queued"),
             live_workers: reg.gauge("od_engine_live_workers", "Worker threads currently alive"),
             coalesce_hit_rate: reg.float_gauge(
@@ -170,6 +196,8 @@ impl EngineMetrics {
         self.queue_depth.set(0);
         self.live_workers.set(0);
         self.coalesce_hit_rate.set(0.0);
+        self.artifact_epoch.set(0);
+        self.artifact_checksum.set(0);
     }
 }
 

@@ -52,6 +52,13 @@ struct Fixture {
     model: Arc<FrozenOdNet>,
     groups: Vec<GroupInput>,
     expected: Vec<Vec<(f32, f32)>>,
+    /// Three publish-compatible generations with *distinct* weights
+    /// (graph-free variant, different init seeds) and their own oracle
+    /// scores — `alt_expected[g][gi]` is generation `g`'s direct scores
+    /// of `groups[gi]`. The swap tests publish these and check every
+    /// response against the generation its version stamp names.
+    alt_models: Vec<Arc<FrozenOdNet>>,
+    alt_expected: Vec<Vec<Vec<(f32, f32)>>>,
 }
 
 fn fixture() -> &'static Fixture {
@@ -79,10 +86,37 @@ fn fixture() -> &'static Fixture {
         assert!(groups.len() >= 8);
         let model = Arc::new(model.freeze());
         let expected = score_all(&model, &groups);
+        let alt_models: Vec<Arc<FrozenOdNet>> = (1..=3u64)
+            .map(|s| {
+                let cfg = OdnetConfig {
+                    seed: 0xC0FFEE + s,
+                    ..OdnetConfig::tiny()
+                };
+                Arc::new(
+                    OdNetModel::new(
+                        Variant::OdnetG,
+                        cfg,
+                        ds.world.num_users(),
+                        ds.world.num_cities(),
+                        None,
+                    )
+                    .freeze(),
+                )
+            })
+            .collect();
+        let alt_expected: Vec<Vec<Vec<(f32, f32)>>> =
+            alt_models.iter().map(|m| score_all(m, &groups)).collect();
+        // The swap tests are only meaningful if the generations actually
+        // score differently.
+        for alt in &alt_expected {
+            assert_ne!(alt[0], expected[0], "generations must be distinct");
+        }
         Fixture {
             model,
             groups,
             expected,
+            alt_models,
+            alt_expected,
         }
     })
 }
@@ -161,6 +195,7 @@ fn injected_panics_are_isolated_and_supervised() {
             coalesce: true,
             fail_point: Some(panic_at_batches(FAULT_SEQS)),
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
 
@@ -289,6 +324,7 @@ fn expired_requests_are_dropped_at_drain_time() {
             coalesce: true,
             fail_point: Some(gate.fail_point()),
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     // Request A occupies the worker (its batch parks at the gate)...
@@ -328,6 +364,7 @@ fn wait_timeout_bounds_waiting_on_a_stalled_engine() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let t = match engine.submit(fix.groups[0].clone()) {
@@ -362,6 +399,7 @@ fn late_response_after_wait_timeout_is_harmless() {
             coalesce: true,
             fail_point: Some(gate.fail_point()),
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let t = match engine.submit(fix.groups[0].clone()) {
@@ -397,6 +435,7 @@ fn dropped_ticket_is_harmless() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     match engine.submit(fix.groups[0].clone()) {
@@ -425,6 +464,7 @@ fn shutdown_races_inflight_submits() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let (scored, rejected) = std::thread::scope(|s| {
@@ -482,6 +522,7 @@ fn invalid_input_is_refused_at_admission() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let mut bad = fix.groups[0].clone();
@@ -513,6 +554,249 @@ fn invalid_input_is_refused_at_admission() {
     );
 }
 
+/// The swap chaos headline: 8-thread load with three *distinct-content*
+/// generations published mid-flight. Zero lost tickets, and every single
+/// response is bit-identical to direct `score_group` on the artifact
+/// version its stamp records — a response scored by epoch 2 matches
+/// generation 2's oracle, never a blend.
+#[test]
+fn hot_swaps_under_load_keep_responses_version_consistent() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            swap_grace: Duration::from_millis(50),
+        },
+    );
+    // expected_by_epoch[e][gi]: epoch 0 is the construction generation.
+    let mut expected_by_epoch: Vec<&Vec<Vec<(f32, f32)>>> = vec![&fix.expected];
+    expected_by_epoch.extend(fix.alt_expected.iter());
+
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 150;
+    const TOTAL: usize = CLIENTS * PER_CLIENT;
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // Publisher: three swaps paced on completed-request marks, so each
+        // generation serves a slice of the run.
+        let completed = &completed;
+        let engine = &engine;
+        s.spawn(move || {
+            for (i, m) in fix.alt_models.iter().enumerate() {
+                let mark = (i + 1) * TOTAL / 5;
+                while completed.load(Ordering::Relaxed) < mark {
+                    std::thread::yield_now();
+                }
+                let v = engine.publish(Arc::clone(m)).expect("compatible publish");
+                assert_eq!(v.epoch, i as u64 + 1, "publishes are monotone epochs");
+            }
+        });
+        let expected_by_epoch = &expected_by_epoch;
+        for c in 0..CLIENTS {
+            s.spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let gi = (c * PER_CLIENT + i) % fix.groups.len();
+                    let mut group = fix.groups[gi].clone();
+                    let response = loop {
+                        match engine.submit(group) {
+                            Submit::Accepted(t) => {
+                                break t.wait_versioned().expect("no faults injected")
+                            }
+                            Submit::Rejected(back) => {
+                                group = back;
+                                std::thread::yield_now();
+                            }
+                            Submit::Invalid { error, .. } => {
+                                panic!("fixture group failed validation: {error}")
+                            }
+                        }
+                    };
+                    let epoch = response.version.epoch as usize;
+                    assert!(epoch < expected_by_epoch.len(), "unknown epoch {epoch}");
+                    assert_eq!(
+                        response.scores, expected_by_epoch[epoch][gi],
+                        "response must match the generation its version stamp records"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    // Scope join + expect above = every ticket resolved with scores.
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        TOTAL,
+        "zero lost tickets"
+    );
+    let health = engine.health();
+    assert_eq!(health.publishes, 3);
+    assert_eq!(health.publish_rejected, 0);
+    assert_eq!(health.artifact_epoch, 3);
+    // The final generation owns the slot now.
+    assert_eq!(
+        engine.score(fix.groups[0].clone()).expect("still serving"),
+        fix.alt_expected[2][0]
+    );
+}
+
+/// An in-flight batch finishes on the artifact generation it started
+/// with, even when a publish lands mid-batch; the next drain picks up the
+/// new generation.
+#[test]
+fn inflight_batch_finishes_on_its_generation_across_a_publish() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let gate = Gate::new();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: Some(gate.fail_point()),
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    // A's batch drains (loading the epoch-0 slot) and parks at the gate...
+    let ta = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit A"),
+    };
+    gate.wait_entered();
+    // ...a publish lands while A is mid-batch...
+    let v = engine
+        .publish(Arc::clone(&fix.alt_models[0]))
+        .expect("compatible publish");
+    assert_eq!(v.epoch, 1);
+    // ...and B is queued behind the gate, to be drained post-publish.
+    let tb = match engine.submit(fix.groups[1].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit B"),
+    };
+    gate.release();
+    let ra = ta.wait_versioned().expect("A scored");
+    assert_eq!(
+        (ra.version.epoch, ra.scores),
+        (0, fix.expected[0].clone()),
+        "in-flight batch must finish on the generation it started with"
+    );
+    let rb = tb.wait_versioned().expect("B scored");
+    assert_eq!(
+        (rb.version.epoch, rb.scores),
+        (1, fix.alt_expected[0][1].clone()),
+        "the next drain must pick up the published generation"
+    );
+}
+
+/// Retired generations are kept alive through the grace period (a batch
+/// that loaded the old slot may still be scoring) and actually reclaimed
+/// after it — verified with a `Weak` that must die once the grace elapses
+/// and a drain runs the reaper.
+#[test]
+fn retired_generations_are_reclaimed_after_grace() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let grace = Duration::from_millis(20);
+    let first = Arc::new((*fix.alt_models[0]).clone());
+    let weak = Arc::downgrade(&first);
+    let engine = Engine::new(
+        first, // the engine now holds the only strong reference
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            swap_grace: grace,
+        },
+    );
+    assert_eq!(
+        engine.score(fix.groups[0].clone()).expect("scored"),
+        fix.alt_expected[0][0]
+    );
+    engine
+        .publish(Arc::clone(&fix.alt_models[1]))
+        .expect("compatible publish");
+    // No drain has run since the publish, so the retired generation is
+    // still parked in the grace list — alive.
+    assert_eq!(engine.health().retired_artifacts, 1);
+    assert!(
+        weak.upgrade().is_some(),
+        "retired generation must survive its grace period"
+    );
+    std::thread::sleep(grace + Duration::from_millis(5));
+    // The next drains run the reaper; the old artifact's memory must go.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert_eq!(
+            engine.score(fix.groups[1].clone()).expect("still serving"),
+            fix.alt_expected[1][1],
+            "post-publish scores come from the new generation"
+        );
+        if weak.upgrade().is_none() && engine.health().retired_artifacts == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "retired artifact never reclaimed after grace"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Publishing into an engine that is tearing down (or already shut down)
+/// must neither hang nor panic: the slot swap is independent of the
+/// worker pool, so it simply succeeds and the next epoch is visible in
+/// health even though nothing will serve it.
+#[test]
+fn publish_during_teardown_is_safe() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    // Publishes racing shutdown from another thread: both sides must
+    // complete, every publish getting a distinct monotone epoch.
+    std::thread::scope(|s| {
+        let engine = &engine;
+        s.spawn(move || {
+            for m in &fix.alt_models {
+                engine
+                    .publish(Arc::clone(m))
+                    .expect("publish must survive a concurrent shutdown");
+            }
+        });
+        engine.shutdown();
+    });
+    let health = engine.health();
+    assert_eq!(health.publishes, 3);
+    assert_eq!(health.artifact_epoch, 3);
+    // And one more after shutdown is fully done.
+    let v = engine
+        .publish(Arc::clone(&fix.alt_models[0]))
+        .expect("publish to a shut-down engine is trivially fine");
+    assert_eq!(v.epoch, 4);
+}
+
 /// A ticket left unscored at engine teardown (workerless engine) resolves
 /// with `Rejected` instead of hanging the caller.
 #[test]
@@ -530,6 +814,7 @@ fn teardown_resolves_unscored_tickets() {
                 coalesce: true,
                 fail_point: None,
                 stage_timing: true,
+                ..EngineConfig::default()
             },
         );
         t = match engine.submit(fix.groups[0].clone()) {

@@ -5,7 +5,7 @@
 //! observationally invisible.
 
 use od_hsg::HsgBuilder;
-use od_serve::{drive, score_all, Engine, EngineConfig, Submit, Ticket};
+use od_serve::{drive, score_all, Engine, EngineConfig, PublishError, Submit, Ticket};
 use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
 use std::sync::{Arc, OnceLock};
 
@@ -82,6 +82,7 @@ fn concurrent_engine_matches_direct_scoring_bitwise() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 800, 8);
@@ -122,6 +123,7 @@ fn no_coalesce_engine_matches_direct_scoring_bitwise() {
             coalesce: false,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 400, 8);
@@ -148,6 +150,7 @@ fn coalescing_engages_for_same_context_bursts() {
                 coalesce: true,
                 fail_point: None,
                 stage_timing: true,
+                ..EngineConfig::default()
             },
         );
         // One template, submitted as a burst before waiting on anything.
@@ -186,6 +189,7 @@ fn backpressure_rejects_and_returns_the_group() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let mut tickets = Vec::new();
@@ -223,6 +227,7 @@ fn shutdown_drains_pending_requests() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let tickets: Vec<(usize, Ticket)> = (0..10)
@@ -256,6 +261,7 @@ fn stage_clock_populates_lifecycle_histograms() {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
     let report = drive(&engine, &fix.groups, Some(&fix.expected), 200, 4);
@@ -299,11 +305,133 @@ fn stage_clock_populates_lifecycle_histograms() {
             coalesce: true,
             fail_point: None,
             stage_timing: false,
+            ..EngineConfig::default()
         },
     );
     let report = drive(&quiet, &fix.groups, Some(&fix.expected), 200, 4);
     assert_eq!(report.mismatches, 0);
     assert_eq!(report.requests, 200);
+}
+
+/// A graph-free generation over the given universe — publish-compatible
+/// with the fixture model or not, depending on `config` and the sizes.
+fn generation(config: OdnetConfig, users: usize, cities: usize) -> Arc<FrozenOdNet> {
+    Arc::new(OdNetModel::new(Variant::OdnetG, config, users, cities, None).freeze())
+}
+
+/// Publishing extends the oracle chain across generations: after a swap,
+/// engine responses are bit-identical to direct `score_group` on the *new*
+/// artifact, and `EngineHealth` reports the new epoch + checksum.
+#[test]
+fn published_generation_scores_bitwise_and_updates_health() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.health().artifact_epoch, 0);
+    let report = drive(&engine, &fix.groups, Some(&fix.expected), 200, 4);
+    assert_eq!(report.mismatches, 0);
+
+    let next = generation(
+        OdnetConfig {
+            seed: 0xDECADE,
+            ..OdnetConfig::tiny()
+        },
+        fix.model.num_users(),
+        fix.model.num_cities(),
+    );
+    let next_expected = score_all(&next, &fix.groups);
+    assert_ne!(next_expected[0], fix.expected[0], "generations differ");
+    let version = engine.publish(Arc::clone(&next)).expect("compatible");
+    assert_eq!(version.epoch, 1);
+    assert_eq!(version.checksum, next.fingerprint());
+
+    let report = drive(&engine, &fix.groups, Some(&next_expected), 200, 4);
+    assert_eq!(
+        report.mismatches, 0,
+        "post-publish responses must match the new generation bit-for-bit"
+    );
+    let health = engine.health();
+    assert_eq!(health.artifact_epoch, 1);
+    assert_eq!(health.artifact_checksum, next.fingerprint());
+    assert_eq!(health.publishes, 1);
+    assert_eq!(health.publish_rejected, 0);
+}
+
+/// Incompatible artifacts are refused with a typed error and the live
+/// generation keeps serving untouched: a different id universe
+/// (`UniverseMismatch`) and a different sequence contract
+/// (`SequenceContractMismatch`) — requests validated against the live
+/// generation's limits must stay scoreable by whatever generation drains
+/// them.
+#[test]
+fn incompatible_publish_is_rejected_with_typed_errors() {
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 16,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    let (users, cities) = (fix.model.num_users(), fix.model.num_cities());
+
+    let small_universe = generation(OdnetConfig::tiny(), users, cities - 1);
+    match engine.publish(small_universe) {
+        Err(PublishError::UniverseMismatch {
+            live_cities,
+            offered_cities,
+            ..
+        }) => {
+            assert_eq!((live_cities, offered_cities), (cities, cities - 1));
+        }
+        other => panic!("expected UniverseMismatch, got {other:?}"),
+    }
+
+    let longer_seqs = generation(
+        OdnetConfig {
+            max_long_seq: OdnetConfig::tiny().max_long_seq + 1,
+            ..OdnetConfig::tiny()
+        },
+        users,
+        cities,
+    );
+    match engine.publish(longer_seqs) {
+        Err(PublishError::SequenceContractMismatch {
+            live_long,
+            offered_long,
+            ..
+        }) => {
+            assert_eq!(live_long, OdnetConfig::tiny().max_long_seq);
+            assert_eq!(offered_long, OdnetConfig::tiny().max_long_seq + 1);
+        }
+        other => panic!("expected SequenceContractMismatch, got {other:?}"),
+    }
+
+    // Rejections are counted, the epoch did not advance, and the original
+    // generation still serves bit-exact scores.
+    let health = engine.health();
+    assert_eq!(health.publish_rejected, 2);
+    assert_eq!(health.publishes, 0);
+    assert_eq!(health.artifact_epoch, 0);
+    assert_eq!(
+        engine.score(fix.groups[0].clone()).expect("still serving"),
+        fix.expected[0]
+    );
 }
 
 /// Candidate-free requests are legal and answered with an empty score set.

@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "freeze" => cmd_freeze(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "metrics" => cmd_metrics(&flags),
+        "online" => cmd_online(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -70,9 +71,12 @@ USAGE:
                   [--variant V] [--users N] [--cities N] [--embed-dim D])
   odnet serve-bench [--artifact FILE] [--users N] [--cities N] [--workers N]
                   [--requests N] [--clients N] [--batch N] [--no-coalesce]
-                  [--check] [--inject-panics N] [--no-stage-timing]
-                  [--metrics-json FILE]
+                  [--check] [--inject-panics N] [--swap-every N]
+                  [--no-stage-timing] [--metrics-json FILE]
   odnet metrics   [--artifact FILE] [--json] [--out FILE] [--requests N]
+  odnet online    [--users N] [--cities N] [--rounds N] [--panel N]
+                  [--top K] [--epochs N] [--seed N] [--ab-seed N]
+                  [--workers N] [--out-dir DIR] [--metrics-jsonl FILE]
 
 `freeze` writes a serving artifact in both formats: BASE.json (the
 debuggable interchange format) and BASE.odz (the zero-copy binary that
@@ -83,11 +87,23 @@ path (odnet-g needs no graph, so freezing 2.6M users is cheap).
 
 `serve-bench` and `metrics` accept --artifact to serve a frozen artifact
 from disk (mmap'd when the file ends in .odz) instead of building a model
-in process; the dataset defaults to the artifact's universe sizes.
+in process; the dataset defaults to the artifact's universe sizes. With
+--swap-every N, serve-bench hot-publishes a fresh model generation into
+the live engine every N completed requests; --check then additionally
+asserts the publish history reconciled and no ticket was lost across any
+swap.
 
-`metrics` exercises the trainer and the serving engine briefly, then
-renders every series in the process-global od-obs registry as Prometheus
-text exposition (default) or JSON (--json).
+`metrics` exercises the trainer and the serving engine briefly (including
+one mid-run hot publish, so the per-generation od_engine_version_* series
+appear for two epochs), then renders every series in the process-global
+od-obs registry as Prometheus text exposition (default) or JSON (--json).
+
+`online` runs the drift -> retrain -> freeze -> publish loop (DESIGN.md
+S13): each simulated day a user panel is served through a live engine,
+the click stream becomes labeled training data, and the retrained model
+is frozen to DIR/gen-NNN.odz and hot-published for the next day.
+--ab-seed seeds the click simulator's common random numbers separately
+from the dataset --seed; --metrics-jsonl writes one row per round.
 ";
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -343,23 +359,28 @@ fn cmd_freeze(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Load `--artifact` for serving commands: mmap'd for `.odz`, parsed for
-/// JSON, with cold-start gauges recorded into the od-obs registry.
-fn load_artifact_flag(flags: &HashMap<String, String>) -> Result<Option<FrozenOdNet>, String> {
+/// Load `--artifact` for serving commands through the one shared
+/// extension→mode table ([`od_serve::load_frozen_auto`]): mmap'd for
+/// `.odz`, parsed for JSON, with cold-start gauges recorded into the
+/// od-obs registry and the artifact's content checksum derived for
+/// version attribution.
+fn load_artifact_flag(
+    flags: &HashMap<String, String>,
+) -> Result<Option<od_serve::LoadedArtifact>, String> {
     let Some(path) = flags.get("artifact").filter(|p| !p.is_empty()) else {
         return Ok(None);
     };
     let path = std::path::Path::new(path);
-    let mode = od_serve::ArtifactMode::infer(path);
-    let frozen = od_serve::load_frozen(path, mode).map_err(|e| e.to_string())?;
+    let loaded = od_serve::load_frozen_auto(path).map_err(|e| e.to_string())?;
     eprintln!(
-        "loaded {} artifact {path:?} ({} mode): {} users × {} cities",
-        frozen.variant().name(),
-        mode.name(),
-        frozen.num_users(),
-        frozen.num_cities()
+        "loaded {} artifact {path:?} ({} mode, fnv {:08x}): {} users × {} cities",
+        loaded.frozen.variant().name(),
+        loaded.mode.name(),
+        loaded.checksum,
+        loaded.frozen.num_users(),
+        loaded.frozen.num_cities()
     );
-    Ok(Some(frozen))
+    Ok(Some(loaded))
 }
 
 /// The regenerated benchmark dataset must cover the artifact's id universe
@@ -389,7 +410,7 @@ fn check_artifact_universe(frozen: &FrozenOdNet, ds: &FliggyDataset) -> Result<(
 /// zero lost tickets, surviving responses still bit-exact, and the
 /// supervisor's health counters reconciling with the injected fault count.
 fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
-    use od_serve::{drive, score_all, Engine, EngineConfig, FailPoint, FailSite};
+    use od_serve::{drive, drive_swapping, score_all, Engine, EngineConfig, FailPoint, FailSite};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
@@ -401,11 +422,12 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let stage_timing = !flags.contains_key("no-stage-timing");
     let check = flags.contains_key("check");
     let inject = get_usize(flags, "inject-panics", 0)? as u64;
+    let swap_every = get_usize(flags, "swap-every", 0)?;
 
     let artifact = load_artifact_flag(flags)?;
     let (default_users, default_cities) = artifact
         .as_ref()
-        .map(|f| (f.num_users(), f.num_cities()))
+        .map(|a| (a.frozen.num_users(), a.frozen.num_cities()))
         .unwrap_or((60, 15));
     let data_config = FliggyConfig {
         num_users: get_usize(flags, "users", default_users)?,
@@ -418,10 +440,10 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         data_config.num_users, data_config.num_cities
     );
     let ds = build_dataset(&data_config);
-    let model = match artifact {
-        Some(frozen) => {
-            check_artifact_universe(&frozen, &ds)?;
-            Arc::new(frozen)
+    let (model, checksum) = match artifact {
+        Some(loaded) => {
+            check_artifact_universe(&loaded.frozen, &ds)?;
+            (Arc::new(loaded.frozen), loaded.checksum)
         }
         None => {
             let cfg = OdnetConfig::tiny();
@@ -432,7 +454,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 ds.world.num_cities(),
                 Some(build_hsg(&ds)),
             );
-            Arc::new(model.freeze())
+            let frozen = model.freeze();
+            let checksum = frozen.fingerprint();
+            (Arc::new(frozen), checksum)
         }
     };
     let fx = FeatureExtractor::new(model.config().max_long_seq, model.config().max_short_seq);
@@ -467,8 +491,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         // single line instead of the default multi-line backtrace dump.
         std::panic::set_hook(Box::new(|info| eprintln!("worker fault: {info}")));
     }
-    let engine = Engine::new(
+    let engine = Engine::new_versioned(
         Arc::clone(&model),
+        checksum,
         EngineConfig {
             workers,
             queue_capacity: 1024,
@@ -476,14 +501,32 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             coalesce,
             fail_point,
             stage_timing,
+            ..EngineConfig::default()
         },
     );
     eprintln!(
         "driving {requests} requests through {workers} worker(s) from {clients} client(s) \
-         (coalescing {}, injecting {inject} panic(s))…",
+         (coalescing {}, injecting {inject} panic(s), swapping every {swap_every})…",
         if coalesce { "on" } else { "off" }
     );
-    let r = drive(&engine, &groups, Some(&expected), requests, clients);
+    let r = if swap_every > 0 {
+        // Hot-swap under load: publish content-identical generations so
+        // the oracle comparison stays valid across every swap (see
+        // `drive_swapping`).
+        let source_model = Arc::clone(&model);
+        let source = move || Arc::new((*source_model).clone());
+        drive_swapping(
+            &engine,
+            &groups,
+            Some(&expected),
+            requests,
+            clients,
+            swap_every,
+            &source,
+        )
+    } else {
+        drive(&engine, &groups, Some(&expected), requests, clients)
+    };
     let health = engine.health();
     // Snapshot the registry while the engine is still alive: dropping the
     // engine zeroes its gauges (queue depth, live workers, hit-rate).
@@ -499,7 +542,8 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         "requests      {}\nthroughput    {:.0} req/s\np50 latency   {:.0} us\n\
          p99 latency   {:.0} us\nforwards      {}\nreq/forward   {:.2}\n\
          coalesced     {}\nrejected      {}\nmismatches    {}\nfaulted       {}\n\
-         worker panics {}\nrespawns      {}\nlive workers  {}/{}",
+         worker panics {}\nrespawns      {}\nlive workers  {}/{}\n\
+         artifact epoch {}\nartifact fnv  {:08x}\npublishes     {}\nretired gens  {}",
         r.requests,
         r.requests_per_sec,
         r.p50_us,
@@ -514,6 +558,10 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         health.respawns,
         health.live_workers,
         health.configured_workers,
+        health.artifact_epoch,
+        health.artifact_checksum,
+        r.publishes,
+        health.retired_artifacts,
     );
     if check {
         if r.mismatches != 0 {
@@ -530,6 +578,33 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         if coalesce && r.coalesced_requests == 0 {
             return Err("coalescing never engaged under concurrent load".into());
+        }
+        if swap_every > 0 {
+            // The swap path must actually have engaged, and the engine's
+            // health view of the publish history must reconcile with the
+            // load generator's count.
+            if r.publishes == 0 {
+                return Err(format!(
+                    "publisher never swapped ({requests} requests, --swap-every {swap_every})"
+                ));
+            }
+            if health.publishes != r.publishes {
+                return Err(format!(
+                    "health counted {} publishes, load generator {}",
+                    health.publishes, r.publishes
+                ));
+            }
+            if health.artifact_epoch != r.publishes {
+                return Err(format!(
+                    "artifact epoch {} does not match {} publishes",
+                    health.artifact_epoch, r.publishes
+                ));
+            }
+        } else if health.publishes != 0 {
+            return Err(format!(
+                "{} publishes recorded in a pinned-artifact run",
+                health.publishes
+            ));
         }
         // Stage clock: a loaded run must have populated the lifecycle
         // histograms end to end, and the engine-level hit-rate gauge must
@@ -606,10 +681,15 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             return Err(format!("{} faulted responses without injection", r.faulted));
         }
         eprintln!(
-            "check passed: bit-exact responses{}{}",
+            "check passed: bit-exact responses{}{}{}",
             if coalesce { ", coalescing engaged" } else { "" },
             if inject > 0 {
                 ", survived injected faults with zero lost tickets"
+            } else {
+                ""
+            },
+            if swap_every > 0 {
+                ", hot-swapped generations under load"
             } else {
                 ""
             }
@@ -629,7 +709,7 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     let artifact = load_artifact_flag(flags)?;
     let (default_users, default_cities) = artifact
         .as_ref()
-        .map(|f| (f.num_users(), f.num_cities()))
+        .map(|a| (a.frozen.num_users(), a.frozen.num_cities()))
         .unwrap_or((40, 12));
     let data_config = FliggyConfig {
         num_users: get_usize(flags, "users", default_users)?,
@@ -649,13 +729,13 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
         data_config.num_cities
     );
     let ds = build_dataset(&data_config);
-    let frozen = match artifact {
-        Some(frozen) => {
+    let (frozen, checksum) = match artifact {
+        Some(loaded) => {
             // Serving an on-disk artifact: no training pass, so the
             // rendered registry shows the cold-start series instead of the
             // trainer's.
-            check_artifact_universe(&frozen, &ds)?;
-            Arc::new(frozen)
+            check_artifact_universe(&loaded.frozen, &ds)?;
+            (Arc::new(loaded.frozen), loaded.checksum)
         }
         None => {
             let cfg = OdnetConfig {
@@ -672,14 +752,17 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             );
             let train_groups = fx.groups_from_samples(&ds, &ds.train);
             try_train(&mut model, &train_groups).map_err(|e| e.to_string())?;
-            Arc::new(model.freeze())
+            let frozen = model.freeze();
+            let checksum = frozen.fingerprint();
+            (Arc::new(frozen), checksum)
         }
     };
     let fx = FeatureExtractor::new(frozen.config().max_long_seq, frozen.config().max_short_seq);
     let templates = serving_templates(&ds, &fx)?;
     let expected = score_all(&frozen, &templates);
-    let engine = Engine::new(
+    let engine = Engine::new_versioned(
         Arc::clone(&frozen),
+        checksum,
         EngineConfig {
             workers: 2,
             queue_capacity: 256,
@@ -687,13 +770,29 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             coalesce: true,
             fail_point: None,
             stage_timing: true,
+            ..EngineConfig::default()
         },
     );
-    let r = drive(&engine, &templates, Some(&expected), requests, 4);
-    if r.mismatches != 0 {
+    // Publish a content-identical second generation halfway through the
+    // drive: the rendered registry then shows the per-version request and
+    // score counters for epochs 0 *and* 1 (and the oracle comparison stays
+    // valid, since both generations score identically).
+    let half = requests / 2;
+    let r1 = drive(&engine, &templates, Some(&expected), half.max(1), 4);
+    engine
+        .publish(Arc::new((*frozen).clone()))
+        .map_err(|e| e.to_string())?;
+    let r2 = drive(
+        &engine,
+        &templates,
+        Some(&expected),
+        requests.saturating_sub(half).max(1),
+        4,
+    );
+    if r1.mismatches + r2.mismatches != 0 {
         return Err(format!(
             "{} engine responses diverged from direct scoring",
-            r.mismatches
+            r1.mismatches + r2.mismatches
         ));
     }
     // Snapshot while the engine is alive so its gauges are still set.
@@ -710,6 +809,74 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             eprintln!("wrote {} metric series to {path}", snap.series.len());
         }
         _ => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Drive the online learning loop (`odnet_repro::online`): serve simulated
+/// days through a live engine, fold the click stream back into training,
+/// and hot-publish each retrained generation. Per-round metrics go to
+/// stdout and optionally to a JSONL file.
+fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
+    let defaults = odnet_repro::online::OnlineConfig::default();
+    let config = odnet_repro::online::OnlineConfig {
+        users: get_usize(flags, "users", defaults.users)?,
+        cities: get_usize(flags, "cities", defaults.cities)?,
+        seed: get_usize(flags, "seed", defaults.seed as usize)? as u64,
+        ab_seed: get_usize(flags, "ab-seed", defaults.ab_seed as usize)? as u64,
+        rounds: get_usize(flags, "rounds", defaults.rounds as usize)? as u32,
+        panel: get_usize(flags, "panel", defaults.panel)?,
+        top_k: get_usize(flags, "top", defaults.top_k)?,
+        recall: get_usize(flags, "recall", defaults.recall)?,
+        epochs_per_round: get_usize(flags, "epochs", defaults.epochs_per_round)?,
+        initial_epochs: get_usize(flags, "initial-epochs", defaults.initial_epochs)?,
+        workers: get_usize(flags, "workers", defaults.workers)?,
+        out_dir: flags
+            .get("out-dir")
+            .filter(|p| !p.is_empty())
+            .map(std::path::PathBuf::from)
+            .unwrap_or(defaults.out_dir),
+    };
+    eprintln!(
+        "online loop: {} rounds × {} users × top-{} ({} users, {} cities), artifacts in {:?}…",
+        config.rounds, config.panel, config.top_k, config.users, config.cities, config.out_dir
+    );
+    let report = odnet_repro::online::run_online(&config)?;
+    for round in &report.rounds {
+        println!(
+            "round {} (day {}): epoch {} (fnv {:08x}) served {} impressions, {} clicks \
+             (ctr {:.4}); retrained on {} groups (loss {:.4}) -> published epoch {} (fnv {:08x})",
+            round.round,
+            round.day,
+            round.serving_epoch,
+            round.serving_checksum,
+            round.impressions,
+            round.clicks,
+            round.ctr,
+            round.train_groups,
+            round.train_loss,
+            round.published_epoch,
+            round.published_checksum,
+        );
+    }
+    println!(
+        "overall ctr {:.4} across {} publishes; final artifact epoch {} (fnv {:08x})",
+        report.overall_ctr,
+        report.publishes,
+        report.final_version.epoch,
+        report.final_version.checksum,
+    );
+    if let Some(path) = flags.get("metrics-jsonl") {
+        if path.is_empty() {
+            return Err("--metrics-jsonl expects a file path".into());
+        }
+        let mut rows = String::new();
+        for round in &report.rounds {
+            rows.push_str(&round.to_json());
+            rows.push('\n');
+        }
+        std::fs::write(path, rows).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} round metric rows to {path}", report.rounds.len());
     }
     Ok(())
 }

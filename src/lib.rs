@@ -11,10 +11,15 @@
 //! - [`serve`] — the concurrent serving engine over the frozen artifact
 //!   (`od-serve`).
 //!
+//! Plus one first-party module: [`online`], the drift → retrain → freeze →
+//! publish loop that `odnet online` drives (DESIGN.md §13).
+//!
 //! See `examples/quickstart.rs` for the end-to-end train → evaluate →
 //! serve loop.
 
 #![warn(missing_docs)]
+
+pub mod online;
 
 pub use od_baselines as baselines;
 pub use od_data as data;
