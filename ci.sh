@@ -37,6 +37,29 @@ CRITERION_QUICK=1 cargo bench -p od-bench --bench artifact_bench
 echo "==> serving bench (smoke)"
 CRITERION_QUICK=1 cargo bench -p od-bench --bench serving_bench
 
+echo "==> retrieval equivalence (SIMD top-k bit-exact vs scalar oracle)"
+# Property suite: AVX2/NEON kernels visit the exact same pairs as the
+# scalar oracle (live-threshold contract), owned == mmap tables, and the
+# hot-swap case (index rebuilt from the published generation).
+cargo test -q -p od-retrieval
+
+echo "==> pruned recall gate (recall@64 >= 0.99 at >= 5x scan reduction)"
+cargo test -q -p od-retrieval --test recall_gate
+
+echo "==> retrieval bench (smoke)"
+# Small-universe run of the SIMD/pruned/funnel experiments with the same
+# exactness assertions as the full run, without touching the committed
+# paper-scale BENCH_retrieval.json (gates there: SIMD >= 2x scalar,
+# recall@64 >= 0.99, >= 5x fewer candidates scanned).
+CRITERION_QUICK=1 cargo bench -p od-bench --bench retrieval_bench
+
+echo "==> full-funnel smoke (retrieve -> rank through a mmap'd artifact)"
+# Drives the retrieval tier + micro-batching ranker end to end; --check
+# fails the gate unless every response is full (exactly top-k pairs),
+# rank-ordered, and stamped with consistent retrieval/ranking versions.
+cargo run --release --bin odnet -- serve-bench --artifact target/ci_artifact.odz \
+    --funnel --check --requests 500
+
 echo "==> observability unit + property suites (od-obs)"
 cargo test -q -p od-obs
 

@@ -102,8 +102,23 @@ fn bench_end_to_end_scoring(c: &mut Criterion) {
 fn bench_serving_recall(c: &mut Criterion) {
     let ds = od_bench::fliggy_dataset(Scale::Smoke);
     let day = ds.train_end_day();
-    c.bench_function("serving_recall_30_pairs", |bencher| {
-        bencher.iter(|| black_box(od_bench::recall_candidates(&ds, UserId(3), day, 30)))
+    c.bench_function("serving_recall_heuristic_30_pairs", |bencher| {
+        bencher.iter(|| black_box(od_bench::heuristic_candidates(&ds, UserId(3), day, 30)))
+    });
+    // The production path: artifact-table retrieval via od-retrieval.
+    let model = OdNetModel::new(
+        Variant::OdnetG,
+        OdnetConfig::tiny(),
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        None,
+    );
+    let retriever = od_retrieval::Retriever::build(
+        std::sync::Arc::new(model.freeze()),
+        od_retrieval::RetrievalConfig::default(),
+    );
+    c.bench_function("serving_recall_retrieval_30_pairs", |bencher| {
+        bencher.iter(|| black_box(od_bench::recall_candidates(&retriever, UserId(3), 30)))
     });
 }
 

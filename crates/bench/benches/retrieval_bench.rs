@@ -1,0 +1,352 @@
+//! Retrieval-tier benchmark → `BENCH_retrieval.json`.
+//!
+//! Three experiments, matching the acceptance gates of the retrieval
+//! subsystem:
+//!
+//! 1. **SIMD vs scalar brute force** — exact-tier top-64 queries against
+//!    the paper-scale artifact (2.6M users × 200 cities, d = 16) served
+//!    zero-copy from an mmap'd `.odz`, with the kernel level forced to
+//!    scalar vs auto-detected (AVX2 on x86_64). Both levels are bit-exact
+//!    (the equivalence tests pin that); the gate is speed: the detected
+//!    level must clear **2x** scalar on x86_64.
+//! 2. **Pruned tier cost/accuracy** — recall@64 and candidates-scanned
+//!    reduction of the IVF-pruned tier against the exact oracle on a
+//!    trained 200-city world (the same fixture recipe as
+//!    `tests/recall_gate.rs`: trained tables carry the structure the
+//!    router exploits), plus per-query latency of both tiers at paper
+//!    scale. Gates: recall@64 ≥ 0.99 at ≥ 5x fewer candidates scanned.
+//! 3. **End-to-end funnel throughput** — retrieve→rank requests/sec
+//!    through `od_serve::Funnel` (pruned retrieval feeding the
+//!    micro-batching ranker) over the same mmap'd paper-scale artifact.
+//!
+//! Run with `cargo bench --bench retrieval_bench`; `CRITERION_QUICK=1`
+//! (or `--quick` / `--test`) runs a small-universe smoke that checks the
+//! invariants without touching the committed report.
+
+use od_hsg::{CityId, UserId};
+use od_retrieval::{recall_against_exact, RetrievalConfig, Retriever, Tier};
+use od_serve::{EngineConfig, Funnel, FunnelConfig};
+use od_tensor::SimdLevel;
+use odnet_core::{
+    train, CandidateInput, FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig,
+    Variant, XST_DIM,
+};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SimdReport {
+    level: String,
+    queries: usize,
+    scalar_ns_per_query: f64,
+    simd_ns_per_query: f64,
+    /// scalar / detected-level mean latency (the ≥2x gate on x86_64).
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PrunedReport {
+    /// Trained-world accuracy of the pruned tier against the exact oracle.
+    recall_at_64: f64,
+    scanned_exact: u64,
+    scanned_pruned: u64,
+    /// scanned_exact / scanned_pruned (the ≥5x gate).
+    scan_reduction: f64,
+    /// Paper-scale single-thread retrieval throughput per tier.
+    exact_req_per_sec: f64,
+    pruned_req_per_sec: f64,
+    ncentroids: usize,
+    nprobe: usize,
+}
+
+#[derive(Serialize)]
+struct FunnelReport {
+    num_users: usize,
+    num_cities: usize,
+    embed_dim: usize,
+    artifact_mode: String,
+    top_k: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    mean_us_per_request: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    generated_by: String,
+    scale: String,
+    threads_available: usize,
+    simd: SimdReport,
+    pruned: PrunedReport,
+    funnel: FunnelReport,
+}
+
+/// Deterministic user spread across the whole table (Knuth hash), so
+/// queries fault distinct rows instead of re-hitting one hot line.
+fn probe_user(i: usize, num_users: usize) -> UserId {
+    UserId(((i as u64 * 2_654_435_761) % num_users as u64) as u32)
+}
+
+/// Mean ns/query of `f` over `queries` calls.
+fn time_queries(queries: usize, mut f: impl FnMut(usize)) -> f64 {
+    let t = Instant::now();
+    for i in 0..queries {
+        f(i);
+    }
+    t.elapsed().as_nanos() as f64 / queries as f64
+}
+
+/// Trained 200-city fixture — the recall numbers need tables with real
+/// structure (same recipe as `tests/recall_gate.rs`).
+fn trained_frozen(cities: usize) -> Arc<FrozenOdNet> {
+    let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig {
+        num_users: 120,
+        num_cities: cities,
+        horizon_days: 400,
+        bookings_per_user: (3, 6),
+        ..od_data::FliggyConfig::default()
+    });
+    let config = OdnetConfig {
+        epochs: 2,
+        ..OdnetConfig::tiny()
+    };
+    let fx = FeatureExtractor::new(config.max_long_seq, config.max_short_seq);
+    let groups = fx.groups_from_samples(&ds, &ds.train);
+    let mut model = OdNetModel::new(
+        Variant::OdnetG,
+        config,
+        ds.world.num_users(),
+        ds.world.num_cities(),
+        None,
+    );
+    train(&mut model, &groups);
+    Arc::new(model.freeze())
+}
+
+/// A featurization-free ranking group: the funnel bench measures the
+/// retrieve→rank pipeline, so candidates carry neutral xst features and
+/// no history (history cost is the ranker's own benchmark's subject).
+fn funnel_group(user: UserId, pairs: &[od_retrieval::ScoredPair]) -> GroupInput {
+    GroupInput {
+        user,
+        day: 400,
+        current_city: CityId(0),
+        lt_origins: Vec::new(),
+        lt_dests: Vec::new(),
+        lt_days: Vec::new(),
+        st_origins: Vec::new(),
+        st_dests: Vec::new(),
+        st_days: Vec::new(),
+        candidates: pairs
+            .iter()
+            .map(|p| CandidateInput {
+                origin: p.origin,
+                dest: p.dest,
+                xst_o: [0.25; XST_DIM],
+                xst_d: [0.75; XST_DIM],
+                label_o: 0.0,
+                label_d: 0.0,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test")
+        || std::env::var("CRITERION_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    const K: usize = 64;
+    let (users, cities, embed_dim, scale, simd_queries, funnel_requests) = if quick {
+        (40_000, 50, 8, "smoke", 200, 50)
+    } else {
+        // Paper Table I magnitude: 2.6M users, 200 origin/dest cities.
+        (2_600_000, 200, 16, "paper", 2_000, 1_000)
+    };
+
+    eprintln!("freezing untrained ODNET-G at {users} users × {cities} cities (d = {embed_dim})…");
+    let config = OdnetConfig {
+        embed_dim,
+        ..OdnetConfig::default()
+    };
+    let t = Instant::now();
+    let frozen = OdNetModel::new(Variant::OdnetG, config, users, cities, None).freeze();
+    eprintln!("  frozen in {:.1}s", t.elapsed().as_secs_f64());
+
+    // Serve everything below from the zero-copy mmap path — the gate
+    // asks for paper-scale numbers "via mmap", and it is how a replica
+    // actually holds 2.6M-user tables.
+    let dir = std::env::temp_dir().join(format!("odnet_retrieval_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let odz_path = dir.join("artifact.odz");
+    frozen.save_bin(&odz_path).expect("write .odz artifact");
+    drop(frozen);
+    let mapped = Arc::new(FrozenOdNet::load_bin_mmap(&odz_path).expect("mmap artifact"));
+
+    // ── 1. SIMD vs scalar exact brute force ─────────────────────────────
+    let scalar = Retriever::build(
+        Arc::clone(&mapped),
+        RetrievalConfig {
+            level: Some(SimdLevel::Scalar),
+            ..RetrievalConfig::default()
+        },
+    );
+    let auto = Retriever::build(Arc::clone(&mapped), RetrievalConfig::default());
+    eprintln!("detected SIMD level: {:?}", auto.level());
+    // Warm the mapping so page faults are not attributed to either level.
+    for i in 0..simd_queries {
+        std::hint::black_box(auto.top_k(probe_user(i, users), K, Tier::Exact));
+    }
+    // Interleaved best-of-chunk timing: a single long measurement on a
+    // small shared box is at the mercy of whatever else the machine
+    // runs during it. Alternating short chunks and keeping each level's
+    // best chunk compares the two kernels under their least-disturbed
+    // conditions — interference inflates both levels' discarded chunks
+    // instead of whichever level it happened to land on.
+    let chunks = 8;
+    let per_chunk = (simd_queries / chunks).max(1);
+    let (mut scalar_ns, mut simd_ns) = (f64::INFINITY, f64::INFINITY);
+    for c in 0..chunks {
+        let t = time_queries(per_chunk, |i| {
+            std::hint::black_box(scalar.top_k(
+                probe_user(c * per_chunk + i, users),
+                K,
+                Tier::Exact,
+            ));
+        });
+        scalar_ns = scalar_ns.min(t);
+        let t = time_queries(per_chunk, |i| {
+            std::hint::black_box(auto.top_k(probe_user(c * per_chunk + i, users), K, Tier::Exact));
+        });
+        simd_ns = simd_ns.min(t);
+    }
+    let speedup = scalar_ns / simd_ns;
+    eprintln!(
+        "exact top-{K}: scalar {:.1}us, {:?} {:.1}us ({speedup:.2}x)",
+        scalar_ns / 1e3,
+        auto.level(),
+        simd_ns / 1e3
+    );
+    if cfg!(target_arch = "x86_64") && auto.level() != SimdLevel::Scalar && !quick {
+        assert!(
+            speedup >= 2.0,
+            "SIMD exact top-k must clear 2x scalar on x86_64 (got {speedup:.2}x)"
+        );
+    }
+
+    // ── 2. Pruned tier: recall on a trained world, latency at scale ─────
+    eprintln!("training the {cities}-city recall fixture…");
+    let trained = trained_frozen(cities);
+    let exact_r = Retriever::build(Arc::clone(&trained), RetrievalConfig::default());
+    let pruned_r = Retriever::build(Arc::clone(&trained), RetrievalConfig::default());
+    let recall_users = 120;
+    let (mut recall_sum, mut scanned_exact, mut scanned_pruned) = (0.0f64, 0u64, 0u64);
+    for u in 0..recall_users {
+        let want = exact_r.top_k(UserId(u as u32), K, Tier::Exact);
+        let got = pruned_r.top_k(UserId(u as u32), K, Tier::Pruned);
+        recall_sum += recall_against_exact(&want.pairs, &got.pairs);
+        scanned_exact += want.stats.scanned;
+        scanned_pruned += got.stats.scanned;
+    }
+    let recall = recall_sum / recall_users as f64;
+    let reduction = scanned_exact as f64 / scanned_pruned as f64;
+    eprintln!("trained world: recall@{K} = {recall:.4}, scan reduction = {reduction:.2}x");
+    if !quick {
+        assert!(recall >= 0.99, "pruned recall@{K} {recall:.4} below 0.99");
+        assert!(reduction >= 5.0, "scan reduction {reduction:.2}x below 5x");
+    }
+    // Per-tier retrieval throughput at paper scale (single thread, mmap).
+    let exact_ns = time_queries(simd_queries, |i| {
+        std::hint::black_box(auto.top_k(probe_user(i, users), K, Tier::Exact));
+    });
+    let pruned_ns = time_queries(simd_queries, |i| {
+        std::hint::black_box(auto.top_k(probe_user(i, users), K, Tier::Pruned));
+    });
+    eprintln!(
+        "paper-scale retrieval: exact {:.0} req/s, pruned {:.0} req/s",
+        1e9 / exact_ns,
+        1e9 / pruned_ns
+    );
+
+    // ── 3. End-to-end funnel throughput (retrieve → rank, mmap) ─────────
+    let funnel = Funnel::new(
+        Arc::clone(&mapped),
+        0xF00D,
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        FunnelConfig {
+            recall_probe_every: 64,
+            ..FunnelConfig::default()
+        },
+    );
+    // Warm-up request fills workspace pools.
+    funnel
+        .recommend(probe_user(0, users), K, |pairs| {
+            funnel_group(probe_user(0, users), pairs)
+        })
+        .expect("funnel warm-up");
+    let funnel_ns = time_queries(funnel_requests, |i| {
+        let user = probe_user(i, users);
+        let rec = funnel
+            .recommend(user, K, |pairs| funnel_group(user, pairs))
+            .expect("funnel request");
+        assert_eq!(rec.pairs.len(), K);
+        std::hint::black_box(rec);
+    });
+    funnel.shutdown();
+    let funnel_rps = 1e9 / funnel_ns;
+    eprintln!(
+        "funnel (retrieve top-{K} → rank, mmap): {funnel_rps:.0} req/s \
+         ({:.0}us/request)",
+        funnel_ns / 1e3
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if quick {
+        eprintln!("smoke scale: leaving the committed BENCH_retrieval.json untouched");
+        return;
+    }
+    let report = Report {
+        generated_by: "cargo bench --bench retrieval_bench".to_string(),
+        scale: scale.to_string(),
+        threads_available: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        simd: SimdReport {
+            level: format!("{:?}", auto.level()),
+            queries: simd_queries,
+            scalar_ns_per_query: scalar_ns,
+            simd_ns_per_query: simd_ns,
+            speedup,
+        },
+        pruned: PrunedReport {
+            recall_at_64: recall,
+            scanned_exact,
+            scanned_pruned,
+            scan_reduction: reduction,
+            exact_req_per_sec: 1e9 / exact_ns,
+            pruned_req_per_sec: 1e9 / pruned_ns,
+            ncentroids: pruned_r.ncentroids(),
+            nprobe: pruned_r.nprobe(),
+        },
+        funnel: FunnelReport {
+            num_users: users,
+            num_cities: cities,
+            embed_dim,
+            artifact_mode: "mmap".to_string(),
+            top_k: K,
+            requests: funnel_requests,
+            requests_per_sec: funnel_rps,
+            mean_us_per_request: funnel_ns / 1e3,
+        },
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_retrieval.json");
+    let pretty = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, pretty + "\n").expect("write BENCH_retrieval.json");
+    println!("wrote {path}");
+}

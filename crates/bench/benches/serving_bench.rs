@@ -99,28 +99,20 @@ fn serving_fixture() -> ServingFixture {
         .map(od_hsg::UserId)
         .find(|&u| !ds.long_term(u, day).is_empty())
         .expect("some user has history");
-    let mut pairs = od_bench::recall_candidates(&ds, user, day, 64);
-    assert!(pairs.len() >= 8, "recall produced too few pairs to bench");
-    // The smoke world is small, so multi-strategy recall saturates below a
-    // production-sized rerank set; pad with further OD pairs up to 64 to
-    // bench the full serving batch width.
-    let mut seen: std::collections::HashSet<_> = pairs.iter().copied().collect();
-    'pad: for o in 0..ds.world.num_cities() as u32 {
-        for d in 0..ds.world.num_cities() as u32 {
-            if pairs.len() >= 64 {
-                break 'pad;
-            }
-            let pair = (od_hsg::CityId(o), od_hsg::CityId(d));
-            if o != d && seen.insert(pair) {
-                pairs.push(pair);
-            }
-        }
-    }
-    let groups = [1, 16.min(pairs.len()), pairs.len()]
+    let frozen = batched.freeze();
+    // Candidates come from the production retrieval stage over the frozen
+    // artifact's own tables — a retrieval top-64 always fills the full
+    // serving batch width, so no heuristic-recall padding is needed.
+    let retriever = od_retrieval::Retriever::build(
+        std::sync::Arc::new(frozen.clone()),
+        od_retrieval::RetrievalConfig::default(),
+    );
+    let pairs = od_bench::recall_candidates(&retriever, user, 64);
+    assert_eq!(pairs.len(), 64, "retrieval must fill the rerank set");
+    let groups = [1, 16, pairs.len()]
         .into_iter()
         .map(|n| (n, fx.group_for_serving(&ds, user, day, &pairs[..n])))
         .collect();
-    let frozen = batched.freeze();
     ServingFixture {
         oracle,
         batched,

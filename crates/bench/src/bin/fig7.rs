@@ -5,7 +5,7 @@
 //! model with common random numbers.
 
 use od_bench::methods::fit_method;
-use od_bench::{fliggy_dataset, markdown_table, recall_candidates, write_json, Method, Scale};
+use od_bench::{fliggy_dataset, heuristic_candidates, markdown_table, write_json, Method, Scale};
 use od_data::AbTestHarness;
 use odnet_core::FeatureExtractor;
 use serde::Serialize;
@@ -30,7 +30,10 @@ fn main() {
         eprintln!("[fig7] training {}", method.name());
         let (scorer, _) = fit_method(method, &ds, scale, &fx);
         let result = harness.run(method.name(), |user, day, k| {
-            let candidates = recall_candidates(&ds, user, day, recall_cap);
+            // Baselines share the §VI-B heuristic recall: most of them
+            // have no frozen embedding tables to retrieve from, and a
+            // common candidate source keeps the A/B comparison fair.
+            let candidates = heuristic_candidates(&ds, user, day, recall_cap);
             if candidates.is_empty() {
                 return Vec::new();
             }

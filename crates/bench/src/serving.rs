@@ -1,11 +1,19 @@
-//! Candidate recall for serving — the multi-strategy recall of the paper's
-//! §VI-B: candidate origins come from the user's current city, nearby
-//! cities, and historical departure cities; candidate destinations from
-//! historical destinations, clicked destinations, and globally popular
-//! destinations. Assembled OD pairs are what the ranking model scores.
+//! Candidate recall for serving.
+//!
+//! Two candidate sources feed the ranker:
+//!
+//! - [`recall_candidates`] — the production path: top-k OD pairs out of
+//!   the *whole* city universe, retrieved from a frozen artifact's dense
+//!   tables by `od-retrieval` (SIMD brute-force or the pruned IVF tier).
+//! - [`heuristic_candidates`] — the paper's §VI-B multi-strategy recall
+//!   (current city, nearby cities, historical Os; historical/clicked/
+//!   popular Ds). It needs only the dataset, no trained artifact, so it
+//!   remains the candidate source for the fig7 baselines and the test
+//!   oracle for candidate-set plausibility.
 
 use od_data::FliggyDataset;
 use od_hsg::{CityId, UserId};
+use od_retrieval::{Retriever, Tier};
 use odnet_core::{GroupInput, OdScorer};
 use std::collections::HashSet;
 
@@ -51,9 +59,24 @@ pub fn rank_pairs_into(
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite serving scores"));
 }
 
+/// Retrieve the best `k` OD pairs for `user` from a frozen artifact's
+/// dense tables — the production recall path. Serves the pruned tier
+/// (IVF-routed, origin cutoff); build the [`Retriever`] once per artifact
+/// generation and reuse it across requests.
+pub fn recall_candidates(retriever: &Retriever, user: UserId, k: usize) -> Vec<(CityId, CityId)> {
+    retriever
+        .top_k(user, k, Tier::Pruned)
+        .pairs
+        .into_iter()
+        .map(|p| (p.origin, p.dest))
+        .collect()
+}
+
 /// Assemble up to `max_pairs` candidate OD pairs for `user` at `day` using
-/// the production recall strategies.
-pub fn recall_candidates(
+/// the paper's §VI-B heuristic recall strategies. Kept as the baseline
+/// candidate source (fig7's non-ODNET methods have no frozen tables to
+/// retrieve from) and as the test oracle for candidate plausibility.
+pub fn heuristic_candidates(
     ds: &FliggyDataset,
     user: UserId,
     day: u32,
@@ -145,7 +168,7 @@ mod tests {
         let ds = crate::fliggy_dataset(Scale::Smoke);
         let user = ds.test.first().map(|s| s.user).unwrap_or(UserId(0));
         let day = ds.train_end_day();
-        let pairs = recall_candidates(&ds, user, day, 30);
+        let pairs = heuristic_candidates(&ds, user, day, 30);
         assert!(!pairs.is_empty());
         assert!(pairs.len() <= 30);
         for (o, d) in &pairs {
@@ -167,7 +190,7 @@ mod tests {
             .find(|&u| !ds.long_term(u, day).is_empty())
             .expect("some user has history");
         let last = *ds.long_term(user, day).last().unwrap();
-        let pairs = recall_candidates(&ds, user, day, 40);
+        let pairs = heuristic_candidates(&ds, user, day, 40);
         assert!(
             pairs.iter().any(|&(_, d)| d == last.origin),
             "return-leg destination missing from recall"
@@ -175,9 +198,34 @@ mod tests {
     }
 
     #[test]
+    fn retrieval_recall_returns_k_distinct_scored_pairs() {
+        let ds = crate::fliggy_dataset(Scale::Smoke);
+        let model = odnet_core::OdNetModel::new(
+            odnet_core::Variant::OdnetG,
+            odnet_core::OdnetConfig::tiny(),
+            ds.world.num_users(),
+            ds.world.num_cities(),
+            None,
+        );
+        let retriever = Retriever::build(
+            std::sync::Arc::new(model.freeze()),
+            od_retrieval::RetrievalConfig::default(),
+        );
+        let pairs = recall_candidates(&retriever, UserId(0), 24);
+        assert_eq!(pairs.len(), 24);
+        for (o, d) in &pairs {
+            assert_ne!(o, d);
+        }
+        let mut unique = pairs.clone();
+        unique.sort_by_key(|&(o, d)| (o.0, d.0));
+        unique.dedup();
+        assert_eq!(unique.len(), pairs.len(), "duplicate pairs retrieved");
+    }
+
+    #[test]
     fn recall_respects_cap() {
         let ds = crate::fliggy_dataset(Scale::Smoke);
-        let pairs = recall_candidates(&ds, UserId(0), ds.train_end_day(), 5);
+        let pairs = heuristic_candidates(&ds, UserId(0), ds.train_end_day(), 5);
         assert!(pairs.len() <= 5);
     }
 
@@ -204,7 +252,7 @@ mod tests {
         let ds = crate::fliggy_dataset(Scale::Smoke);
         let user = UserId(0);
         let day = ds.train_end_day();
-        let pairs = recall_candidates(&ds, user, day, 10);
+        let pairs = heuristic_candidates(&ds, user, day, 10);
         let fx = odnet_core::FeatureExtractor::new(6, 4);
         let group = fx.group_for_serving(&ds, user, day, &pairs);
         let ranked = rank_pairs(&ByOriginIndex, &group, &pairs);

@@ -224,6 +224,24 @@ impl FrozenOdNet {
         self.theta * p_o + (1.0 - self.theta) * p_d
     }
 
+    /// Read-only view of the four dense embedding tables — the raw
+    /// material of the retrieval tier (`od-retrieval`). The slices borrow
+    /// straight from the artifact's [`Table`]s, so this is zero-copy for
+    /// both owned and mmap-backed (`.odz`) artifacts; for the latter,
+    /// touching a row faults its pages in lazily like every other score.
+    pub fn embeddings(&self) -> EmbeddingView<'_> {
+        EmbeddingView {
+            origin_users: self.origin.users.as_slice(),
+            origin_cities: self.origin.cities.as_slice(),
+            dest_users: self.dest.users.as_slice(),
+            dest_cities: self.dest.cities.as_slice(),
+            num_users: self.num_users,
+            num_cities: self.num_cities,
+            dim: self.config.embed_dim,
+            theta: self.theta,
+        }
+    }
+
     /// Serialize the artifact to standalone JSON (self-contained: no HSG or
     /// dataset needed to load it back).
     pub fn save_json(&self) -> String {
@@ -336,6 +354,43 @@ impl FrozenOdNet {
             self.config.max_long_seq,
             self.config.max_short_seq,
         )
+    }
+}
+
+/// Zero-copy view of a [`FrozenOdNet`]'s dense embedding tables, handed
+/// to the retrieval tier. All tables are row-major `f32`; user tables are
+/// `num_users×dim`, city tables `num_cities×dim`. `theta` is the frozen
+/// Eq. 8 mixture weight, which the retrieval scorer folds into its
+/// separable pair score `θ·⟨u_O,c_O⟩ + (1−θ)·⟨u_D,c_D⟩`.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingView<'a> {
+    /// Origin-branch user table (`num_users×dim`).
+    pub origin_users: &'a [f32],
+    /// Origin-branch city table (`num_cities×dim`).
+    pub origin_cities: &'a [f32],
+    /// Destination-branch user table (`num_users×dim`).
+    pub dest_users: &'a [f32],
+    /// Destination-branch city table (`num_cities×dim`).
+    pub dest_cities: &'a [f32],
+    /// User universe size.
+    pub num_users: usize,
+    /// City universe size.
+    pub num_cities: usize,
+    /// Embedding width.
+    pub dim: usize,
+    /// Frozen loss weight θ (post-sigmoid, in `[0, 1]`).
+    pub theta: f32,
+}
+
+impl EmbeddingView<'_> {
+    /// Origin-branch embedding row of one user.
+    pub fn origin_user_row(&self, user: usize) -> &[f32] {
+        &self.origin_users[user * self.dim..(user + 1) * self.dim]
+    }
+
+    /// Destination-branch embedding row of one user.
+    pub fn dest_user_row(&self, user: usize) -> &[f32] {
+        &self.dest_users[user * self.dim..(user + 1) * self.dim]
     }
 }
 

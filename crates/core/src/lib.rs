@@ -72,7 +72,7 @@ pub use eval::{
 pub use features::{
     validate_group, CandidateInput, FeatureExtractor, GroupInput, InvalidInput, Xst, XST_DIM,
 };
-pub use frozen::FrozenOdNet;
+pub use frozen::{EmbeddingView, FrozenOdNet};
 pub use intent::IntentModule;
 pub use mmoe::{MmoeHead, SingleTaskHead};
 pub use model::{CheckpointError, GroupForward, GroupForwardBatched, OdNetModel, Variant};

@@ -128,6 +128,33 @@ fn fixture() -> Registry {
     w1.record(1_500);
     reg.counter("od_test_requests_total", "Accepted requests")
         .add(5); // merges
+
+    // Retrieval-shaped series: the same one counter/histogram name fanned
+    // out across tier labels (how od-retrieval registers), plus a unit
+    // float gauge (sampled recall) — exercises label round-trips where
+    // the label value, not the name, distinguishes the series.
+    reg.counter_with(
+        "od_test_retrieval_total",
+        "Retrievals by tier",
+        &[("tier", "exact")],
+    )
+    .add(3);
+    reg.counter_with(
+        "od_test_retrieval_total",
+        "Retrievals by tier",
+        &[("tier", "pruned")],
+    )
+    .add(97);
+    let se = reg.histogram_with("od_test_scanned", "Pairs scanned", &[("tier", "exact")]);
+    let sp = reg.histogram_with("od_test_scanned", "Pairs scanned", &[("tier", "pruned")]);
+    for v in [39_800u64, 39_800, 39_800] {
+        se.record(v);
+    }
+    for v in [2_912u64, 3_104, 2_880] {
+        sp.record(v);
+    }
+    reg.float_gauge("od_test_recall", "Sampled recall@k")
+        .set(0.9992);
     reg
 }
 
@@ -168,6 +195,21 @@ fn exposition_parses_back_with_valid_structure() {
         .find(|s| s.name == "od_test_requests_total")
         .expect("counter sample");
     assert_eq!(c.value, 12_350.0);
+
+    // Tier-labeled counters stay distinct series under one TYPE: the
+    // label value alone must round-trip each count.
+    let tier = |want: &str| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == "od_test_retrieval_total"
+                    && s.labels == vec![("tier".to_string(), want.to_string())]
+            })
+            .unwrap_or_else(|| panic!("missing tier={want} sample"))
+            .value
+    };
+    assert_eq!(tier("exact"), 3.0);
+    assert_eq!(tier("pruned"), 97.0);
 }
 
 #[test]

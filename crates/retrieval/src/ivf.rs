@@ -1,0 +1,346 @@
+//! The pruned destination index: IVF (inverted-file) routing over the
+//! frozen destination-city embeddings.
+//!
+//! Retrieval maximizes a **dot product**, but k-means cells are Voronoi
+//! in L2 — clustering the raw table leaves the top-scoring destinations
+//! scattered across cells and recall@k collapses. The index therefore
+//! clusters in the classic MIPS→cosine *augmented space* (Shrivastava &
+//! Li's asymmetric transform): each destination row `x` gains one
+//! coordinate,
+//!
+//! ```text
+//! x̂ = [x, √(M² − ‖x‖²)]      M = max row norm
+//! ```
+//!
+//! so every augmented row sits on the sphere of radius `M`, and with the
+//! query augmented as `q̂ = [q, 0]` the inner products are unchanged:
+//! `⟨q̂, x̂⟩ = ⟨q, x⟩`. On the sphere, maximum inner product = nearest
+//! cosine, so L2 k-means cells become direction-aligned caps and the
+//! high-dot destinations for a query concentrate in the few caps facing
+//! it.
+//!
+//! At build time (artifact freeze/load/publish — see the `Funnel` in
+//! `od-serve`) the augmented table is clustered with a deterministic
+//! **spherical** Lloyd k-means (centroids are projected back onto the
+//! sphere after each mean update, keeping cells direction-aligned caps),
+//! and every destination is indexed under its [`SPILL`] nearest caps —
+//! multi-assignment, the standard IVF recall repair for rows near a cap
+//! boundary. At query time a user's destination embedding routes to the
+//! `nprobe` clusters with the highest centroid affinity `⟨q̂, centroid⟩`
+//! and only their (deduplicated) members are scored and fed to the pair
+//! scan — the whole point is scanning a fraction of the destination
+//! table for <1% recall@k loss (gated in `tests/recall_gate.rs`).
+//!
+//! Everything here is deterministic: strided centroid seeding, fixed
+//! iteration count, index-ordered tie-breaks — so an index rebuilt for
+//! the same artifact bytes routes identically on every host.
+
+use od_tensor::simd::{self, SimdLevel};
+
+/// Number of Lloyd iterations. Fixed (not convergence-tested) so index
+/// builds take deterministic, bounded time at any scale.
+const KMEANS_ITERS: usize = 12;
+
+/// Caps each destination is indexed under (multi-assignment spill).
+const SPILL: usize = 2;
+
+/// The pruned destination index over one artifact generation.
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    /// `ncentroids×adim`, row-major, in the augmented (sphere) space.
+    centroids: Vec<f32>,
+    /// Cluster member destination ids, cluster-major.
+    members: Vec<u32>,
+    /// `offsets[j]..offsets[j+1]` indexes `members` for cluster `j`.
+    offsets: Vec<usize>,
+    /// Augmented width: table dim + 1.
+    adim: usize,
+}
+
+impl IvfIndex {
+    /// Cluster a row-major `n×dim` destination table into `ncentroids`
+    /// cells (in the augmented MIPS→cosine space). `ncentroids` is
+    /// clamped to `n`; passing `0` picks `√n`-flavored auto sizing.
+    pub fn build(table: &[f32], n: usize, dim: usize, ncentroids: usize) -> IvfIndex {
+        assert_eq!(table.len(), n * dim, "table geometry mismatch");
+        assert!(n > 0, "cannot index an empty table");
+        let c = if ncentroids == 0 {
+            auto_centroids(n)
+        } else {
+            ncentroids.min(n)
+        }
+        .max(1);
+
+        // Lift onto the sphere: x̂ = [x, √(M²−‖x‖²)]. The max-norm row
+        // gets a zero extra coordinate; everything else bulges up so all
+        // rows share norm M and dot order becomes cosine order.
+        let adim = dim + 1;
+        let max_sq = (0..n)
+            .map(|r| sq_norm(&table[r * dim..(r + 1) * dim]))
+            .fold(0.0f32, f32::max);
+        let mut aug: Vec<f32> = Vec::with_capacity(n * adim);
+        for r in 0..n {
+            let row = &table[r * dim..(r + 1) * dim];
+            aug.extend_from_slice(row);
+            aug.push((max_sq - sq_norm(row)).max(0.0).sqrt());
+        }
+        let table = &aug[..];
+        let dim = adim;
+
+        // Strided seeding: rows 0, n/c, 2n/c, … — deterministic and
+        // spread across whatever order the freeze wrote the table in.
+        let mut centroids: Vec<f32> = Vec::with_capacity(c * dim);
+        for j in 0..c {
+            let row = j * n / c;
+            centroids.extend_from_slice(&table[row * dim..(row + 1) * dim]);
+        }
+
+        let sphere = max_sq.sqrt();
+        let mut assign = vec![0usize; n];
+        for _ in 0..KMEANS_ITERS {
+            // Assignment: nearest centroid by squared L2, ties to the
+            // lower cluster index.
+            for (r, a) in assign.iter_mut().enumerate() {
+                let row = &table[r * dim..(r + 1) * dim];
+                let mut best = (f32::INFINITY, 0usize);
+                for j in 0..c {
+                    let d2 = sq_l2(row, &centroids[j * dim..(j + 1) * dim]);
+                    if d2 < best.0 {
+                        best = (d2, j);
+                    }
+                }
+                *a = best.1;
+            }
+            // Update: mean of members; empty clusters steal the row
+            // farthest from its current centroid so no cell dies.
+            let mut counts = vec![0usize; c];
+            let mut sums = vec![0.0f32; c * dim];
+            for (r, &a) in assign.iter().enumerate() {
+                counts[a] += 1;
+                let row = &table[r * dim..(r + 1) * dim];
+                for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            for j in 0..c {
+                if counts[j] == 0 {
+                    let far = farthest_row(table, dim, &assign, &centroids);
+                    assign[far] = j;
+                    counts[j] = 1;
+                    let row = &table[far * dim..(far + 1) * dim];
+                    sums[j * dim..(j + 1) * dim].copy_from_slice(row);
+                }
+                let inv = 1.0 / counts[j] as f32;
+                for (cv, &s) in centroids[j * dim..(j + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[j * dim..(j + 1) * dim])
+                {
+                    *cv = s * inv;
+                }
+                // Spherical k-means: every row sits on the sphere of
+                // radius M, so project the mean back out to it — cells
+                // stay direction-aligned caps instead of shrinking
+                // toward the origin.
+                let cnorm = sq_norm(&centroids[j * dim..(j + 1) * dim]).sqrt();
+                if cnorm > 0.0 {
+                    let s = sphere / cnorm;
+                    for cv in &mut centroids[j * dim..(j + 1) * dim] {
+                        *cv *= s;
+                    }
+                }
+            }
+        }
+
+        // Spill assignment: each destination is indexed under its SPILL
+        // nearest caps, so a row on a cap boundary is reachable through
+        // either neighbor — the standard IVF recall repair, paid for in
+        // duplicated membership (route() dedups before the scan).
+        let spill = SPILL.min(c);
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for r in 0..n {
+            let row = &table[r * dim..(r + 1) * dim];
+            let mut near: Vec<(f32, usize)> = (0..c)
+                .map(|j| (sq_l2(row, &centroids[j * dim..(j + 1) * dim]), j))
+                .collect();
+            near.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            for &(_, j) in near.iter().take(spill) {
+                lists[j].push(r as u32);
+            }
+        }
+
+        // Freeze the inverted lists (member ids ascending per cluster).
+        let mut offsets = vec![0usize; c + 1];
+        for j in 0..c {
+            offsets[j + 1] = offsets[j] + lists[j].len();
+        }
+        let members: Vec<u32> = lists.into_iter().flatten().collect();
+
+        IvfIndex {
+            centroids,
+            members,
+            offsets,
+            adim: dim,
+        }
+    }
+
+    /// Clusters in the index.
+    pub fn ncentroids(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Route a destination-branch user embedding: append the member ids
+    /// of the `nprobe` highest-affinity caps to `out` (id-ascending,
+    /// deduplicated across the spill lists) and return how many clusters
+    /// were probed.
+    pub fn route(
+        &self,
+        level: SimdLevel,
+        query: &[f32],
+        nprobe: usize,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        let c = self.ncentroids();
+        let probe = nprobe.clamp(1, c);
+        // q̂ = [q, 0]: augmented dots equal the raw dots, so cap affinity
+        // ranks caps by the dot product their members can reach.
+        let mut qaug = Vec::with_capacity(self.adim);
+        qaug.extend_from_slice(query);
+        qaug.push(0.0);
+        let mut affinity = vec![0.0f32; c];
+        simd::table_scores(level, &qaug, &self.centroids, self.adim, 1.0, &mut affinity);
+        let mut order: Vec<u32> = (0..c as u32).collect();
+        // Ties broken by cluster index for deterministic routing.
+        order.sort_unstable_by(|&a, &b| {
+            affinity[b as usize]
+                .total_cmp(&affinity[a as usize])
+                .then_with(|| a.cmp(&b))
+        });
+        order.truncate(probe);
+        // Collect members id-ascending and dedup: spill indexes a row
+        // under several caps, and the scan must score each destination
+        // once.
+        order.sort_unstable();
+        let start = out.len();
+        for &j in &order {
+            let (lo, hi) = (self.offsets[j as usize], self.offsets[j as usize + 1]);
+            out.extend_from_slice(&self.members[lo..hi]);
+        }
+        out[start..].sort_unstable();
+        out.dedup();
+        probe
+    }
+}
+
+/// `√n`-flavored default cluster count, clamped to keep both the routing
+/// scan (ncentroids dots) and the member scan (n/ncentroids·nprobe dots)
+/// small.
+fn auto_centroids(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).clamp(1, 64)
+}
+
+#[inline]
+fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[inline]
+fn sq_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Row with the largest distance to its assigned centroid — the donor
+/// used to repair empty clusters.
+fn farthest_row(table: &[f32], dim: usize, assign: &[usize], centroids: &[f32]) -> usize {
+    let mut best = (-1.0f32, 0usize);
+    for (r, &a) in assign.iter().enumerate() {
+        let d2 = sq_l2(
+            &table[r * dim..(r + 1) * dim],
+            &centroids[a * dim..(a + 1) * dim],
+        );
+        if d2 > best.0 {
+            best = (d2, r);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_destination_lands_in_spill_many_clusters() {
+        let (n, dim) = (57, 8);
+        let idx = IvfIndex::build(&noise(n * dim, 3), n, dim, 7);
+        // Spill assignment: each destination appears exactly SPILL times
+        // across the inverted lists, at most once per list.
+        let mut seen: Vec<u32> = idx.members.clone();
+        seen.sort_unstable();
+        let want: Vec<u32> = (0..n as u32).flat_map(|r| [r; SPILL]).collect();
+        assert_eq!(seen, want);
+        assert_eq!(*idx.offsets.last().unwrap(), n * SPILL);
+        for j in 0..idx.ncentroids() {
+            let list = &idx.members[idx.offsets[j]..idx.offsets[j + 1]];
+            assert!(!list.is_empty(), "cluster {j} empty");
+            assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "cluster {j} not sorted/unique"
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (n, dim) = (40, 16);
+        let t = noise(n * dim, 9);
+        let a = IvfIndex::build(&t, n, dim, 6);
+        let b = IvfIndex::build(&t, n, dim, 6);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(
+            a.centroids.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.centroids.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn probing_all_clusters_recovers_every_member() {
+        let (n, dim) = (33, 8);
+        let t = noise(n * dim, 5);
+        let idx = IvfIndex::build(&t, n, dim, 5);
+        let q = noise(dim, 17);
+        let mut out = Vec::new();
+        let probed = idx.route(SimdLevel::Scalar, &q, usize::MAX, &mut out);
+        assert_eq!(probed, idx.ncentroids());
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn routing_is_level_independent() {
+        let (n, dim) = (64, 16);
+        let t = noise(n * dim, 21);
+        let idx = IvfIndex::build(&t, n, dim, 8);
+        let q = noise(dim, 33);
+        let mut want = Vec::new();
+        idx.route(SimdLevel::Scalar, &q, 3, &mut want);
+        for level in SimdLevel::available() {
+            let mut got = Vec::new();
+            idx.route(level, &q, 3, &mut got);
+            assert_eq!(got, want, "routing differs at {level}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The full serving funnel: retrieve → rank.
+//!
+//! A [`Funnel`] pairs the micro-batching [`Engine`] (the ranker) with an
+//! [`od_retrieval::Retriever`] (the candidate generator) over the *same*
+//! artifact generation. A request names only a user and `k`; the funnel
+//! retrieves the best `k` OD pairs out of the whole city universe from
+//! the frozen embedding tables, hands them to the caller's featurizer to
+//! build the ranking [`GroupInput`], scores them through the engine, and
+//! returns pairs re-ranked by the full personalized model.
+//!
+//! # Hot swap: the index is versioned like the model
+//!
+//! The retrieval index is derived state — cluster assignments over one
+//! artifact's destination table. [`Funnel::publish`] therefore rebuilds
+//! the retriever as part of publishing a generation and re-keys it with
+//! the [`ArtifactVersion`] the engine assigned. Mid-swap, a response can
+//! legitimately be retrieved by one generation and ranked by the next
+//! (workers pick up the new model at batch-drain granularity); a
+//! [`Recommendation`] carries **both** stamps so callers can attribute
+//! each stage exactly — the swap test in `tests/funnel.rs` pins this
+//! down.
+//!
+//! # Observability
+//!
+//! The funnel owns the `od_retrieval_*` series (see
+//! [`FunnelMetrics`](struct@FunnelMetrics)): per-stage timing histograms
+//! (route/scan/select), a scanned-candidates counter, tier-labeled
+//! request counters, and a sampled recall gauge — every
+//! `recall_probe_every`-th pruned retrieval also runs the exact tier and
+//! records recall@k against it, so a recall regression in production
+//! shows up on the dashboard rather than in a quarterly eval.
+
+use crate::engine::{Engine, EngineConfig, Submit};
+use crate::error::ServeError;
+use crate::handle::ArtifactVersion;
+use crate::sync;
+use od_hsg::{CityId, UserId};
+use od_obs::{global, Counter, FloatGauge, LatencyHistogram};
+use od_retrieval::{recall_against_exact, RetrievalConfig, RetrievalStats, Retriever, Tier};
+use odnet_core::{FrozenOdNet, GroupInput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Funnel tuning: the retrieval knobs plus funnel-level policy.
+#[derive(Clone, Copy, Debug)]
+pub struct FunnelConfig {
+    /// Retrieval stage configuration (index sizing, SIMD level).
+    pub retrieval: RetrievalConfig,
+    /// Tier served by [`Funnel::recommend`].
+    pub tier: Tier,
+    /// Run the exact tier alongside every Nth pruned retrieval and
+    /// record recall@k into the `od_retrieval_recall` gauge. `0`
+    /// disables probing.
+    pub recall_probe_every: u64,
+}
+
+impl Default for FunnelConfig {
+    fn default() -> Self {
+        FunnelConfig {
+            retrieval: RetrievalConfig::default(),
+            tier: Tier::Pruned,
+            recall_probe_every: 64,
+        }
+    }
+}
+
+/// One funnel answer: pairs ranked by the full model, with per-stage
+/// attribution.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// Pairs in final rank order (ranker score descending, pair index
+    /// ascending on ties).
+    pub pairs: Vec<RankedPair>,
+    /// Cost accounting of the retrieval stage.
+    pub retrieval: RetrievalStats,
+    /// Generation whose tables produced the candidate set.
+    pub retrieved_by: ArtifactVersion,
+    /// Generation whose ranker scored it (can differ mid-swap).
+    pub ranked_by: ArtifactVersion,
+}
+
+/// One OD pair after the full funnel.
+#[derive(Clone, Copy, Debug)]
+pub struct RankedPair {
+    /// Origin city.
+    pub origin: CityId,
+    /// Destination city.
+    pub dest: CityId,
+    /// Separable retrieval-stage score (candidate-generation order).
+    pub retrieval_score: f32,
+    /// Ranker origin-task probability `p^O`.
+    pub p_origin: f32,
+    /// Ranker destination-task probability `p^D`.
+    pub p_dest: f32,
+    /// Final blended score `θ·p^O + (1−θ)·p^D` — the rank key.
+    pub rank_score: f32,
+}
+
+/// A retriever pinned to the artifact generation it was built from.
+struct VersionedRetriever {
+    version: ArtifactVersion,
+    retriever: Retriever,
+}
+
+/// The `od_retrieval_*` instrument set (one per funnel; same-name series
+/// merge at snapshot time like the engine's).
+struct FunnelMetrics {
+    requests_exact: Counter,
+    requests_pruned: Counter,
+    scanned: Counter,
+    route_ns: LatencyHistogram,
+    scan_ns: LatencyHistogram,
+    select_ns: LatencyHistogram,
+    rebuilds: Counter,
+    recall: FloatGauge,
+}
+
+impl FunnelMetrics {
+    fn register() -> FunnelMetrics {
+        let reg = global();
+        let requests = |tier: &str| {
+            reg.counter_with(
+                "od_retrieval_requests_total",
+                "Retrieval-stage queries served, by tier",
+                &[("tier", tier)],
+            )
+        };
+        FunnelMetrics {
+            requests_exact: requests("exact"),
+            requests_pruned: requests("pruned"),
+            scanned: reg.counter(
+                "od_retrieval_scanned_total",
+                "OD pair candidates examined by the retrieval scan",
+            ),
+            route_ns: reg.histogram(
+                "od_retrieval_route_ns",
+                "IVF routing time (cap affinities + member gather)",
+            ),
+            scan_ns: reg.histogram(
+                "od_retrieval_scan_ns",
+                "Affinity GEMV time over the candidate tables",
+            ),
+            select_ns: reg.histogram(
+                "od_retrieval_select_ns",
+                "Pair sweep + top-k selection time",
+            ),
+            rebuilds: reg.counter(
+                "od_retrieval_index_rebuilds_total",
+                "Retrieval indexes built (artifact loads and publishes)",
+            ),
+            recall: reg.float_gauge(
+                "od_retrieval_recall",
+                "Sampled recall@k of the pruned tier against the exact tier",
+            ),
+        }
+    }
+
+    fn record(&self, tier: Tier, stats: &RetrievalStats) {
+        match tier {
+            Tier::Exact => self.requests_exact.inc(),
+            Tier::Pruned => self.requests_pruned.inc(),
+        }
+        self.scanned.add(stats.scanned);
+        if stats.route_ns > 0 {
+            self.route_ns.record(stats.route_ns);
+        }
+        self.scan_ns.record(stats.scan_ns);
+        self.select_ns.record(stats.select_ns);
+    }
+}
+
+/// Retrieve → rank over one hot-swappable artifact slot.
+pub struct Funnel {
+    engine: Engine,
+    slot: Mutex<Arc<VersionedRetriever>>,
+    config: FunnelConfig,
+    metrics: FunnelMetrics,
+    served: AtomicU64,
+}
+
+impl Funnel {
+    /// Build the full funnel around a first artifact generation: a
+    /// versioned engine plus a retrieval index over the same tables.
+    pub fn new(
+        model: Arc<FrozenOdNet>,
+        checksum: u32,
+        engine_config: EngineConfig,
+        config: FunnelConfig,
+    ) -> Funnel {
+        let engine = Engine::new_versioned(Arc::clone(&model), checksum, engine_config);
+        let metrics = FunnelMetrics::register();
+        let retriever = Retriever::build(model, config.retrieval);
+        metrics.rebuilds.inc();
+        Funnel {
+            slot: Mutex::new(Arc::new(VersionedRetriever {
+                version: engine.version(),
+                retriever,
+            })),
+            engine,
+            config,
+            metrics,
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The ranking engine (submit raw groups, read stats/health, …).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The funnel's configuration.
+    pub fn config(&self) -> &FunnelConfig {
+        &self.config
+    }
+
+    /// The generation the *retrieval* stage currently serves from.
+    pub fn retrieval_version(&self) -> ArtifactVersion {
+        sync::lock(&self.slot).version
+    }
+
+    /// Publish a new artifact generation into both funnel stages: the
+    /// engine swaps its model slot (in-flight batches finish on the old
+    /// generation) and the retrieval index is rebuilt and re-keyed with
+    /// the version the engine assigned. On a rejected publish the
+    /// retrieval slot is left untouched.
+    pub fn publish(
+        &self,
+        model: Arc<FrozenOdNet>,
+        checksum: u32,
+    ) -> Result<ArtifactVersion, crate::error::PublishError> {
+        let version = self
+            .engine
+            .publish_versioned(Arc::clone(&model), checksum)?;
+        let retriever = Retriever::build(model, self.config.retrieval);
+        self.metrics.rebuilds.inc();
+        *sync::lock(&self.slot) = Arc::new(VersionedRetriever { version, retriever });
+        Ok(version)
+    }
+
+    /// Serve one full-funnel request: retrieve the best `k` OD pairs for
+    /// `user`, featurize them through `make_group` (the caller owns
+    /// history/context — candidates arrive in retrieval order and must
+    /// be passed through in that order), rank with the engine, and
+    /// return pairs in final rank order.
+    pub fn recommend<F>(
+        &self,
+        user: UserId,
+        k: usize,
+        make_group: F,
+    ) -> Result<Recommendation, ServeError>
+    where
+        F: FnOnce(&[od_retrieval::ScoredPair]) -> GroupInput,
+    {
+        let slot = Arc::clone(&sync::lock(&self.slot));
+        let tier = self.config.tier;
+        let retrieved = slot.retriever.top_k(user, k, tier);
+        self.metrics.record(tier, &retrieved.stats);
+
+        // Sampled recall probe: every Nth pruned request also runs the
+        // exact tier (off the request's critical path in cost terms —
+        // one extra scan) and publishes recall@k.
+        if tier == Tier::Pruned && self.config.recall_probe_every > 0 {
+            let n = self.served.fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(self.config.recall_probe_every) {
+                let exact = slot.retriever.top_k(user, k, Tier::Exact);
+                self.metrics
+                    .recall
+                    .set(recall_against_exact(&exact.pairs, &retrieved.pairs));
+            }
+        } else {
+            self.served.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if retrieved.pairs.is_empty() {
+            return Ok(Recommendation {
+                pairs: Vec::new(),
+                retrieval: retrieved.stats,
+                retrieved_by: slot.version,
+                ranked_by: slot.version,
+            });
+        }
+
+        let group = make_group(&retrieved.pairs);
+        debug_assert_eq!(
+            group.candidates.len(),
+            retrieved.pairs.len(),
+            "featurizer must keep the retrieved candidate order"
+        );
+        let ticket = match self.engine.submit(group) {
+            Submit::Accepted(t) => t,
+            Submit::Rejected(_) => return Err(ServeError::Rejected),
+            Submit::Invalid { error, .. } => return Err(ServeError::InvalidInput(error)),
+        };
+        let response = ticket.wait_versioned()?;
+
+        // Blend with the retrieval generation's θ (mid-swap the ranker
+        // may be newer; both stamps are returned for attribution).
+        let model = slot.retriever.model();
+        let mut pairs: Vec<RankedPair> = retrieved
+            .pairs
+            .iter()
+            .zip(&response.scores)
+            .map(|(p, &(p_origin, p_dest))| RankedPair {
+                origin: p.origin,
+                dest: p.dest,
+                retrieval_score: p.score,
+                p_origin,
+                p_dest,
+                rank_score: model.serving_score(p_origin, p_dest),
+            })
+            .collect();
+        pairs.sort_by(|x, y| {
+            y.rank_score
+                .total_cmp(&x.rank_score)
+                .then_with(|| (x.origin.0, x.dest.0).cmp(&(y.origin.0, y.dest.0)))
+        });
+
+        Ok(Recommendation {
+            pairs,
+            retrieval: retrieved.stats,
+            retrieved_by: slot.version,
+            ranked_by: response.version,
+        })
+    }
+
+    /// Shut the funnel down (drains the engine's workers).
+    pub fn shutdown(&self) {
+        self.engine.shutdown();
+    }
+}

@@ -45,6 +45,15 @@
 //!   `odnet online` CLI drives a full drift → retrain → freeze → publish
 //!   loop against it.
 //!
+//! - **Full funnel.** A [`Funnel`] puts the `od-retrieval` candidate
+//!   generator in front of the engine over the same artifact slot:
+//!   retrieve the best `k` OD pairs out of the whole city universe from
+//!   the frozen tables, featurize, rank with the full model. The
+//!   retrieval index is rebuilt and re-keyed on every publish, and a
+//!   [`Recommendation`] stamps both the retrieving and the ranking
+//!   generation for mid-swap attribution. DESIGN.md §14 documents the
+//!   retrieval tier.
+//!
 //! The [`loadgen`] module drives an engine closed-loop and reports
 //! requests/sec, latency percentiles, and coalesced-batch histograms; the
 //! `throughput_bench` in `od-bench` uses it to produce
@@ -54,6 +63,7 @@
 
 mod engine;
 mod error;
+mod funnel;
 mod handle;
 mod oneshot;
 mod queue;
@@ -69,6 +79,7 @@ pub use engine::{
     Ticket,
 };
 pub use error::{PublishError, ServeError};
+pub use funnel::{Funnel, FunnelConfig, RankedPair, Recommendation};
 pub use handle::ArtifactVersion;
 pub use loadgen::{drive, drive_swapping, score_all, LoadReport};
 pub use metrics::{HistBucket, HistSummary};

@@ -1,0 +1,247 @@
+//! Full-funnel (retrieve → rank) behavior: candidate sets come from the
+//! retrieval tier, rank order comes from the full model, and both stages
+//! stamp the artifact generation that served them — including across hot
+//! publishes, where the retrieval index must be rebuilt and re-keyed.
+
+use od_hsg::HsgBuilder;
+use od_retrieval::{RetrievalConfig, Tier};
+use od_serve::{EngineConfig, Funnel, FunnelConfig};
+use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    model: Arc<FrozenOdNet>,
+    alt: Arc<FrozenOdNet>,
+    /// One template per user, the featurization context a caller would
+    /// hold (history, day, xst donors).
+    templates: Vec<GroupInput>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = od_data::FliggyDataset::generate(od_data::FliggyConfig::tiny());
+        let coords = ds.world.cities.iter().map(|c| c.coords).collect();
+        let mut b = HsgBuilder::new(ds.world.num_users(), coords);
+        for it in ds.hsg_interactions() {
+            b.add_interaction(it);
+        }
+        let model = Arc::new(
+            OdNetModel::new(
+                Variant::Odnet,
+                OdnetConfig::tiny(),
+                ds.world.num_users(),
+                ds.world.num_cities(),
+                Some(b.build()),
+            )
+            .freeze(),
+        );
+        let alt = Arc::new(
+            OdNetModel::new(
+                Variant::OdnetG,
+                OdnetConfig {
+                    seed: 0xC0FFEE,
+                    ..OdnetConfig::tiny()
+                },
+                ds.world.num_users(),
+                ds.world.num_cities(),
+                None,
+            )
+            .freeze(),
+        );
+        let fx = FeatureExtractor::new(6, 4);
+        let templates: Vec<GroupInput> = fx
+            .groups_from_samples(&ds, &ds.train)
+            .into_iter()
+            .take(6)
+            .collect();
+        assert!(templates.len() >= 2, "fixture needs user templates");
+        Fixture {
+            model,
+            alt,
+            templates,
+        }
+    })
+}
+
+/// The caller-side featurizer: candidates from the retrieval stage, in
+/// retrieval order, grafted onto the user's context template.
+fn featurize(template: &GroupInput, pairs: &[od_retrieval::ScoredPair]) -> GroupInput {
+    let donor = template.candidates[0];
+    let mut g = template.clone();
+    g.candidates = pairs
+        .iter()
+        .map(|p| {
+            let mut c = donor;
+            c.origin = p.origin;
+            c.dest = p.dest;
+            c.label_o = 0.0;
+            c.label_d = 0.0;
+            c
+        })
+        .collect();
+    g
+}
+
+fn funnel_over(model: &Arc<FrozenOdNet>, tier: Tier) -> Funnel {
+    Funnel::new(
+        Arc::clone(model),
+        0xF00D,
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+        FunnelConfig {
+            retrieval: RetrievalConfig::default(),
+            tier,
+            recall_probe_every: 1,
+        },
+    )
+}
+
+#[test]
+fn funnel_ranks_retrieved_candidates_with_the_full_model() {
+    let fix = fixture();
+    for tier in [Tier::Exact, Tier::Pruned] {
+        let funnel = funnel_over(&fix.model, tier);
+        let template = &fix.templates[0];
+        let rec = funnel
+            .recommend(template.user, 8, |pairs| featurize(template, pairs))
+            .expect("funnel request");
+        assert_eq!(rec.pairs.len(), 8);
+        assert!(rec.retrieval.scanned > 0);
+        assert_eq!(rec.retrieved_by, rec.ranked_by);
+        assert_eq!(rec.retrieved_by.epoch, 0);
+        for p in &rec.pairs {
+            assert_ne!(p.origin, p.dest);
+            // The rank key is the artifact's own serving blend.
+            assert_eq!(
+                p.rank_score.to_bits(),
+                fix.model.serving_score(p.p_origin, p.p_dest).to_bits()
+            );
+        }
+        for w in rec.pairs.windows(2) {
+            assert!(
+                w[0].rank_score >= w[1].rank_score,
+                "{tier:?}: funnel output not rank-ordered"
+            );
+        }
+        funnel.shutdown();
+    }
+}
+
+#[test]
+fn exact_and_pruned_tiers_feed_the_same_ranker_contract() {
+    let fix = fixture();
+    let template = &fix.templates[1];
+    let exact = funnel_over(&fix.model, Tier::Exact);
+    let pruned = funnel_over(&fix.model, Tier::Pruned);
+    let re = exact
+        .recommend(template.user, 6, |pairs| featurize(template, pairs))
+        .expect("exact funnel");
+    let rp = pruned
+        .recommend(template.user, 6, |pairs| featurize(template, pairs))
+        .expect("pruned funnel");
+    // At tiny scale the generous pruned defaults cover the whole top set,
+    // and ranked scores of shared pairs must agree bit-for-bit (same
+    // artifact, same kernels).
+    let key = |p: &od_serve::RankedPair| (p.origin.0, p.dest.0);
+    let shared: Vec<_> = re
+        .pairs
+        .iter()
+        .filter(|p| rp.pairs.iter().any(|q| key(q) == key(p)))
+        .collect();
+    assert!(!shared.is_empty());
+    for p in shared {
+        let q = rp.pairs.iter().find(|q| key(q) == key(p)).unwrap();
+        assert_eq!(p.rank_score.to_bits(), q.rank_score.to_bits());
+        assert_eq!(p.retrieval_score.to_bits(), q.retrieval_score.to_bits());
+    }
+    // Pruned scanned no more pair candidates than exact.
+    assert!(rp.retrieval.scanned <= re.retrieval.scanned);
+    exact.shutdown();
+    pruned.shutdown();
+}
+
+#[test]
+fn hot_publish_rebuilds_and_rekeys_the_retrieval_index_mid_stream() {
+    let fix = fixture();
+    let funnel = funnel_over(&fix.model, Tier::Pruned);
+    let template = &fix.templates[0];
+
+    let before = funnel
+        .recommend(template.user, 5, |pairs| featurize(template, pairs))
+        .expect("pre-swap request");
+    assert_eq!(before.retrieved_by.epoch, 0);
+    assert_eq!(before.ranked_by.epoch, 0);
+
+    // Swap generations under the live funnel.
+    let v1 = funnel
+        .publish(Arc::clone(&fix.alt), 0xBEEF)
+        .expect("publish alt generation");
+    assert_eq!(v1.epoch, 1);
+    assert_eq!(funnel.retrieval_version(), v1);
+
+    let after = funnel
+        .recommend(template.user, 5, |pairs| featurize(template, pairs))
+        .expect("post-swap request");
+    assert_eq!(after.retrieved_by, v1, "retrieval must re-key per publish");
+    assert_eq!(after.ranked_by, v1);
+    // Different generation ⇒ different tables ⇒ different retrieval
+    // scores (the fixture's generations are distinct by construction).
+    assert_ne!(
+        before.pairs[0].retrieval_score.to_bits(),
+        after.pairs[0].retrieval_score.to_bits()
+    );
+
+    // Swap back mid-stream: versions keep advancing, stamps follow.
+    let v2 = funnel
+        .publish(Arc::clone(&fix.model), 0xF00D)
+        .expect("publish original again");
+    assert_eq!(v2.epoch, 2);
+    let back = funnel
+        .recommend(template.user, 5, |pairs| featurize(template, pairs))
+        .expect("second post-swap request");
+    assert_eq!(back.retrieved_by, v2);
+    assert_eq!(back.ranked_by, v2);
+    // Same artifact bytes as epoch 0 ⇒ the rebuilt index retrieves the
+    // identical candidate set with identical scores.
+    let pre: Vec<_> = before
+        .pairs
+        .iter()
+        .map(|p| (p.origin.0, p.dest.0, p.retrieval_score.to_bits()))
+        .collect();
+    let post: Vec<_> = back
+        .pairs
+        .iter()
+        .map(|p| (p.origin.0, p.dest.0, p.retrieval_score.to_bits()))
+        .collect();
+    assert_eq!(pre, post);
+    funnel.shutdown();
+}
+
+#[test]
+fn funnel_records_retrieval_metrics_and_recall_probe() {
+    let fix = fixture();
+    let funnel = funnel_over(&fix.model, Tier::Pruned);
+    let template = &fix.templates[0];
+    funnel
+        .recommend(template.user, 4, |pairs| featurize(template, pairs))
+        .expect("funnel request");
+    let snap = od_obs::global().snapshot();
+    assert!(
+        snap.find_with("od_retrieval_requests_total", &[("tier", "pruned")])
+            .is_some(),
+        "tier-labeled request counter missing"
+    );
+    assert!(snap.counter("od_retrieval_scanned_total") > 0);
+    assert!(snap.find("od_retrieval_scan_ns").is_some());
+    assert!(snap.find("od_retrieval_select_ns").is_some());
+    assert!(snap.counter("od_retrieval_index_rebuilds_total") > 0);
+    // recall_probe_every = 1 ⇒ the first pruned request probes.
+    let recall = snap
+        .find("od_retrieval_recall")
+        .expect("recall gauge missing");
+    let _ = recall;
+    funnel.shutdown();
+}

@@ -52,6 +52,7 @@ mod tensor;
 pub mod infer;
 pub mod init;
 pub mod nn;
+pub mod simd;
 
 pub use graph::{Graph, Value};
 pub use infer::Workspace;
@@ -62,4 +63,5 @@ pub use linalg::{
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::{ParamId, ParamStore};
 pub use shape::Shape;
+pub use simd::SimdLevel;
 pub use tensor::Tensor;

@@ -9,7 +9,7 @@
 //! ```
 
 use od_baselines::{CityMeta, MostPop};
-use od_bench::recall_candidates;
+use od_bench::heuristic_candidates;
 use od_data::{AbTestConfig, AbTestHarness, FliggyConfig, FliggyDataset};
 use od_hsg::HsgBuilder;
 use odnet_core::{train, FeatureExtractor, OdNetModel, OdScorer, OdnetConfig, Variant};
@@ -63,7 +63,7 @@ fn main() {
     .with_histories(&ds.histories);
     let serve = |scorer: &dyn OdScorer| {
         harness.run(scorer.name(), |user, day, k| {
-            let candidates = recall_candidates(&ds, user, day, 30);
+            let candidates = heuristic_candidates(&ds, user, day, 30);
             let group = fx.group_for_serving(&ds, user, day, &candidates);
             let scores = scorer.score_group(&group);
             let mut ranked: Vec<(f32, (od_hsg::CityId, od_hsg::CityId))> = scores

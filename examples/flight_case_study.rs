@@ -8,7 +8,7 @@
 //! cargo run --release --example flight_case_study
 //! ```
 
-use od_bench::recall_candidates;
+use od_bench::heuristic_candidates;
 use od_data::{FliggyConfig, FliggyDataset, Pattern};
 use od_hsg::{CityId, HsgBuilder, UserId};
 use odnet_core::{train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
@@ -62,7 +62,7 @@ fn main() {
         last.day
     );
 
-    let candidates = recall_candidates(&ds, user, day, 40);
+    let candidates = heuristic_candidates(&ds, user, day, 40);
     let group = fx.group_for_serving(&ds, user, day, &candidates);
     let scores = model.score_group(&group);
     let mut ranked: Vec<(f32, (CityId, CityId))> = scores

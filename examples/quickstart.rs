@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use od_bench::recall_candidates;
+use od_bench::heuristic_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::HsgBuilder;
 use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
@@ -78,7 +78,7 @@ fn main() {
     // 5. Serving: recall candidates for a user and rank them (Eq. 11).
     let user = ds.test.first().map(|s| s.user).unwrap_or(od_hsg::UserId(0));
     let day = ds.train_end_day();
-    let candidates = recall_candidates(&ds, user, day, 30);
+    let candidates = heuristic_candidates(&ds, user, day, 30);
     let group = fx.group_for_serving(&ds, user, day, &candidates);
     let scores = model.score_group(&group);
     let mut ranked: Vec<(f32, (od_hsg::CityId, od_hsg::CityId))> = scores

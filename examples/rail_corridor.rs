@@ -64,7 +64,7 @@ fn main() {
     // Serve one traveller.
     let user = ds.test.first().map(|s| s.user).unwrap_or(od_hsg::UserId(0));
     let day = ds.train_end_day();
-    let candidates = od_bench::recall_candidates(&ds, user, day, 25);
+    let candidates = od_bench::heuristic_candidates(&ds, user, day, 25);
     let group = fx.group_for_serving(&ds, user, day, &candidates);
     let scores = model.score_group(&group);
     let mut ranked: Vec<(f32, usize)> = scores

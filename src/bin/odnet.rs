@@ -3,16 +3,16 @@
 //! ```text
 //! odnet train --variant odnet --users 400 --cities 30 --epochs 5 --out model.json
 //! odnet eval  --model model.json
-//! odnet recommend --model model.json --user 7 --top 5
+//! odnet recommend --model model.json --user 7 --top-k 5
 //! ```
 //!
 //! The synthetic dataset is regenerated deterministically from the
 //! parameters embedded in the model file, so `eval` and `recommend` need no
 //! separate data artifact.
 
-use od_bench::recall_candidates;
+use od_bench::heuristic_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
-use od_hsg::{HsgBuilder, UserId};
+use od_hsg::{CityId, HsgBuilder, UserId};
 use odnet_core::{
     evaluate_on_fliggy, try_train, FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel,
     OdnetConfig, Variant,
@@ -66,13 +66,13 @@ USAGE:
                   [--users N] [--cities N] [--epochs N] [--seed N]
                   [--metrics-jsonl FILE]
   odnet eval      --model FILE
-  odnet recommend --model FILE --user ID [--top K]
+  odnet recommend (--model FILE | --artifact FILE) --user ID [--top-k K]
   odnet freeze    --out BASE (--model FILE |
                   [--variant V] [--users N] [--cities N] [--embed-dim D])
   odnet serve-bench [--artifact FILE] [--users N] [--cities N] [--workers N]
                   [--requests N] [--clients N] [--batch N] [--no-coalesce]
                   [--check] [--inject-panics N] [--swap-every N]
-                  [--no-stage-timing] [--metrics-json FILE]
+                  [--no-stage-timing] [--metrics-json FILE] [--funnel [--top-k K]]
   odnet metrics   [--artifact FILE] [--json] [--out FILE] [--requests N]
   odnet online    [--users N] [--cities N] [--rounds N] [--panel N]
                   [--top K] [--epochs N] [--seed N] [--ab-seed N]
@@ -85,13 +85,23 @@ trained artifact embedded in the checkpoint; without it, it freezes an
 untrained model of the given universe size — the paper-scale cold-start
 path (odnet-g needs no graph, so freezing 2.6M users is cheap).
 
+`recommend` serves one user through the full funnel (DESIGN.md S14): the
+retrieval tier proposes the --top-k best OD pairs straight from the
+frozen dense tables, the live engine ranks them, and the listing is
+stamped with the artifact generation that served each stage. --artifact
+serves from an .odz/.json artifact on disk (mmap'd for .odz); --model
+extracts the artifact embedded in a training checkpoint.
+
 `serve-bench` and `metrics` accept --artifact to serve a frozen artifact
 from disk (mmap'd when the file ends in .odz) instead of building a model
 in process; the dataset defaults to the artifact's universe sizes. With
 --swap-every N, serve-bench hot-publishes a fresh model generation into
 the live engine every N completed requests; --check then additionally
 asserts the publish history reconciled and no ticket was lost across any
-swap.
+swap. With --funnel, serve-bench drives the retrieve -> rank funnel
+instead of raw engine groups and reports end-to-end throughput; --check
+then asserts every response came back full, in rank order, with both
+stage stamps on the same generation.
 
 `metrics` exercises the trainer and the serving engine briefly (including
 one mid-run hot publish, so the per-generation od_engine_version_* series
@@ -170,7 +180,7 @@ fn serving_templates(ds: &FliggyDataset, fx: &FeatureExtractor) -> Result<Vec<Gr
         .filter(|&u| !ds.long_term(u, day).is_empty())
         .take(4)
     {
-        let pairs = recall_candidates(ds, user, day, 32);
+        let pairs = heuristic_candidates(ds, user, day, 32);
         for p in pairs.iter().take(4) {
             groups.push(fx.group_for_serving(ds, user, day, std::slice::from_ref(p)));
         }
@@ -359,6 +369,93 @@ fn cmd_freeze(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve-bench --funnel`: drive the retrieve → rank funnel end to end
+/// (every request runs retrieval over the frozen tables, featurizes the
+/// winners, and ranks them through the live engine) and report
+/// throughput. With `--check`, assert every response came back full
+/// (`--top-k` pairs), in descending rank order, with both stage stamps
+/// on the same generation — the CI smoke gate for the funnel path.
+#[allow(clippy::too_many_arguments)]
+fn run_funnel_bench(
+    flags: &HashMap<String, String>,
+    ds: &FliggyDataset,
+    model: std::sync::Arc<FrozenOdNet>,
+    checksum: u32,
+    fx: &FeatureExtractor,
+    requests: usize,
+    workers: usize,
+    check: bool,
+) -> Result<(), String> {
+    use od_serve::{EngineConfig, Funnel, FunnelConfig};
+
+    let n = ds.world.num_cities();
+    let top_k = get_usize(flags, "top-k", 16)?.min(n * n.saturating_sub(1));
+    let funnel = Funnel::new(
+        model,
+        checksum,
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+        FunnelConfig::default(),
+    );
+    let day = ds.train_end_day();
+    let users: Vec<UserId> = (0..ds.world.num_users() as u32)
+        .map(UserId)
+        .take(16)
+        .collect();
+    eprintln!(
+        "funnel bench: {requests} requests, top-{top_k}, tier {:?}, {workers} workers…",
+        funnel.config().tier
+    );
+    let t = std::time::Instant::now();
+    for i in 0..requests {
+        let user = users[i % users.len()];
+        let rec = funnel
+            .recommend(user, top_k, |pairs| {
+                let tuples: Vec<(CityId, CityId)> =
+                    pairs.iter().map(|p| (p.origin, p.dest)).collect();
+                fx.group_for_serving(ds, user, day, &tuples)
+            })
+            .map_err(|e| format!("request {i}: {e}"))?;
+        if check {
+            if rec.pairs.len() != top_k {
+                return Err(format!(
+                    "request {i}: got {} pairs, want {top_k}",
+                    rec.pairs.len()
+                ));
+            }
+            if !rec
+                .pairs
+                .windows(2)
+                .all(|w| w[0].rank_score.total_cmp(&w[1].rank_score) != std::cmp::Ordering::Less)
+            {
+                return Err(format!("request {i}: pairs not in descending rank order"));
+            }
+            if (rec.retrieved_by.epoch, rec.retrieved_by.checksum)
+                != (rec.ranked_by.epoch, rec.ranked_by.checksum)
+            {
+                return Err(format!(
+                    "request {i}: stage stamps diverged without a publish \
+                     (retrieved by gen {}, ranked by gen {})",
+                    rec.retrieved_by.epoch, rec.ranked_by.epoch
+                ));
+            }
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    funnel.shutdown();
+    println!(
+        "funnel: {requests} requests in {secs:.2}s ({:.0} req/s, {:.0}us/request)",
+        requests as f64 / secs,
+        secs * 1e6 / requests as f64
+    );
+    if check {
+        println!("check: all responses full, rank-ordered, and stamp-consistent");
+    }
+    Ok(())
+}
+
 /// Load `--artifact` for serving commands through the one shared
 /// extension→mode table ([`od_serve::load_frozen_auto`]): mmap'd for
 /// `.odz`, parsed for JSON, with cold-start gauges recorded into the
@@ -460,6 +557,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     let fx = FeatureExtractor::new(model.config().max_long_seq, model.config().max_short_seq);
+    if flags.contains_key("funnel") {
+        return run_funnel_bench(flags, &ds, model, checksum, &fx, requests, workers, check);
+    }
     let groups = serving_templates(&ds, &fx)?;
     let expected = score_all(&model, &groups);
 
@@ -795,8 +895,46 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             r1.mismatches + r2.mismatches
         ));
     }
-    // Snapshot while the engine is alive so its gauges are still set.
+    // Drive a handful of full-funnel requests so the retrieval-stage
+    // series (od_retrieval_*, including the sampled recall probe and a
+    // publish-triggered index rebuild) land in the registry too.
+    let funnel = od_serve::Funnel::new(
+        Arc::clone(&frozen),
+        checksum,
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+        od_serve::FunnelConfig {
+            recall_probe_every: 8,
+            ..od_serve::FunnelConfig::default()
+        },
+    );
+    let day = ds.train_end_day();
+    let n = ds.world.num_cities();
+    let funnel_k = 8.min(n * n.saturating_sub(1));
+    for u in 0..16u32 {
+        let user = UserId(u % ds.world.num_users() as u32);
+        let rec = funnel
+            .recommend(user, funnel_k, |pairs| {
+                let tuples: Vec<(CityId, CityId)> =
+                    pairs.iter().map(|p| (p.origin, p.dest)).collect();
+                fx.group_for_serving(&ds, user, day, &tuples)
+            })
+            .map_err(|e| e.to_string())?;
+        if rec.pairs.len() != funnel_k {
+            return Err(format!(
+                "funnel drive: got {} pairs, want {funnel_k}",
+                rec.pairs.len()
+            ));
+        }
+    }
+    funnel
+        .publish(Arc::new((*frozen).clone()), checksum)
+        .map_err(|e| e.to_string())?;
+    // Snapshot while the engines are alive so their gauges are still set.
     let snap = od_obs::global().snapshot();
+    funnel.shutdown();
     drop(engine);
     let rendered = if flags.contains_key("json") {
         snap.to_json()
@@ -882,13 +1020,34 @@ fn cmd_online(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
-    // Serving path: extract the frozen artifact embedded in the checkpoint.
-    // No HSG rebuild and no autograd tape — the graph closure is already
-    // materialized into dense tables.
-    let bundle = read_bundle(flags)?;
-    let ds = build_dataset(&bundle.data_config);
-    let frozen =
-        FrozenOdNet::from_checkpoint_json(&bundle.checkpoint).map_err(|e| e.to_string())?;
+    use od_serve::{EngineConfig, Funnel, FunnelConfig};
+    use std::sync::Arc;
+
+    // Serving path, full funnel: no HSG rebuild and no autograd tape —
+    // retrieval and ranking both read the frozen dense tables.
+    if !flags.contains_key("artifact") && !flags.contains_key("model") {
+        return Err("recommend needs --artifact FILE or --model FILE".into());
+    }
+    let (frozen, checksum, data_config) = match load_artifact_flag(flags)? {
+        Some(loaded) => {
+            let data_config = FliggyConfig {
+                num_users: loaded.frozen.num_users(),
+                num_cities: loaded.frozen.num_cities(),
+                seed: get_usize(flags, "seed", 0xF11667)? as u64,
+                ..FliggyConfig::tiny()
+            };
+            (loaded.frozen, loaded.checksum, data_config)
+        }
+        None => {
+            let bundle = read_bundle(flags)?;
+            let frozen =
+                FrozenOdNet::from_checkpoint_json(&bundle.checkpoint).map_err(|e| e.to_string())?;
+            let checksum = frozen.fingerprint();
+            (frozen, checksum, bundle.data_config)
+        }
+    };
+    let ds = build_dataset(&data_config);
+    check_artifact_universe(&frozen, &ds)?;
     let user = UserId(get_usize(flags, "user", 0)? as u32);
     if user.index() >= ds.world.num_users() {
         return Err(format!(
@@ -897,20 +1056,43 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> Result<(), String> {
             ds.world.num_users()
         ));
     }
-    let top = get_usize(flags, "top", 5)?;
+    // `--top` kept as an alias from the pre-funnel CLI.
+    let top_k = get_usize(flags, "top-k", get_usize(flags, "top", 5)?)?;
     let day = ds.train_end_day();
     let cfg = frozen.config();
     let fx = FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq);
-    let candidates = recall_candidates(&ds, user, day, 30);
-    let group = fx.group_for_serving(&ds, user, day, &candidates);
-    let ranked = od_bench::rank_pairs(&frozen, &group, &candidates);
-    println!("top-{top} flights for user {} (day {day}):", user.index());
-    for (i, ((o, d), score)) in ranked.iter().take(top).enumerate() {
+    let funnel = Funnel::new(
+        Arc::new(frozen),
+        checksum,
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+        FunnelConfig::default(),
+    );
+    let rec = funnel
+        .recommend(user, top_k, |pairs| {
+            let tuples: Vec<(CityId, CityId)> = pairs.iter().map(|p| (p.origin, p.dest)).collect();
+            fx.group_for_serving(&ds, user, day, &tuples)
+        })
+        .map_err(|e| e.to_string())?;
+    funnel.shutdown();
+    println!(
+        "top-{top_k} flights for user {} (day {day}) — retrieved by gen {} [{:08x}], ranked by gen {} [{:08x}]:",
+        user.index(),
+        rec.retrieved_by.epoch,
+        rec.retrieved_by.checksum,
+        rec.ranked_by.epoch,
+        rec.ranked_by.checksum,
+    );
+    for (i, p) in rec.pairs.iter().enumerate() {
         println!(
-            "  {}. {} -> {}   score {score:.4}",
+            "  {}. {} -> {}   score {:.4}  (retrieval {:.4})",
             i + 1,
-            ds.world.cities[o.index()].name,
-            ds.world.cities[d.index()].name
+            ds.world.cities[p.origin.index()].name,
+            ds.world.cities[p.dest.index()].name,
+            p.rank_score,
+            p.retrieval_score
         );
     }
     Ok(())

@@ -5,8 +5,10 @@
 //! deployed model keeps serving while new click data accumulates. This
 //! module closes that loop offline: each simulated day, the current
 //! artifact serves a user panel through a running
-//! [`Engine`](od_serve::Engine) (requests go through the real queue /
-//! worker / coalescing path, not a direct scorer call), the
+//! [`Engine`](od_serve::Engine) (candidates come from the retrieval
+//! stage over the *same* frozen tables, rebuilt on every publish, and
+//! requests go through the real queue / worker / coalescing path, not a
+//! direct scorer call), the
 //! common-random-number click stream from
 //! [`AbTestHarness::run_day`](od_data::AbTestHarness::run_day) becomes
 //! labeled training data, the trainer folds it in, and the refreshed model
@@ -30,6 +32,7 @@
 //! reproducible. See DESIGN.md §13.
 
 use od_data::{AbTestConfig, AbTestHarness, FliggyConfig, FliggyDataset, Impression, OdSample};
+use od_retrieval::{RetrievalConfig, Retriever};
 use od_serve::{ArtifactVersion, Engine, EngineConfig, Submit};
 use odnet_core::{try_train, FeatureExtractor, GroupInput, OdNetModel, OdnetConfig, Variant};
 use std::path::PathBuf;
@@ -170,6 +173,11 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
     // artifact path a production replica cold-starts from.
     let loaded = freeze_to_generation(&model, &config.out_dir, 0)?;
     let mut current = Arc::new(loaded.frozen);
+    // The recall stage reads the same frozen tables the engine serves
+    // from, and is rebuilt on every publish — the full-funnel discipline
+    // (DESIGN.md §14): candidates always come from the generation that
+    // will rank them.
+    let mut retriever = Retriever::build(Arc::clone(&current), RetrievalConfig::default());
     let engine = Engine::new_versioned(
         Arc::clone(&current),
         loaded.checksum,
@@ -204,7 +212,7 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
     for r in 0..config.rounds {
         let serving = engine.version();
         let (outcome, impressions) = harness.run_day(r, |user, day, k| {
-            let pairs = od_bench::recall_candidates(&ds, user, day, config.recall);
+            let pairs = od_bench::recall_candidates(&retriever, user, config.recall);
             if pairs.is_empty() {
                 return Vec::new();
             }
@@ -241,6 +249,9 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
             .publish_versioned(Arc::clone(&next), loaded.checksum)
             .map_err(|e| e.to_string())?;
         current = next;
+        // Re-key the recall index to the generation just published, so
+        // the next day's candidates come from the tables that rank them.
+        retriever = Retriever::build(Arc::clone(&current), RetrievalConfig::default());
 
         rounds.push(RoundMetrics {
             round: r,

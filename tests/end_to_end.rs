@@ -2,7 +2,7 @@
 //! the synthetic datasets, asserting the learnability floor that every
 //! paper experiment rests on.
 
-use od_bench::recall_candidates;
+use od_bench::heuristic_candidates;
 use od_data::{FliggyConfig, FliggyDataset};
 use od_hsg::HsgBuilder;
 use odnet_core::{evaluate_on_fliggy, train, FeatureExtractor, OdNetModel, OdnetConfig, Variant};
@@ -87,7 +87,7 @@ fn serving_pipeline_produces_ranked_flights() {
     train(&mut model, &groups);
     let day = ds.train_end_day();
     for user in (0..10u32).map(od_hsg::UserId) {
-        let candidates = recall_candidates(&ds, user, day, 25);
+        let candidates = heuristic_candidates(&ds, user, day, 25);
         assert!(!candidates.is_empty());
         let group = fx.group_for_serving(&ds, user, day, &candidates);
         let scores = model.score_group(&group);
