@@ -105,6 +105,23 @@ echo "==> hot-swap smoke (publishes under load, zero lost tickets)"
 cargo run --release --bin odnet -- serve-bench --workers 2 --clients 8 \
     --requests 2000 --swap-every 250 --check
 
+echo "==> http parser fuzz table + socket chaos suite (od-http)"
+# Strict-parser table tests (truncated lines, bare LFs, smuggling,
+# oversized heads/bodies, bad chunked framing -> typed 400/413/431/505,
+# never a panic), then the socket suite: half-open connections, slow
+# loris, byte-at-a-time writers, mid-body disconnects, connection-cap
+# floods, and injected worker panics under 8-client load — zero lost
+# responses, 200 bodies bit-exact with in-process scoring, graceful
+# drain answering all in-flight work before the listener closes.
+cargo test -q -p od-http
+
+echo "==> http serving e2e smoke (freeze -> serve --artifact -> drain)"
+# Boots the real HTTP tier over the frozen .odz from the artifact gate
+# above and drives every route over a socket: scores bit-exact with
+# direct scoring, both funnel stages stamped with the loaded artifact's
+# generation, readiness + od_http_* exposition, then a clean drain.
+cargo run --release --bin odnet -- serve --artifact target/ci_artifact.odz --smoke
+
 echo "==> online loop smoke (drift -> retrain -> freeze -> publish)"
 # Two simulated days through a live engine: serve, fold the click stream
 # into training, freeze to .odz, hot-publish, repeat. Exercises the full

@@ -36,6 +36,14 @@
 //!    back-to-back pairs (the publisher thread adds scheduling noise on a
 //!    single-core box), and gated at 3% under `ODNET_OVERHEAD_GATE=1`.
 //!
+//! 5. **HTTP tier** — the same closed-loop methodology pointed at the
+//!    od-http serving tier over a loopback socket (2-worker engine behind
+//!    the listener, 4 keep-alive client connections posting
+//!    `/v1/score`). Every `200` body is decoded and verified bit-exact
+//!    against direct scoring, so the reported requests/sec prices the
+//!    full parse → dispatch → engine → serialize → write path, and the
+//!    in-process/HTTP ratio is the wire tax.
+//!
 //! Every response is verified bit-for-bit against direct single-threaded
 //! `FrozenOdNet::score_group` scores while measuring. Results land in
 //! `BENCH_throughput.json` at the repository root (skipped under quick
@@ -45,7 +53,11 @@
 //! `CRITERION_QUICK=1` (or pass `--quick`) for a fast smoke run.
 
 use od_bench::Scale;
-use od_serve::{drive, drive_swapping, score_all, Engine, EngineConfig, LoadReport};
+use od_http::{Server, ServerConfig};
+use od_serve::{
+    drive, drive_http, drive_swapping, score_all, Engine, EngineConfig, Funnel, FunnelConfig,
+    HttpLoadReport, LoadReport,
+};
 use odnet_core::{FeatureExtractor, FrozenOdNet, GroupInput, OdNetModel, OdnetConfig, Variant};
 use std::sync::Arc;
 
@@ -203,6 +215,58 @@ fn overhead_pair(
     }
 }
 
+/// Drive the HTTP tier over loopback with the same workload: a single
+/// 2-worker funnel shard behind an od-http listener, `clients` keep-alive
+/// connections posting `/v1/score`, every 200 verified bit-exact.
+fn run_http(
+    model: &Arc<FrozenOdNet>,
+    groups: &[GroupInput],
+    expected: &[Vec<(f32, f32)>],
+    total: usize,
+    clients: usize,
+) -> HttpLoadReport {
+    let shard = Arc::new(Funnel::new(
+        Arc::clone(model),
+        0xBE2C,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            max_batch: 64,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+        FunnelConfig {
+            retrieval: od_retrieval::RetrievalConfig::default(),
+            tier: od_retrieval::Tier::Exact,
+            recall_probe_every: 1,
+        },
+    ));
+    // The bench only posts /v1/score; the featurizer is the recommend
+    // route's hook and never runs here.
+    let donor = groups[0].clone();
+    let featurizer: od_http::Featurizer = Arc::new(move |_, _| donor.clone());
+    let server = Server::start(
+        vec![shard],
+        featurizer,
+        ServerConfig {
+            conn_workers: clients,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind bench http server");
+    let report = drive_http(server.addr(), groups, Some(expected), total, clients);
+    assert_eq!(
+        report.mismatches, 0,
+        "wire responses diverged from direct scoring"
+    );
+    assert_eq!(report.failed, 0, "wire responses failed under bench load");
+    let drain = server.shutdown();
+    assert!(drain.clean, "bench server must drain cleanly");
+    report
+}
+
 #[derive(serde::Serialize)]
 struct Report {
     generated_by: String,
@@ -235,6 +299,12 @@ struct Report {
     swap_overhead_ratios: Vec<f64>,
     /// Best pair's ratio (the ci.sh gate requires ≥ 0.97).
     swap_overhead_ratio: f64,
+    /// The same workload over the od-http tier on loopback (one 2-worker
+    /// shard, 4 keep-alive connections), every 200 verified bit-exact.
+    http_tier: HttpLoadReport,
+    /// HTTP-tier requests/sec over the equivalent in-process engine's —
+    /// the wire tax (parse + serialize + loopback round trip).
+    http_vs_inprocess_ratio: f64,
 }
 
 fn main() {
@@ -358,6 +428,21 @@ fn main() {
         println!("overhead gate passed: hot-swap within 3% of pinned throughput");
     }
 
+    // The wire tax: the same 2-worker engine behind the HTTP tier,
+    // driven by 4 keep-alive loopback connections.
+    let http_tier = run_http(&model, &groups, &expected, total, 4);
+    let http_vs_inprocess_ratio = http_tier.requests_per_sec / coalesce_on.requests_per_sec;
+    println!(
+        "http tier {:.0} req/s vs in-process {:.0} req/s ({:.2}x), p99 {:.0}us, \
+         {} retries, {} reconnects",
+        http_tier.requests_per_sec,
+        coalesce_on.requests_per_sec,
+        http_vs_inprocess_ratio,
+        http_tier.p99_us,
+        http_tier.rejected_retries,
+        http_tier.reconnects
+    );
+
     let report = Report {
         generated_by: "cargo bench --bench throughput_bench".to_string(),
         methodology: "closed-loop load generation: clients = 2 x workers, each client \
@@ -382,6 +467,8 @@ fn main() {
         swap_off,
         swap_overhead_ratios,
         swap_overhead_ratio,
+        http_tier,
+        http_vs_inprocess_ratio,
     };
     if quick {
         println!("quick run: leaving the committed BENCH_throughput.json untouched");

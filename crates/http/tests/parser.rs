@@ -1,0 +1,362 @@
+//! Fuzz-style table tests for the strict HTTP/1.1 parser: every
+//! malformed input maps to its typed reject (and the status the server
+//! will write — 400/413/431/505), and nothing panics. The happy paths
+//! (content-length, chunked, pipelining, keep-alive defaults) are pinned
+//! alongside so strictness never curdles into refusing legal traffic.
+
+use od_http::{parse_request, ConnReader, Limits, ParseError, ParsedRequest, Phase};
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
+
+const LIMITS: Limits = Limits {
+    max_header_bytes: 1024,
+    max_body_bytes: 4096,
+};
+
+/// Parse one request out of a fixed byte buffer (EOF after the bytes).
+fn parse_bytes(input: &[u8]) -> Result<ParsedRequest, ParseError> {
+    let mut reader = ConnReader::new(input);
+    let abort = AtomicBool::new(false);
+    parse_request(
+        &mut reader,
+        &LIMITS,
+        Duration::from_secs(2),
+        Duration::from_secs(2),
+        &abort,
+    )
+}
+
+#[test]
+fn minimal_get_parses() {
+    let req = parse_bytes(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("valid GET");
+    assert_eq!(req.method, "GET");
+    assert_eq!(req.path, "/healthz");
+    assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    assert!(req.body.is_empty());
+    assert_eq!(req.deadline_ms, None);
+}
+
+#[test]
+fn content_length_body_parses() {
+    let req = parse_bytes(
+        b"POST /v1/score HTTP/1.1\r\nContent-Length: 5\r\nX-Deadline-Ms: 250\r\n\r\nhello",
+    )
+    .expect("valid POST");
+    assert_eq!(req.body, b"hello");
+    assert_eq!(req.deadline_ms, Some(250));
+}
+
+#[test]
+fn chunked_body_is_reassembled() {
+    let req = parse_bytes(
+        b"POST /v1/score HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n",
+    )
+    .expect("valid chunked POST");
+    assert_eq!(req.body, b"wikipedia");
+}
+
+#[test]
+fn connection_semantics_follow_the_version() {
+    let req = parse_bytes(b"GET / HTTP/1.0\r\n\r\n").expect("1.0");
+    assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    let req = parse_bytes(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").expect("1.0 ka");
+    assert!(req.keep_alive);
+    let req = parse_bytes(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("1.1 close");
+    assert!(!req.keep_alive);
+}
+
+#[test]
+fn pipelined_requests_share_the_reader() {
+    let wire = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+    let mut reader = ConnReader::new(&wire[..]);
+    let abort = AtomicBool::new(false);
+    let mut next = || {
+        parse_request(
+            &mut reader,
+            &LIMITS,
+            Duration::from_secs(2),
+            Duration::from_secs(2),
+            &abort,
+        )
+    };
+    assert_eq!(next().expect("first").path, "/a");
+    let second = next().expect("second pipelined request");
+    assert_eq!(second.path, "/b");
+    assert_eq!(second.body, b"hi");
+    assert_eq!(next().unwrap_err(), ParseError::IdleClose);
+}
+
+#[test]
+fn empty_input_is_a_clean_idle_close() {
+    let e = parse_bytes(b"").unwrap_err();
+    assert_eq!(e, ParseError::IdleClose);
+    assert_eq!(e.status(), None, "nothing arrived, nothing to answer");
+}
+
+/// The malformed-input table: every row must produce exactly the typed
+/// reject named — and, transitively, never a panic (a panic anywhere in
+/// here fails the test binary).
+#[test]
+fn malformed_inputs_map_to_typed_rejects() {
+    let table: &[(&str, &[u8], u16)] = &[
+        ("truncated request line", b"GET /v1/sco", 400),
+        (
+            "truncated mid-headers",
+            b"GET / HTTP/1.1\r\nHost: x\r\nAccep",
+            400,
+        ),
+        (
+            "truncated mid-body",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+            400,
+        ),
+        ("missing version", b"GET /\r\n\r\n", 400),
+        (
+            "extra request-line token",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            400,
+        ),
+        ("lowercase method", b"get / HTTP/1.1\r\n\r\n", 400),
+        ("empty method", b" / HTTP/1.1\r\n\r\n", 400),
+        (
+            "target not origin-form",
+            b"GET example.com HTTP/1.1\r\n\r\n",
+            400,
+        ),
+        (
+            "non-utf8 byte in target",
+            b"GET /\xff\xfe HTTP/1.1\r\n\r\n",
+            400,
+        ),
+        (
+            "space smuggled into target",
+            b"GET /a b HTTP/1.1\r\n\r\n",
+            400,
+        ),
+        ("bare-lf line endings", b"GET / HTTP/1.1\nHost: x\n\n", 400),
+        (
+            "header without colon",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            400,
+        ),
+        (
+            "illegal header name",
+            b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+            400,
+        ),
+        (
+            "non-utf8 header value",
+            b"GET / HTTP/1.1\r\nX-H: \xff\xfe\r\n\r\n",
+            400,
+        ),
+        (
+            "non-numeric content-length",
+            b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n",
+            400,
+        ),
+        (
+            "duplicate content-length",
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi",
+            400,
+        ),
+        (
+            "content-length plus transfer-encoding (smuggling shape)",
+            b"POST / HTTP/1.1\r\nContent-Length: 2\r\nTransfer-Encoding: chunked\r\n\r\n",
+            400,
+        ),
+        (
+            "unsupported transfer coding",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+            400,
+        ),
+        (
+            "non-hex chunk size",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhi\r\n0\r\n\r\n",
+            400,
+        ),
+        (
+            "chunk extension rejected",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2;ext=1\r\nhi\r\n0\r\n\r\n",
+            400,
+        ),
+        (
+            "chunk data not crlf-terminated",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhiXX0\r\n\r\n",
+            400,
+        ),
+        (
+            "trailers rejected",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\nX-T: v\r\n\r\n",
+            400,
+        ),
+        ("unsupported version", b"GET / HTTP/2.0\r\n\r\n", 505),
+        ("nonsense version", b"GET / HTTP/x\r\n\r\n", 505),
+        (
+            "non-numeric x-deadline-ms",
+            b"GET / HTTP/1.1\r\nX-Deadline-Ms: soon\r\n\r\n",
+            400,
+        ),
+    ];
+    for (what, wire, want_status) in table {
+        let err = parse_bytes(wire).unwrap_err();
+        assert_eq!(
+            err.status(),
+            Some(*want_status),
+            "{what}: got {err:?}, wanted status {want_status}"
+        );
+    }
+}
+
+#[test]
+fn oversized_headers_are_431() {
+    let mut wire = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+    wire.extend(std::iter::repeat_n(b'a', 2 * LIMITS.max_header_bytes));
+    wire.extend_from_slice(b"\r\n\r\n");
+    let err = parse_bytes(&wire).unwrap_err();
+    assert_eq!(err, ParseError::HeadersTooLarge);
+    assert_eq!(err.status(), Some(431));
+}
+
+#[test]
+fn oversized_declared_body_is_413_before_reading_it() {
+    let wire = format!(
+        "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        LIMITS.max_body_bytes + 1
+    );
+    let err = parse_bytes(wire.as_bytes()).unwrap_err();
+    assert_eq!(err, ParseError::BodyTooLarge);
+    assert_eq!(err.status(), Some(413));
+}
+
+#[test]
+fn oversized_chunked_body_is_413_mid_stream() {
+    // Many small chunks whose total crosses the cap: the declared sizes
+    // are each innocent, so the parser must enforce the running total.
+    let mut wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+    let chunk = [b'a'; 256];
+    for _ in 0..(LIMITS.max_body_bytes / 256 + 2) {
+        wire.extend_from_slice(b"100\r\n");
+        wire.extend_from_slice(&chunk);
+        wire.extend_from_slice(b"\r\n");
+    }
+    wire.extend_from_slice(b"0\r\n\r\n");
+    let err = parse_bytes(&wire).unwrap_err();
+    assert_eq!(err, ParseError::BodyTooLarge);
+}
+
+/// A reader that yields its script byte-at-a-time with a `WouldBlock`
+/// between every byte — the in-process model of a slow-loris client.
+struct Dripper<'a> {
+    script: &'a [u8],
+    at: usize,
+    ready: bool,
+}
+
+impl std::io::Read for Dripper<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if !self.ready {
+            self.ready = true;
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        self.ready = false;
+        if self.at >= self.script.len() {
+            // Stalled forever: nothing more will ever arrive.
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        buf[0] = self.script[self.at];
+        self.at += 1;
+        Ok(1)
+    }
+}
+
+#[test]
+fn byte_at_a_time_writer_still_parses() {
+    let wire = b"POST /v1/score HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+    let mut reader = ConnReader::new(Dripper {
+        script: wire,
+        at: 0,
+        ready: false,
+    });
+    let abort = AtomicBool::new(false);
+    let req = parse_request(
+        &mut reader,
+        &LIMITS,
+        Duration::from_secs(5),
+        Duration::from_secs(5),
+        &abort,
+    )
+    .expect("a slow but complete request parses");
+    assert_eq!(req.body, b"hello");
+}
+
+#[test]
+fn slow_loris_times_out_in_the_header_phase() {
+    // Partial request line, then silence: the header window must end the
+    // wait with a typed mid-request timeout (→ 408), not hang.
+    let mut reader = ConnReader::new(Dripper {
+        script: b"GET /heal",
+        at: 0,
+        ready: false,
+    });
+    let abort = AtomicBool::new(false);
+    let begin = Instant::now();
+    let err = parse_request(
+        &mut reader,
+        &LIMITS,
+        Duration::from_millis(50),
+        Duration::from_millis(50),
+        &abort,
+    )
+    .unwrap_err();
+    assert_eq!(err, ParseError::TimedOut(Phase::Header));
+    assert_eq!(err.status(), Some(408));
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "wait must be bounded"
+    );
+}
+
+#[test]
+fn half_open_connection_times_out_silently() {
+    // No bytes at all: there is no request to answer, so the reject maps
+    // to no status (the server just closes).
+    let mut reader = ConnReader::new(Dripper {
+        script: b"",
+        at: 0,
+        ready: false,
+    });
+    let abort = AtomicBool::new(false);
+    let err = parse_request(
+        &mut reader,
+        &LIMITS,
+        Duration::from_millis(50),
+        Duration::from_millis(50),
+        &abort,
+    )
+    .unwrap_err();
+    assert_eq!(err, ParseError::TimedOutIdle);
+    assert_eq!(err.status(), None);
+}
+
+#[test]
+fn drain_flag_aborts_an_idle_wait() {
+    let mut reader = ConnReader::new(Dripper {
+        script: b"",
+        at: 0,
+        ready: false,
+    });
+    let abort = AtomicBool::new(true);
+    let err = parse_request(
+        &mut reader,
+        &LIMITS,
+        Duration::from_secs(30),
+        Duration::from_secs(30),
+        &abort,
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        ParseError::Aborted,
+        "drain must not wait out the window"
+    );
+}

@@ -155,6 +155,31 @@ fn fixture() -> Registry {
     }
     reg.float_gauge("od_test_recall", "Sampled recall@k")
         .set(0.9992);
+
+    // HTTP-tier-shaped series (how od-http registers): one counter name
+    // fanned out across status-code labels — numeric label values must
+    // round-trip as strings, not numbers — and one histogram name fanned
+    // across route labels, plus an up/down readiness gauge.
+    for (code, n) in [("200", 9_000u64), ("429", 31), ("503", 4), ("504", 2)] {
+        reg.counter_with(
+            "od_test_http_responses_total",
+            "Responses by code",
+            &[("code", code)],
+        )
+        .add(n);
+    }
+    let re = reg.histogram_with("od_test_http_e2e_ns", "Request e2e", &[("route", "score")]);
+    let rr = reg.histogram_with(
+        "od_test_http_e2e_ns",
+        "Request e2e",
+        &[("route", "recommend")],
+    );
+    for v in [21_000u64, 48_000, 1_900_000] {
+        re.record(v);
+    }
+    rr.record(310_000);
+    reg.gauge("od_test_http_draining", "1 while draining")
+        .set(1);
     reg
 }
 
@@ -210,6 +235,37 @@ fn exposition_parses_back_with_valid_structure() {
     };
     assert_eq!(tier("exact"), 3.0);
     assert_eq!(tier("pruned"), 97.0);
+
+    // Status-code fanout (the od-http overload ladder): numeric-looking
+    // label values must round-trip verbatim as strings.
+    let code = |want: &str| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == "od_test_http_responses_total"
+                    && s.labels == vec![("code".to_string(), want.to_string())]
+            })
+            .unwrap_or_else(|| panic!("missing code={want} sample"))
+            .value
+    };
+    assert_eq!(code("200"), 9_000.0);
+    assert_eq!(code("429"), 31.0);
+    assert_eq!(code("503"), 4.0);
+    assert_eq!(code("504"), 2.0);
+
+    // Route-labeled histograms keep their per-route counts distinct.
+    let e2e_count = |route: &str| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == "od_test_http_e2e_ns_count"
+                    && s.labels == vec![("route".to_string(), route.to_string())]
+            })
+            .unwrap_or_else(|| panic!("missing route={route} _count sample"))
+            .value
+    };
+    assert_eq!(e2e_count("score"), 3.0);
+    assert_eq!(e2e_count("recommend"), 1.0);
 }
 
 #[test]

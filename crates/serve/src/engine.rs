@@ -206,8 +206,16 @@ impl Ticket {
     /// wedged or already torn down; a response arriving after the timeout
     /// is discarded harmlessly.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<(f32, f32)>, ServeError> {
+        self.wait_versioned_timeout(timeout).map(|r| r.scores)
+    }
+
+    /// [`wait_versioned`](Self::wait_versioned) with a bound: the version
+    /// stamp *and* a guarantee the caller is never parked longer than
+    /// `timeout` — the combination the HTTP tier needs (attribution
+    /// headers + a connection thread that must never hang).
+    pub fn wait_versioned_timeout(self, timeout: Duration) -> Response {
         match self.rx.recv_timeout(timeout) {
-            Ok(Some(resp)) => resp.map(|r| r.scores),
+            Ok(Some(resp)) => resp,
             Ok(None) => Err(ServeError::Rejected),
             Err(oneshot::TimedOut) => Err(ServeError::DeadlineExceeded),
         }
@@ -266,9 +274,9 @@ impl EngineStats {
 /// Supervision + fault snapshot of the engine.
 ///
 /// The accounting invariant the chaos tests assert: every accepted
-/// request resolves exactly once, so
-/// `submitted == completed + expired + panicked_requests + in_flight`
-/// (with `in_flight == 0` once all tickets have resolved), and
+/// request resolves exactly once, so `submitted == completed + expired +
+/// panicked_requests + drain_rejected + in_flight` (with
+/// `in_flight == 0` once all tickets have resolved), and
 /// `worker_panics == respawns` once the supervisor has caught up.
 #[derive(Clone, Debug, serde::Serialize)]
 pub struct EngineHealth {
@@ -289,6 +297,10 @@ pub struct EngineHealth {
     pub expired: u64,
     /// Requests resolved with [`ServeError::WorkerPanicked`].
     pub panicked_requests: u64,
+    /// Queued requests force-resolved [`ServeError::Rejected`] because a
+    /// [`drain`](Engine::drain) grace window expired before a worker
+    /// claimed them.
+    pub drain_rejected: u64,
     /// Publish epoch of the live artifact (0 = the construction-time
     /// model, incremented by each successful [`Engine::publish`]).
     pub artifact_epoch: u64,
@@ -553,6 +565,7 @@ impl Engine {
             invalid: m.invalid.get(),
             expired: m.expired.get(),
             panicked_requests: m.panicked_requests.get(),
+            drain_rejected: m.drain_rejected.get(),
             artifact_epoch: version.epoch,
             artifact_checksum: version.checksum,
             publishes: m.publishes.get(),
@@ -568,6 +581,60 @@ impl Engine {
     /// engine still performs the full join.
     pub fn shutdown(&self) {
         self.shared.queue.close();
+    }
+
+    /// [`shutdown`](Self::shutdown) with a bound on how long any caller
+    /// can stay blocked on a ticket: close the queue, give workers
+    /// `grace` to finish what is queued, then force-resolve whatever they
+    /// never claimed as [`ServeError::Rejected`] (counted in
+    /// `od_engine_drain_rejected_total`). This is the network tier's
+    /// drain hook — a connection thread holding a ticket is guaranteed an
+    /// answer even when the pool is stalled or was configured with zero
+    /// workers, so graceful drain can always answer every in-flight
+    /// request before closing the listener.
+    ///
+    /// Returns `true` when every accepted request had resolved by the
+    /// time the grace window closed (the accounting invariant reconciled
+    /// with `in_flight == 0`), `false` when a worker was still busy on a
+    /// claimed batch at the deadline — those tickets still resolve when
+    /// the batch finishes (or at engine drop), just not within `grace`.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.shared.queue.close();
+        let deadline = Instant::now() + grace;
+        let m = &self.shared.metrics;
+        let settled = |m: &EngineMetrics| {
+            // in_flight == 0 ⇔ every accepted request has been resolved.
+            m.submitted.get()
+                == m.completed.get()
+                    + m.expired.get()
+                    + m.panicked_requests.get()
+                    + m.drain_rejected.get()
+        };
+        // Phase 1: let workers drain the backlog within the grace window.
+        while !settled(m) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if settled(m) {
+            return true;
+        }
+        // Phase 2: grace expired — force-resolve everything still queued.
+        // Workers hold claimed batches outside the queue, so this only
+        // touches requests no worker will reach in time; each resolves
+        // exactly once because `drain_now` removes it from the queue
+        // before we answer it.
+        let mut leftovers: Vec<Request> = Vec::new();
+        self.shared.queue.drain_now(&mut leftovers);
+        m.queue_depth.sub(leftovers.len() as i64);
+        for mut req in leftovers {
+            m.drain_rejected.inc();
+            req.take_tx().send(Err(ServeError::Rejected));
+        }
+        // Phase 3: claimed batches may still be in flight on a stalled
+        // worker; give them the remainder of the window.
+        while !settled(m) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        settled(m)
     }
 
     /// Worker threads this engine was configured with (the supervisor

@@ -218,6 +218,15 @@ impl Funnel {
         sync::lock(&self.slot).version
     }
 
+    /// Users in the artifact universe — the admission bound for
+    /// [`recommend`](Self::recommend) callers (the HTTP tier validates
+    /// ids against this before retrieval, which would panic on an
+    /// out-of-universe user). Fixed across publishes: the publish
+    /// contract refuses universe changes.
+    pub fn num_users(&self) -> usize {
+        sync::lock(&self.slot).retriever.model().num_users()
+    }
+
     /// Publish a new artifact generation into both funnel stages: the
     /// engine swaps its model slot (in-flight batches finish on the old
     /// generation) and the retrieval index is rebuilt and re-keyed with
@@ -246,6 +255,25 @@ impl Funnel {
         &self,
         user: UserId,
         k: usize,
+        make_group: F,
+    ) -> Result<Recommendation, ServeError>
+    where
+        F: FnOnce(&[od_retrieval::ScoredPair]) -> GroupInput,
+    {
+        self.recommend_with_deadline(user, k, None, make_group)
+    }
+
+    /// [`recommend`](Self::recommend) with a deadline: the ranking submit
+    /// carries it into [`Engine::submit_with_deadline`] (still-queued
+    /// work is dropped at drain past the deadline) and the ticket wait is
+    /// bounded by it, so a caller — in particular an HTTP connection
+    /// thread — is never parked past `deadline` even when the engine is
+    /// stalled. `None` falls back to the unbounded wait.
+    pub fn recommend_with_deadline<F>(
+        &self,
+        user: UserId,
+        k: usize,
+        deadline: Option<std::time::Instant>,
         make_group: F,
     ) -> Result<Recommendation, ServeError>
     where
@@ -286,12 +314,16 @@ impl Funnel {
             retrieved.pairs.len(),
             "featurizer must keep the retrieved candidate order"
         );
-        let ticket = match self.engine.submit(group) {
+        let ticket = match self.engine.submit_with_deadline(group, deadline) {
             Submit::Accepted(t) => t,
             Submit::Rejected(_) => return Err(ServeError::Rejected),
             Submit::Invalid { error, .. } => return Err(ServeError::InvalidInput(error)),
         };
-        let response = ticket.wait_versioned()?;
+        let response = match deadline {
+            Some(d) => ticket
+                .wait_versioned_timeout(d.saturating_duration_since(std::time::Instant::now()))?,
+            None => ticket.wait_versioned()?,
+        };
 
         // Blend with the retrieval generation's θ (mid-swap the ranker
         // may be newer; both stamps are returned for attribution).
@@ -326,5 +358,12 @@ impl Funnel {
     /// Shut the funnel down (drains the engine's workers).
     pub fn shutdown(&self) {
         self.engine.shutdown();
+    }
+
+    /// Bounded shutdown: delegate to [`Engine::drain`] so every ticket
+    /// held by a caller resolves within `grace` (see the engine docs for
+    /// the force-reject semantics). Returns whether the drain was clean.
+    pub fn drain(&self, grace: std::time::Duration) -> bool {
+        self.engine.drain(grace)
     }
 }

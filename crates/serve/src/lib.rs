@@ -81,5 +81,8 @@ pub use engine::{
 pub use error::{PublishError, ServeError};
 pub use funnel::{Funnel, FunnelConfig, RankedPair, Recommendation};
 pub use handle::ArtifactVersion;
-pub use loadgen::{drive, drive_swapping, score_all, LoadReport};
+pub use loadgen::{
+    drive, drive_http, drive_swapping, http_request, read_http_response, score_all, HttpLoadReport,
+    HttpResponse, LoadReport,
+};
 pub use metrics::{HistBucket, HistSummary};

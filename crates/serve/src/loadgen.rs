@@ -262,3 +262,276 @@ fn drive_inner(
 pub fn score_all(model: &odnet_core::FrozenOdNet, groups: &[GroupInput]) -> Vec<Vec<(f32, f32)>> {
     groups.iter().map(|g| model.score_group(g)).collect()
 }
+
+// ---- Real-socket client mode -------------------------------------------
+//
+// The same closed-loop methodology pointed at the HTTP tier instead of an
+// in-process engine handle: each client holds one keep-alive connection
+// and blocks on the wire response before submitting again. Lives here
+// (not in od-http) so the throughput bench can put wire and in-process
+// numbers side by side without a dependency cycle — od-http depends on
+// od-serve for the funnel.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One parsed HTTP response from the minimal blocking client.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response headers, lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes (Content-Length framing only — the tier under test
+    /// never chunks responses).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Issue one request on an open connection and read the response.
+/// `headers` are extra request headers (`Content-Length` is added for
+/// `body` automatically).
+pub fn http_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> std::io::Result<HttpResponse> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if let Some(b) = body {
+        head.push_str(&format!("Content-Length: {}\r\n", b.len()));
+    }
+    head.push_str("\r\n");
+    // One buffer, one write: head and body split across two segments
+    // would hand a Nagle + delayed-ACK stall (~40ms) to every request.
+    let mut wire = head.into_bytes();
+    if let Some(b) = body {
+        wire.extend_from_slice(b);
+    }
+    stream.write_all(&wire)?;
+    stream.flush()?;
+    read_http_response(stream)
+}
+
+/// Read one `Content-Length`-framed response off the stream.
+pub fn read_http_response(stream: &mut TcpStream) -> std::io::Result<HttpResponse> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Client-side mirror of the tier's `/v1/score` 200 body (field-name
+/// compatible with `od_http::wire::ScoreResponse`; duplicated here to
+/// keep the dependency arrow pointing od-http → od-serve).
+#[derive(serde::Deserialize)]
+struct WireScores {
+    scores: Vec<(f32, f32)>,
+    #[allow(dead_code)]
+    epoch: u64,
+    #[allow(dead_code)]
+    checksum: u32,
+}
+
+/// One wire-tier load run's results (the HTTP experiment in
+/// `BENCH_throughput.json`).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct HttpLoadReport {
+    /// Closed-loop client connections driving the tier.
+    pub clients: usize,
+    /// Requests answered 200.
+    pub requests: u64,
+    /// 429 backpressure responses observed (each was retried).
+    pub rejected_retries: u64,
+    /// Reconnects after a server-closed connection.
+    pub reconnects: u64,
+    /// 200 bodies that differed bit-wise from the precomputed direct
+    /// scores — must be zero whenever verification is requested.
+    pub mismatches: u64,
+    /// Non-200/429 responses (typed failures surface as statuses).
+    pub failed: u64,
+    /// Wall-clock span of the run in seconds.
+    pub elapsed_secs: f64,
+    /// 200-answered requests per second.
+    pub requests_per_sec: f64,
+    /// Median request latency (write → full response) in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Worst observed request latency in microseconds.
+    pub max_us: f64,
+}
+
+/// Drive the HTTP tier at `addr` with `total` `/v1/score` requests drawn
+/// round-robin from `groups`, from `clients` closed-loop connections.
+/// Mirrors [`drive`]: with `expected` given, every 200 body is decoded
+/// and compared bit-for-bit against the direct single-threaded scores —
+/// the vendored JSON encoder round-trips `f32` exactly, so equality here
+/// means the *wire* is bit-exact, not just the engine.
+pub fn drive_http(
+    addr: SocketAddr,
+    groups: &[GroupInput],
+    expected: Option<&[Vec<(f32, f32)>]>,
+    total: usize,
+    clients: usize,
+) -> HttpLoadReport {
+    assert!(!groups.is_empty(), "need at least one template group");
+    assert!(clients >= 1, "need at least one client");
+    if let Some(exp) = expected {
+        assert_eq!(exp.len(), groups.len(), "expected scores out of sync");
+    }
+    let bodies: Vec<String> = groups
+        .iter()
+        .map(|g| serde_json::to_string(g).expect("group serializes"))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let rejected = AtomicU64::new(0);
+    let reconnects = AtomicU64::new(0);
+    let mismatches = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let started = Instant::now();
+    let latencies = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let lat = LatencyHistogram::new();
+                    let mut conn = TcpStream::connect(addr).expect("connect load client");
+                    let _ = conn.set_nodelay(true);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let gi = i % groups.len();
+                        let begin = Instant::now();
+                        loop {
+                            let resp = match http_request(
+                                &mut conn,
+                                "POST",
+                                "/v1/score",
+                                &[("Content-Type", "application/json")],
+                                Some(bodies[gi].as_bytes()),
+                            ) {
+                                Ok(r) => r,
+                                Err(_) => {
+                                    // Server closed the connection (e.g.
+                                    // mid-drain in a swap run): reconnect
+                                    // and re-issue.
+                                    reconnects.fetch_add(1, Ordering::Relaxed);
+                                    conn = TcpStream::connect(addr).expect("reconnect load client");
+                                    let _ = conn.set_nodelay(true);
+                                    continue;
+                                }
+                            };
+                            match resp.status {
+                                200 => {
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                    if let Some(exp) = expected {
+                                        let ok = std::str::from_utf8(&resp.body)
+                                            .ok()
+                                            .and_then(|s| {
+                                                serde_json::from_str::<WireScores>(s).ok()
+                                            })
+                                            .is_some_and(|w| w.scores == exp[gi]);
+                                        if !ok {
+                                            mismatches.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                    break;
+                                }
+                                429 => {
+                                    rejected.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                _ => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        lat.record_duration(begin.elapsed());
+                    }
+                    lat.snapshot()
+                })
+            })
+            .collect();
+        let mut merged = od_obs::HistogramSnapshot::empty();
+        for h in handles {
+            merged.merge(&h.join().expect("http load client must not panic"));
+        }
+        merged
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let ns_to_us = |ns: u64| ns as f64 / 1_000.0;
+    let completed = completed.load(Ordering::Relaxed);
+    HttpLoadReport {
+        clients,
+        requests: completed,
+        rejected_retries: rejected.load(Ordering::Relaxed),
+        reconnects: reconnects.load(Ordering::Relaxed),
+        mismatches: mismatches.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        requests_per_sec: completed as f64 / elapsed.max(1e-9),
+        p50_us: ns_to_us(latencies.quantile(0.50)),
+        p99_us: ns_to_us(latencies.quantile(0.99)),
+        max_us: ns_to_us(latencies.max),
+    }
+}

@@ -18,6 +18,7 @@
 //! | `od_engine_invalid_total` | counter | refused at admission validation |
 //! | `od_engine_expired_total` | counter | dropped at drain: deadline passed |
 //! | `od_engine_panicked_requests_total` | counter | resolved `WorkerPanicked` |
+//! | `od_engine_drain_rejected_total` | counter | force-resolved `Rejected` at drain timeout |
 //! | `od_engine_completed_total` | counter | scored and answered |
 //! | `od_engine_forwards_total` | counter | frozen forwards executed |
 //! | `od_engine_coalesced_requests_total` | counter | requests that shared a forward |
@@ -55,6 +56,7 @@ pub(crate) struct EngineMetrics {
     pub invalid: Counter,
     pub expired: Counter,
     pub panicked_requests: Counter,
+    pub drain_rejected: Counter,
     pub completed: Counter,
     pub forwards: Counter,
     pub coalesced_requests: Counter,
@@ -102,6 +104,10 @@ impl EngineMetrics {
             panicked_requests: reg.counter(
                 "od_engine_panicked_requests_total",
                 "Requests resolved with WorkerPanicked",
+            ),
+            drain_rejected: reg.counter(
+                "od_engine_drain_rejected_total",
+                "Queued requests force-resolved Rejected when drain timed out",
             ),
             completed: reg.counter(
                 "od_engine_completed_total",

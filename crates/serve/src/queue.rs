@@ -91,6 +91,16 @@ impl<T> Queue<T> {
         self.not_empty.notify_all();
     }
 
+    /// Move everything still queued into `buf` (appended) without
+    /// blocking — the force-drain arm of [`Engine::drain`]
+    /// (crate::Engine::drain): after the grace window, whatever no worker
+    /// claimed is pulled out here and resolved as rejected so no caller
+    /// is left waiting on a queue nobody will ever service.
+    pub(crate) fn drain_now(&self, buf: &mut Vec<T>) {
+        let mut st = sync::lock(&self.state);
+        buf.extend(st.items.drain(..));
+    }
+
     /// Items currently queued (diagnostics).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {

@@ -824,3 +824,100 @@ fn teardown_resolves_unscored_tickets() {
     } // engine dropped with the request still queued
     assert_eq!(t.wait(), Err(ServeError::Rejected));
 }
+
+/// The network-path drain regression: a connection thread blocked on a
+/// ticket while the engine shuts down must get an answer (`Rejected` →
+/// 503), never hang — even when no worker will ever service the queue.
+#[test]
+fn drain_resolves_tickets_nobody_will_score() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 8,
+            max_batch: 8,
+            coalesce: true,
+            fail_point: None,
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    let t = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit"),
+    };
+    // The "connection thread": parked in an unbounded wait on the ticket.
+    let waiter = std::thread::spawn(move || t.wait());
+    let begin = Instant::now();
+    assert!(
+        engine.drain(Duration::from_millis(50)),
+        "an empty-handed pool settles once the queue is force-drained"
+    );
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "drain must be bounded by its grace window"
+    );
+    assert_eq!(waiter.join().unwrap(), Err(ServeError::Rejected));
+    let health = engine.health();
+    assert_eq!(health.drain_rejected, 1);
+    // Force-drained requests leave the accounting invariant reconciled.
+    let stats = engine.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.panicked_requests + health.drain_rejected
+    );
+}
+
+/// Drain with a stalled worker: the claimed batch cannot be answered
+/// within the grace window (drain reports `false`), but everything queued
+/// *behind* it is force-resolved promptly, and the stalled batch's own
+/// ticket still resolves once the worker comes back.
+#[test]
+fn drain_force_rejects_behind_a_stalled_worker() {
+    let _guard = test_lock();
+    let fix = fixture();
+    let gate = Gate::new();
+    let engine = Engine::new(
+        Arc::clone(&fix.model),
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 1,
+            coalesce: true,
+            fail_point: Some(gate.fail_point()),
+            stage_timing: true,
+            ..EngineConfig::default()
+        },
+    );
+    let stalled = match engine.submit(fix.groups[0].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit stalled"),
+    };
+    gate.wait_entered(); // worker holds batch 0, parked at the gate
+    let queued = match engine.submit(fix.groups[1].clone()) {
+        Submit::Accepted(t) => t,
+        _ => panic!("submit queued"),
+    };
+    let begin = Instant::now();
+    assert!(
+        !engine.drain(Duration::from_millis(50)),
+        "a claimed batch past the grace window reports an unclean drain"
+    );
+    assert!(begin.elapsed() < Duration::from_secs(5));
+    // The request behind the stalled batch was force-resolved, not hung.
+    assert_eq!(queued.wait(), Err(ServeError::Rejected));
+    assert_eq!(engine.health().drain_rejected, 1);
+    // The stalled batch still resolves (scored, bit-exact) on release.
+    gate.release();
+    assert_eq!(
+        stalled.wait().expect("stalled batch scores"),
+        fix.expected[0]
+    );
+    let stats = engine.stats();
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.panicked_requests + engine.health().drain_rejected
+    );
+}

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&flags),
         "recommend" => cmd_recommend(&flags),
         "freeze" => cmd_freeze(&flags),
+        "serve" => cmd_serve(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "metrics" => cmd_metrics(&flags),
         "online" => cmd_online(&flags),
@@ -69,6 +70,8 @@ USAGE:
   odnet recommend (--model FILE | --artifact FILE) --user ID [--top-k K]
   odnet freeze    --out BASE (--model FILE |
                   [--variant V] [--users N] [--cities N] [--embed-dim D])
+  odnet serve     [--artifact FILE] [--users N] [--cities N] [--addr H:P]
+                  [--shards N] [--workers N] [--smoke]
   odnet serve-bench [--artifact FILE] [--users N] [--cities N] [--workers N]
                   [--requests N] [--clients N] [--batch N] [--no-coalesce]
                   [--check] [--inject-panics N] [--swap-every N]
@@ -91,6 +94,17 @@ frozen dense tables, the live engine ranks them, and the listing is
 stamped with the artifact generation that served each stage. --artifact
 serves from an .odz/.json artifact on disk (mmap'd for .odz); --model
 extracts the artifact embedded in a training checkpoint.
+
+`serve` exposes the artifact over the hardened od-http tier (DESIGN.md
+S15): POST /v1/score ranks a raw request group, POST /v1/recommend runs
+the retrieve -> rank funnel, GET /healthz reports readiness (NOT-READY
+while draining), GET /metrics renders the od-obs registry as Prometheus
+text. Requests shard across --shards engines by user id; closing stdin
+(Ctrl-D) starts a graceful drain. --smoke runs the self-driving e2e
+instead of waiting: it binds an ephemeral port, drives every route over
+a real socket, asserts scores are bit-exact with direct scoring and both
+version stamps match the loaded artifact, then drains and verifies the
+drain settled cleanly — the ci.sh serving gate.
 
 `serve-bench` and `metrics` accept --artifact to serve a frozen artifact
 from disk (mmap'd when the file ends in .odz) instead of building a model
@@ -495,6 +509,259 @@ fn check_artifact_universe(frozen: &FrozenOdNet, ds: &FliggyDataset) -> Result<(
             ds.world.num_cities()
         ));
     }
+    Ok(())
+}
+
+/// Serve the artifact over the hardened HTTP tier (DESIGN.md §15): score
+/// and recommend endpoints sharded across per-core funnels, readiness and
+/// Prometheus exposition, graceful drain on stdin close. With `--smoke`,
+/// run the self-driving end-to-end check instead: drive every route over
+/// a real socket, assert bit-exact scores and artifact version stamps,
+/// then drain and verify the drain settled — the ci.sh serving gate.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use od_http::{Featurizer, Server, ServerConfig};
+    use od_serve::{EngineConfig, Funnel, FunnelConfig};
+    use std::sync::Arc;
+
+    let shards_n = get_usize(flags, "shards", 2)?.max(1);
+    let workers = get_usize(flags, "workers", 2)?.max(1);
+    let smoke = flags.contains_key("smoke");
+    let addr = match flags.get("addr").filter(|a| !a.is_empty()) {
+        Some(a) => a.clone(),
+        // Smoke binds an ephemeral port so gates never collide.
+        None if smoke => "127.0.0.1:0".to_string(),
+        None => "127.0.0.1:8080".to_string(),
+    };
+
+    let artifact = load_artifact_flag(flags)?;
+    let (default_users, default_cities) = artifact
+        .as_ref()
+        .map(|a| (a.frozen.num_users(), a.frozen.num_cities()))
+        .unwrap_or((60, 15));
+    let data_config = FliggyConfig {
+        num_users: get_usize(flags, "users", default_users)?,
+        num_cities: get_usize(flags, "cities", default_cities)?,
+        seed: get_usize(flags, "seed", 0xF11667)? as u64,
+        ..FliggyConfig::tiny()
+    };
+    let ds = build_dataset(&data_config);
+    let (model, checksum) = match artifact {
+        Some(loaded) => {
+            check_artifact_universe(&loaded.frozen, &ds)?;
+            (std::sync::Arc::new(loaded.frozen), loaded.checksum)
+        }
+        None => {
+            let model = OdNetModel::new(
+                Variant::Odnet,
+                OdnetConfig::tiny(),
+                ds.world.num_users(),
+                ds.world.num_cities(),
+                Some(build_hsg(&ds)),
+            );
+            let frozen = model.freeze();
+            let checksum = frozen.fingerprint();
+            (std::sync::Arc::new(frozen), checksum)
+        }
+    };
+    let cfg = model.config();
+    let fx = Arc::new(FeatureExtractor::new(cfg.max_long_seq, cfg.max_short_seq));
+    let day = ds.train_end_day();
+    let ds = Arc::new(ds);
+    // The server-side featurizer: grafts retrieval candidates onto the
+    // user's regenerated context — the dataset-holding half of the funnel
+    // contract that an HTTP client cannot ship over the wire.
+    let featurizer: Featurizer = {
+        let ds = Arc::clone(&ds);
+        let fx = Arc::clone(&fx);
+        Arc::new(move |user, pairs| {
+            let tuples: Vec<(CityId, CityId)> = pairs.iter().map(|p| (p.origin, p.dest)).collect();
+            fx.group_for_serving(&ds, user, day, &tuples)
+        })
+    };
+    let shards: Vec<Arc<Funnel>> = (0..shards_n)
+        .map(|_| {
+            Arc::new(Funnel::new(
+                Arc::clone(&model),
+                checksum,
+                EngineConfig {
+                    workers,
+                    ..EngineConfig::default()
+                },
+                FunnelConfig::default(),
+            ))
+        })
+        .collect();
+    let server = Server::start(
+        shards,
+        featurizer,
+        ServerConfig {
+            addr,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind http server: {e}"))?;
+    eprintln!(
+        "serving artifact [{checksum:08x}] on http://{} ({shards_n} shard(s) × {workers} worker(s))",
+        server.addr()
+    );
+    if smoke {
+        return serve_smoke(server, &model, &ds, &fx, checksum);
+    }
+    eprintln!("routes: POST /v1/score  POST /v1/recommend  GET /healthz  GET /metrics");
+    eprintln!("close stdin (Ctrl-D) to drain and exit");
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    eprintln!("draining…");
+    let report = server.shutdown();
+    eprintln!(
+        "drain {}: {} ticket(s) force-rejected",
+        if report.clean { "clean" } else { "timed out" },
+        report.drain_rejected
+    );
+    if report.clean {
+        Ok(())
+    } else {
+        Err("graceful drain timed out with unresolved tickets".into())
+    }
+}
+
+/// The `serve --smoke` body: the server drives itself over a real socket
+/// and asserts the wire contract end-to-end.
+fn serve_smoke(
+    server: od_http::Server,
+    model: &FrozenOdNet,
+    ds: &FliggyDataset,
+    fx: &FeatureExtractor,
+    checksum: u32,
+) -> Result<(), String> {
+    use od_serve::loadgen::http_request;
+
+    let groups = serving_templates(ds, fx)?;
+    let group = &groups[0];
+    let expected = model.score_group(group);
+    let mut conn =
+        std::net::TcpStream::connect(server.addr()).map_err(|e| format!("smoke connect: {e}"))?;
+
+    // Route 1: /v1/score must hand back bit-exact scores stamped with
+    // the loaded artifact's generation.
+    let body = serde_json::to_string(group).map_err(|e| e.to_string())?;
+    let resp = http_request(&mut conn, "POST", "/v1/score", &[], Some(body.as_bytes()))
+        .map_err(|e| format!("smoke score request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "smoke score: expected 200, got {} ({})",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let scored: od_http::wire::ScoreResponse = serde_json::from_str(
+        std::str::from_utf8(&resp.body).map_err(|_| "smoke score: non-utf8 body".to_string())?,
+    )
+    .map_err(|e| format!("smoke score: bad body: {e}"))?;
+    let exact = scored.scores.len() == expected.len()
+        && scored
+            .scores
+            .iter()
+            .zip(&expected)
+            .all(|(g, w)| g.0.to_bits() == w.0.to_bits() && g.1.to_bits() == w.1.to_bits());
+    if !exact {
+        return Err("smoke score: wire scores are not bit-exact with direct scoring".into());
+    }
+    if scored.epoch != 0 || scored.checksum != checksum {
+        return Err(format!(
+            "smoke score: version stamp (epoch {}, {:08x}) does not match the loaded \
+             artifact (epoch 0, {checksum:08x})",
+            scored.epoch, scored.checksum
+        ));
+    }
+    if resp.header("x-artifact-epoch") != Some("0") {
+        return Err("smoke score: missing X-Artifact-Epoch response header".into());
+    }
+    println!(
+        "smoke /v1/score: 200, {} scores bit-exact, stamped epoch 0 [{checksum:08x}]",
+        scored.scores.len()
+    );
+
+    // Route 2: /v1/recommend must run the funnel and stamp both stages
+    // with the same generation.
+    let ask = format!("{{\"user\":{},\"k\":5}}", group.user.0);
+    let resp = http_request(
+        &mut conn,
+        "POST",
+        "/v1/recommend",
+        &[],
+        Some(ask.as_bytes()),
+    )
+    .map_err(|e| format!("smoke recommend request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "smoke recommend: expected 200, got {} ({})",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    let rec: od_http::wire::RecommendResponse = serde_json::from_str(
+        std::str::from_utf8(&resp.body)
+            .map_err(|_| "smoke recommend: non-utf8 body".to_string())?,
+    )
+    .map_err(|e| format!("smoke recommend: bad body: {e}"))?;
+    if rec.pairs.is_empty() {
+        return Err("smoke recommend: empty ranking".into());
+    }
+    if rec.ranked_by.epoch != 0
+        || rec.ranked_by.checksum != checksum
+        || rec.retrieved_by.epoch != rec.ranked_by.epoch
+        || rec.retrieved_by.checksum != rec.ranked_by.checksum
+    {
+        return Err(format!(
+            "smoke recommend: stage stamps (retrieved epoch {} [{:08x}], ranked epoch {} \
+             [{:08x}]) do not agree on the loaded artifact (epoch 0, [{checksum:08x}])",
+            rec.retrieved_by.epoch,
+            rec.retrieved_by.checksum,
+            rec.ranked_by.epoch,
+            rec.ranked_by.checksum
+        ));
+    }
+    println!(
+        "smoke /v1/recommend: 200, top-{} ranked, both stages stamped epoch 0 [{checksum:08x}]",
+        rec.pairs.len()
+    );
+
+    // Routes 3 + 4: readiness and exposition.
+    let resp = http_request(&mut conn, "GET", "/healthz", &[], None)
+        .map_err(|e| format!("smoke healthz request: {e}"))?;
+    if resp.status != 200 || resp.body != b"ok\n" {
+        return Err(format!(
+            "smoke healthz: expected 200 ok, got {}",
+            resp.status
+        ));
+    }
+    let resp = http_request(&mut conn, "GET", "/metrics", &[], None)
+        .map_err(|e| format!("smoke metrics request: {e}"))?;
+    let text = String::from_utf8_lossy(&resp.body);
+    if resp.status != 200
+        || !text.contains("od_http_requests_total")
+        || !text.contains("od_engine_")
+    {
+        return Err("smoke metrics: exposition is missing od_http_*/od_engine_* series".into());
+    }
+    println!("smoke /healthz + /metrics: ready, exposition carries od_http_* series");
+
+    drop(conn);
+    let report = server.shutdown();
+    if !report.clean || report.drain_rejected != 0 {
+        return Err(format!(
+            "smoke drain: expected a clean drain, got clean={} with {} force-rejected",
+            report.clean, report.drain_rejected
+        ));
+    }
+    println!("smoke drain: clean, zero force-rejected tickets");
     Ok(())
 }
 

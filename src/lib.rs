@@ -9,7 +9,9 @@
 //! - [`core`] — the ODNET model, trainer, evaluator (`odnet-core`);
 //! - [`baselines`] — the paper's seven comparison methods (`od-baselines`);
 //! - [`serve`] — the concurrent serving engine over the frozen artifact
-//!   (`od-serve`).
+//!   (`od-serve`);
+//! - [`http`] — the hardened HTTP/1.1 front-end over the serving funnel
+//!   (`od-http`).
 //!
 //! Plus one first-party module: [`online`], the drift → retrain → freeze →
 //! publish loop that `odnet online` drives (DESIGN.md §13).
@@ -24,6 +26,7 @@ pub mod online;
 pub use od_baselines as baselines;
 pub use od_data as data;
 pub use od_hsg as hsg;
+pub use od_http as http;
 pub use od_serve as serve;
 pub use od_tensor as tensor;
 pub use odnet_core as core;
