@@ -77,8 +77,18 @@ echo "==> throughput smoke (engine vs direct scoring, coalescing engaged)"
 cargo run --release --bin odnet -- serve-bench --workers 2 --requests 2000 \
     --check --metrics-json target/metrics_snapshot.json
 
-echo "==> metrics overhead gate (stage clock within 3% of metrics-off)"
+echo "==> metrics overhead gate (stage clock + request tracing within 3%)"
+# Back-to-back on/off pairs for the stage clock, the request-scoped
+# tracer (10ms tail threshold, 1-in-64 sampling), and hot-swapping;
+# ODNET_OVERHEAD_GATE=1 fails the run unless each best pair is >= 0.97.
 CRITERION_QUICK=1 ODNET_OVERHEAD_GATE=1 cargo bench -p od-bench --bench throughput_bench
+
+echo "==> trace capture smoke (tracer on under load, span trees well-formed)"
+# serve-bench with the production tracer config; --check fails the gate
+# unless traces reached the ring and every captured span tree is
+# well-formed (one root, unique ids, children nested in their parent).
+cargo run --release --bin odnet -- serve-bench --workers 2 --clients 8 \
+    --requests 2000 --trace --check
 
 echo "==> chaos suite (panic isolation, deadlines, supervision, hot swaps)"
 # Includes the swap chaos tests: distinct-content generations published

@@ -25,6 +25,11 @@
 //!    depresses every pair, while noise only dents some. With
 //!    `ODNET_OVERHEAD_GATE=1` the run *fails* unless the best pair is
 //!    within 3% — the ci.sh gate.
+//!
+//!    The same pair methodology also prices the request-scoped tracer:
+//!    identical runs with the global tracer at its production default
+//!    (10 ms tail threshold, 1-in-64 sampling) vs disabled, judged on the
+//!    best of three pairs and gated at 3% under `ODNET_OVERHEAD_GATE=1`.
 //! 4. **Hot-swap overhead** — identical engines (2 workers, coalescing on)
 //!    with a publisher hot-swapping a content-identical model generation
 //!    every `total/8` completed requests vs a pinned artifact. Generations
@@ -215,6 +220,35 @@ fn overhead_pair(
     }
 }
 
+/// One back-to-back (tracer enabled, tracer disabled) pair. The enabled
+/// side runs the production default — 10 ms slow threshold, 1-in-64
+/// sampling — so every request pays `begin`/`record`/`end` while only a
+/// sliver reaches the ring. `flip` alternates execution order like
+/// [`overhead_pair`].
+fn trace_overhead_pair(
+    model: &Arc<FrozenOdNet>,
+    groups: &[GroupInput],
+    expected: &[Vec<(f32, f32)>],
+    total: usize,
+    flip: bool,
+) -> (LoadReport, LoadReport) {
+    let traced = |model, groups, expected, total| {
+        od_obs::trace::global().enable(od_obs::trace::TraceConfig::default());
+        let r = run(model, groups, expected, 2, true, true, total);
+        od_obs::trace::global().disable();
+        r
+    };
+    if flip {
+        let off = run(model, groups, expected, 2, true, true, total);
+        let on = traced(model, groups, expected, total);
+        (on, off)
+    } else {
+        let on = traced(model, groups, expected, total);
+        let off = run(model, groups, expected, 2, true, true, total);
+        (on, off)
+    }
+}
+
 /// Drive the HTTP tier over loopback with the same workload: a single
 /// 2-worker funnel shard behind an od-http listener, `clients` keep-alive
 /// connections posting `/v1/score`, every 200 verified bit-exact.
@@ -290,6 +324,15 @@ struct Report {
     metrics_overhead_ratios: Vec<f64>,
     /// Best pair's ratio (1.0 = free; the ci.sh gate requires ≥ 0.97).
     metrics_overhead_ratio: f64,
+    /// Same engine (2 workers, 4 clients, coalescing, stage clock on) with
+    /// the request-scoped tracer enabled (10 ms tail threshold, 1-in-64
+    /// sampling) vs disabled — the best of three back-to-back pairs.
+    trace_on: LoadReport,
+    trace_off: LoadReport,
+    /// enabled/disabled requests/sec ratio of every back-to-back pair.
+    trace_overhead_ratios: Vec<f64>,
+    /// Best pair's ratio (the ci.sh gate requires ≥ 0.97).
+    trace_overhead_ratio: f64,
     /// Same engine (2 workers, 4 clients, coalescing) with a publisher
     /// hot-swapping generations every total/8 requests vs pinned — the
     /// best of three back-to-back pairs.
@@ -369,6 +412,48 @@ fn main() {
              ratios {metrics_overhead_ratios:?}",
         );
         println!("overhead gate passed: stage clock within 3% of metrics-off throughput");
+    }
+
+    // Tracing overhead: identical runs except the global tracer toggles
+    // between the production default (10 ms tail threshold, 1-in-64
+    // sampling) and fully disabled. Every traced request pays span
+    // bookkeeping in thread-local stamps; only kept traces touch the
+    // shared ring, so the enabled side should sit within the same 3%
+    // envelope as the stage clock.
+    let mut trace_pairs = Vec::new();
+    for i in 0..3 {
+        let (on, off) = trace_overhead_pair(&model, &groups, &expected, overhead_total, i % 2 == 1);
+        println!(
+            "trace pair {i}: enabled {:.0} req/s vs disabled {:.0} req/s (ratio {:.3})",
+            on.requests_per_sec,
+            off.requests_per_sec,
+            on.requests_per_sec / off.requests_per_sec
+        );
+        trace_pairs.push((on, off));
+    }
+    let trace_overhead_ratios: Vec<f64> = trace_pairs
+        .iter()
+        .map(|(on, off)| on.requests_per_sec / off.requests_per_sec)
+        .collect();
+    let best_trace = trace_overhead_ratios
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("three trace pairs ran");
+    let trace_overhead_ratio = trace_overhead_ratios[best_trace];
+    let (trace_on, trace_off) = trace_pairs.swap_remove(best_trace);
+    println!(
+        "tracer enabled {:.0} req/s vs disabled {:.0} req/s (best pair ratio {trace_overhead_ratio:.3})",
+        trace_on.requests_per_sec, trace_off.requests_per_sec
+    );
+    if std::env::var("ODNET_OVERHEAD_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            trace_overhead_ratio >= 0.97,
+            "request tracing costs more than 3% of throughput in every pair: \
+             ratios {trace_overhead_ratios:?}",
+        );
+        println!("overhead gate passed: request tracing within 3% of untraced throughput");
     }
 
     // Hot-swap overhead: same back-to-back-pair methodology as the stage
@@ -463,6 +548,10 @@ fn main() {
         metrics_off,
         metrics_overhead_ratios,
         metrics_overhead_ratio,
+        trace_on,
+        trace_off,
+        trace_overhead_ratios,
+        trace_overhead_ratio,
         swap_on,
         swap_off,
         swap_overhead_ratios,

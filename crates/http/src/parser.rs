@@ -80,6 +80,14 @@ pub struct ParsedRequest {
     pub keep_alive: bool,
     /// Parsed `X-Deadline-Ms` header, when present.
     pub deadline_ms: Option<u64>,
+    /// Client-supplied `X-Request-Id`, sanitized (token chars only,
+    /// truncated to 64 bytes). `None` when absent or entirely illegal —
+    /// the server then mints one.
+    pub request_id: Option<String>,
+    /// Parsed `X-Debug-Stall-Ms` header — honored only when the server
+    /// was started with stall injection enabled (smoke/bench runs use it
+    /// to manufacture a tail-sampled slow request).
+    pub debug_stall_ms: Option<u64>,
     /// The (de-chunked) body bytes.
     pub body: Vec<u8>,
 }
@@ -263,6 +271,20 @@ struct Headers {
     chunked: bool,
     keep_alive: Option<bool>,
     deadline_ms: Option<u64>,
+    request_id: Option<String>,
+    debug_stall_ms: Option<u64>,
+}
+
+/// Keep only request-id token characters (RFC 7230 token minus quoting
+/// hazards), capped at 64 bytes so a hostile id can't bloat logs or
+/// trace storage. Returns `None` if nothing legal survives.
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let id: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        .take(64)
+        .collect();
+    (!id.is_empty()).then_some(id)
 }
 
 fn parse_headers(block: &str) -> Result<Headers, ParseError> {
@@ -271,6 +293,8 @@ fn parse_headers(block: &str) -> Result<Headers, ParseError> {
         chunked: false,
         keep_alive: None,
         deadline_ms: None,
+        request_id: None,
+        debug_stall_ms: None,
     };
     let mut saw_te = false;
     for line in block.split("\r\n") {
@@ -323,6 +347,14 @@ fn parse_headers(block: &str) -> Result<Headers, ParseError> {
                     .parse()
                     .map_err(|_| ParseError::Malformed("non-numeric x-deadline-ms"))?;
                 h.deadline_ms = Some(ms);
+            }
+            "x-request-id" => {
+                h.request_id = sanitize_request_id(value);
+            }
+            "x-debug-stall-ms" => {
+                // Best-effort debug knob: a bad value is ignored, not a
+                // 400 — it must never take a production request down.
+                h.debug_stall_ms = value.parse().ok();
             }
             _ => {}
         }
@@ -410,6 +442,8 @@ pub fn parse_request<R: Read>(
         path: path.to_string(),
         keep_alive,
         deadline_ms: headers.deadline_ms,
+        request_id: headers.request_id,
+        debug_stall_ms: headers.debug_stall_ms,
         body,
     })
 }
@@ -420,6 +454,8 @@ fn parse_headers_empty() -> Headers {
         chunked: false,
         keep_alive: None,
         deadline_ms: None,
+        request_id: None,
+        debug_stall_ms: None,
     }
 }
 

@@ -88,6 +88,10 @@ pub struct ServerConfig {
     /// Grace window [`Server::shutdown`] gives the engine shards to
     /// finish in-flight work before force-rejecting.
     pub drain_grace: Duration,
+    /// Honor the `X-Debug-Stall-Ms` header (sleep before dispatch).
+    /// Smoke and bench harnesses use it to manufacture a tail-sampled
+    /// slow request; never enable on a real listener.
+    pub allow_debug_stall: bool,
 }
 
 impl Default for ServerConfig {
@@ -105,8 +109,23 @@ impl Default for ServerConfig {
             max_body_bytes: 1024 * 1024,
             default_max_wait: Duration::from_secs(10),
             drain_grace: Duration::from_secs(2),
+            allow_debug_stall: false,
         }
     }
+}
+
+/// Mint a request id for a request that arrived without `X-Request-Id`
+/// (or never got far enough to carry headers): 16 hex digits from a
+/// per-process randomly seeded hash of a sequence number — unique within
+/// the process, uncorrelated across restarts.
+fn mint_request_id() -> String {
+    use std::hash::{BuildHasher, Hasher};
+    static SEED: std::sync::OnceLock<std::collections::hash_map::RandomState> =
+        std::sync::OnceLock::new();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    let mut h = SEED.get_or_init(Default::default).build_hasher();
+    h.write_u64(NEXT.fetch_add(1, Ordering::Relaxed));
+    format!("{:016x}", h.finish())
 }
 
 /// What [`Server::shutdown`] observed.
@@ -204,6 +223,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let metrics = HttpMetrics::register();
         metrics.draining.set(0);
+        if od_obs::trace::enabled() {
+            // Let "slow" track the live workload: the tail sampler keeps
+            // anything past the recommend route's p99 even when the
+            // configured floor is higher.
+            od_obs::trace::global().set_tail_source(metrics.e2e_ns["recommend"].clone());
+        }
         let inner = Arc::new(Inner {
             queue: ConnQueue::new(config.accept_backlog),
             shards,
@@ -338,9 +363,13 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
 
 /// Write an immediate 503 + close from the acceptor thread. The write is
 /// bounded by a short timeout so a malicious peer cannot stall accepts.
+/// Even this path carries an `X-Request-Id` — an edge reject is exactly
+/// the response a client will ask the operator about.
 fn reject_at_edge(inner: &Arc<Inner>, mut stream: TcpStream, why: &str) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let resp = error_response(503, why).with_header("Retry-After", "1");
+    let resp = error_response(503, why)
+        .with_header("Retry-After", "1")
+        .with_header("X-Request-Id", &mint_request_id());
     if write_response(&mut stream, &resp, true).is_ok() {
         inner.metrics.count_response(503);
     }
@@ -405,7 +434,11 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
                     _ => {}
                 }
                 if let Some(status) = e.status() {
-                    let resp = error_response(status, &format!("{e:?}"));
+                    // The request never yielded headers, so the id is
+                    // server-minted; the 408/413/431/400/505 ladder is
+                    // still correlatable from the client side.
+                    let resp = error_response(status, &format!("{e:?}"))
+                        .with_header("X-Request-Id", &mint_request_id());
                     if write_response(&mut stream, &resp, true).is_ok() {
                         m.count_response(status);
                     } else {
@@ -418,9 +451,27 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
         let t_read = od_obs::clock::now();
         m.read_ns.record(od_obs::clock::ns_between(t0, t_read));
 
+        // Every request has an id (client-supplied or minted here), and
+        // every response echoes it. The trace — when tracing is on —
+        // starts under that id; the root span closes after the write.
+        let rid = req.request_id.clone().unwrap_or_else(mint_request_id);
+        let tracer = od_obs::trace::global();
+        let ctx = tracer.begin(&rid);
+        tracer.record(ctx, "parse", t0, t_read);
+
+        if inner.config.allow_debug_stall {
+            if let Some(ms) = req.debug_stall_ms {
+                let s0 = ctx.is_active().then(od_obs::clock::now);
+                std::thread::sleep(Duration::from_millis(ms.min(1_000)));
+                if let Some(s0) = s0 {
+                    tracer.record(ctx, "debug_stall", s0, od_obs::clock::now());
+                }
+            }
+        }
+
         let route = route_of(&req);
         m.requests[route].inc();
-        let resp = dispatch(inner, &req);
+        let resp = dispatch(inner, &req, ctx).with_header("X-Request-Id", &rid);
         let t_handled = od_obs::clock::now();
         m.handle_ns[route].record(od_obs::clock::ns_between(t_read, t_handled));
 
@@ -433,10 +484,15 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
                 let done = od_obs::clock::now();
                 m.write_ns
                     .record(od_obs::clock::ns_between(t_handled, done));
-                m.e2e_ns[route].record(od_obs::clock::ns_between(t0, done));
+                m.e2e_ns[route].record_exemplar(od_obs::clock::ns_between(t0, done), ctx.trace_id);
+                tracer.record(ctx, "write", t_handled, done);
+                tracer.end(ctx, "request", t0, done, resp.status >= 500);
             }
             Err(_) => {
                 m.disconnects.inc();
+                // The response never reached the peer: close the trace as
+                // an error (also frees the in-flight slot).
+                tracer.end(ctx, "request", t0, od_obs::clock::now(), true);
                 return;
             }
         }
@@ -545,13 +601,15 @@ fn write_response(stream: &mut TcpStream, resp: &Response, closing: bool) -> std
 }
 
 /// Route one parsed request to its handler.
-fn dispatch(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
+fn dispatch(inner: &Arc<Inner>, req: &ParsedRequest, ctx: od_obs::trace::TraceContext) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => healthz(inner),
         ("GET", "/metrics") => Response::text(200, &od_obs::global().snapshot().to_prometheus()),
-        ("POST", "/v1/score") => score(inner, req),
-        ("POST", "/v1/recommend") => recommend(inner, req),
-        (_, "/healthz") | (_, "/metrics") => {
+        ("GET", "/debug/traces") => debug_traces(req),
+        ("POST", "/v1/score") => score(inner, req, ctx),
+        ("POST", "/v1/recommend") => recommend(inner, req, ctx),
+        (_, "/healthz") | (_, "/metrics") | (_, "/debug/traces") => {
             error_response(405, "method not allowed").with_header("Allow", "GET")
         }
         (_, "/v1/score") | (_, "/v1/recommend") => {
@@ -559,6 +617,40 @@ fn dispatch(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
         }
         _ => error_response(404, "no such route"),
     }
+}
+
+/// `GET /debug/traces`: dump the tail-sampled trace ring. Query knobs:
+/// `min_ms=<n>` (minimum root duration), `errors=1` (error traces only),
+/// `limit=<n>` (newest n), `format=chrome` (Chrome `trace_event` JSON,
+/// loadable in `chrome://tracing` / Perfetto; default is the native
+/// shape).
+fn debug_traces(req: &ParsedRequest) -> Response {
+    let tracer = od_obs::trace::global();
+    if !tracer.enabled() {
+        return error_response(503, "tracing is not enabled");
+    }
+    let query = req.path.split_once('?').map_or("", |(_, q)| q);
+    let mut min_ns = 0u64;
+    let mut errors_only = false;
+    let mut limit = 0usize;
+    let mut chrome = false;
+    for kv in query.split('&').filter(|s| !s.is_empty()) {
+        let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+        match k {
+            "min_ms" => min_ns = v.parse::<u64>().unwrap_or(0).saturating_mul(1_000_000),
+            "errors" => errors_only = v == "1" || v == "true",
+            "limit" => limit = v.parse().unwrap_or(0),
+            "format" => chrome = v == "chrome",
+            _ => return error_response(400, &format!("unknown query key: {k}")),
+        }
+    }
+    let traces = tracer.snapshot(min_ns, errors_only, limit);
+    let body = if chrome {
+        od_obs::trace::to_chrome(&traces)
+    } else {
+        od_obs::trace::to_json(&traces)
+    };
+    Response::json(200, body.into_bytes())
 }
 
 /// Readiness: NOT-READY while draining or when any shard has no live
@@ -590,7 +682,7 @@ fn deadline_of(inner: &Inner, req: &ParsedRequest) -> Instant {
 }
 
 /// `POST /v1/score`: body is a [`GroupInput`]; sharded by user id.
-fn score(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
+fn score(inner: &Arc<Inner>, req: &ParsedRequest, ctx: od_obs::trace::TraceContext) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return error_response(400, "body is not utf-8"),
@@ -601,7 +693,7 @@ fn score(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
     };
     let deadline = deadline_of(inner, req);
     let shard = &inner.shards[group.user.index() % inner.shards.len()];
-    let ticket = match shard.engine().submit_with_deadline(group, Some(deadline)) {
+    let ticket = match shard.engine().submit_traced(group, Some(deadline), ctx) {
         Submit::Accepted(t) => t,
         Submit::Rejected(_) => {
             return error_response(429, "backpressure").with_header("Retry-After", "1")
@@ -634,12 +726,16 @@ fn score(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
             r.close = true;
             r
         }
-        Err(e) => serve_error_response(inner, e),
+        Err(e) => serve_error_response(inner, e, ctx),
     }
 }
 
 /// `POST /v1/recommend`: run the full funnel for one user.
-fn recommend(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
+fn recommend(
+    inner: &Arc<Inner>,
+    req: &ParsedRequest,
+    ctx: od_obs::trace::TraceContext,
+) -> Response {
     let body = match std::str::from_utf8(&req.body) {
         Ok(s) => s,
         Err(_) => return error_response(400, "body is not utf-8"),
@@ -659,9 +755,9 @@ fn recommend(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
     let user = UserId(ask.user as u32);
     let deadline = deadline_of(inner, req);
     let featurizer = Arc::clone(&inner.featurizer);
-    match shard
-        .recommend_with_deadline(user, ask.k, Some(deadline), |pairs| featurizer(user, pairs))
-    {
+    match shard.recommend_traced(user, ask.k, Some(deadline), ctx, |pairs| {
+        featurizer(user, pairs)
+    }) {
         Ok(rec) => {
             let body = RecommendResponse {
                 pairs: rec
@@ -686,18 +782,31 @@ fn recommend(inner: &Arc<Inner>, req: &ParsedRequest) -> Response {
                 Err(_) => error_response(500, "serialization failed"),
             }
         }
-        Err(e) => serve_error_response(inner, e),
+        Err(e) => serve_error_response(inner, e, ctx),
     }
 }
 
 /// The overload ladder: map a typed [`ServeError`] on a resolved ticket
 /// to its status. `Rejected` *after* acceptance means the engine shut
 /// down (or force-drained) under the caller — 503, while backpressure at
-/// submit is the 429 handled at the submit site.
-fn serve_error_response(inner: &Arc<Inner>, e: ServeError) -> Response {
+/// submit is the 429 handled at the submit site. The deadline/panic
+/// failure surfaces name the trace id so the body alone is enough to pull
+/// the captured trace from `/debug/traces`.
+fn serve_error_response(
+    inner: &Arc<Inner>,
+    e: ServeError,
+    ctx: od_obs::trace::TraceContext,
+) -> Response {
+    let traced = |why: &str| {
+        if ctx.is_active() {
+            format!("{why} (trace {})", od_obs::trace::hex_id(ctx.trace_id))
+        } else {
+            why.to_string()
+        }
+    };
     match e {
-        ServeError::DeadlineExceeded => error_response(504, "deadline exceeded"),
-        ServeError::WorkerPanicked => error_response(500, "worker panicked"),
+        ServeError::DeadlineExceeded => error_response(504, &traced("deadline exceeded")),
+        ServeError::WorkerPanicked => error_response(500, &traced("worker panicked")),
         ServeError::InvalidInput(err) => error_response(400, &format!("invalid group: {err:?}")),
         ServeError::Rejected => {
             if inner.draining.load(Ordering::SeqCst) {

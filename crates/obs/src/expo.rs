@@ -11,6 +11,14 @@
 //! mandatory `+Inf` bucket; the exposition lint in
 //! `crates/obs/tests/exposition.rs` parses the output back and checks the
 //! format invariants.
+//!
+//! Buckets whose histogram captured an exemplar (see
+//! [`LatencyHistogram::record_exemplar`](crate::LatencyHistogram::record_exemplar))
+//! carry it in OpenMetrics exemplar syntax —
+//! `…_bucket{le="X"} N # {trace_id="<16-hex>"} value` — so a tail bucket
+//! links directly to a trace in `/debug/traces`. Plain-Prometheus
+//! scrapers that split on the first space still parse the line; the lint
+//! validates the exemplar grammar too.
 
 use crate::registry::{Snapshot, Value};
 use std::fmt::Write;
@@ -72,6 +80,21 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
             }
             Value::Histogram(h) => {
                 let total = h.count();
+                // Exemplars keyed by their bucket's upper bound; the
+                // overflow bucket's (hi == u64::MAX) rides on +Inf.
+                let exemplar_at = |hi: u64| -> String {
+                    h.exemplars()
+                        .iter()
+                        .find(|e| crate::hist::bucket_bounds(e.bucket).1 == hi)
+                        .map(|e| {
+                            format!(
+                                " # {{trace_id=\"{e:016x}\"}} {v}",
+                                e = e.trace_id,
+                                v = e.value
+                            )
+                        })
+                        .unwrap_or_default()
+                };
                 for (hi, cum) in h.cumulative() {
                     // The overflow bucket's bound is u64::MAX; it is
                     // indistinguishable from +Inf, which follows anyway.
@@ -81,16 +104,18 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
                     let le = hi.to_string();
                     let _ = writeln!(
                         out,
-                        "{}_bucket{} {cum}",
+                        "{}_bucket{} {cum}{}",
                         s.name,
-                        label_block(&s.labels, Some(("le", &le)))
+                        label_block(&s.labels, Some(("le", &le))),
+                        exemplar_at(hi)
                     );
                 }
                 let _ = writeln!(
                     out,
-                    "{}_bucket{} {total}",
+                    "{}_bucket{} {total}{}",
                     s.name,
-                    label_block(&s.labels, Some(("le", "+Inf")))
+                    label_block(&s.labels, Some(("le", "+Inf"))),
+                    exemplar_at(u64::MAX)
                 );
                 let _ = writeln!(
                     out,
@@ -225,6 +250,28 @@ mod tests {
         assert!(text.contains("odnet_wait_ns_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("odnet_wait_ns_sum 1000"));
         assert!(text.contains("odnet_wait_ns_count 2"));
+    }
+
+    #[test]
+    fn exemplars_render_in_openmetrics_syntax() {
+        let reg = Registry::new();
+        let h = reg.histogram("odnet_e2e_ns", "Request e2e");
+        h.record(100);
+        h.record_exemplar(900, 0xabcd);
+        let text = reg.snapshot().to_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.contains(" # "))
+            .expect("an exemplar-bearing bucket line");
+        assert!(
+            line.contains("# {trace_id=\"000000000000abcd\"} 900"),
+            "bad exemplar syntax: {line}"
+        );
+        // Un-exemplared buckets stay plain.
+        assert!(text
+            .lines()
+            .filter(|l| l.starts_with("odnet_e2e_ns_bucket"))
+            .any(|l| !l.contains(" # ")));
     }
 
     #[test]

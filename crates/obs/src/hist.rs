@@ -97,6 +97,17 @@ struct HistShard {
     max: AtomicU64,
 }
 
+/// Most-recent exemplar per bucket: the trace id and value of the last
+/// sample recorded through [`LatencyHistogram::record_exemplar`].
+/// Unsharded — exemplar-bearing samples are the tail-sampled minority —
+/// and the two cells are written with independent relaxed stores: a torn
+/// pair still pairs a value with *a* trace that landed in the same
+/// bucket, which is all an exemplar promises.
+struct ExemplarSlot {
+    trace_id: AtomicU64, // 0 = none recorded yet
+    value: AtomicU64,
+}
+
 impl Default for HistShard {
     fn default() -> Self {
         HistShard {
@@ -112,12 +123,19 @@ impl Default for HistShard {
 #[derive(Clone)]
 pub struct LatencyHistogram {
     shards: Arc<[HistShard; HIST_SHARDS]>,
+    exemplars: Arc<[ExemplarSlot]>,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram {
             shards: Arc::new(std::array::from_fn(|_| HistShard::default())),
+            exemplars: (0..NUM_BUCKETS)
+                .map(|_| ExemplarSlot {
+                    trace_id: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
         }
     }
 }
@@ -144,6 +162,19 @@ impl LatencyHistogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Record one sample and stamp its bucket's exemplar with `trace_id`,
+    /// so the exposition can link the bucket to a captured trace
+    /// (OpenMetrics exemplar syntax). A zero trace id records plainly.
+    #[inline]
+    pub fn record_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            let slot = &self.exemplars[bucket_index(v)];
+            slot.value.store(v, Ordering::Relaxed);
+            slot.trace_id.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Merge the thread-shards into an owned snapshot. Safe concurrent
     /// with writers; see the module docs for what a mid-storm snapshot
     /// means.
@@ -158,7 +189,23 @@ impl LatencyHistogram {
             sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
             max = max.max(shard.max.load(Ordering::Relaxed));
         }
-        HistogramSnapshot { counts, sum, max }
+        let exemplars = self
+            .exemplars
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.trace_id.load(Ordering::Relaxed) != 0)
+            .map(|(bucket, e)| Exemplar {
+                bucket,
+                value: e.value.load(Ordering::Relaxed),
+                trace_id: e.trace_id.load(Ordering::Relaxed),
+            })
+            .collect();
+        HistogramSnapshot {
+            counts,
+            sum,
+            max,
+            exemplars,
+        }
     }
 }
 
@@ -184,6 +231,18 @@ pub struct Bucket {
     pub count: u64,
 }
 
+/// A recent trace that landed in a bucket — the payload of the
+/// OpenMetrics exemplar the exposition attaches to that bucket's series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index the exemplar belongs to.
+    pub bucket: usize,
+    /// The recorded value (always within the bucket's bounds).
+    pub value: u64,
+    /// The trace id, non-zero.
+    pub trace_id: u64,
+}
+
 /// An owned, immutable copy of a histogram's state: plain `u64`s that
 /// merge associatively and answer quantile queries.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,6 +252,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest recorded value, tracked exactly.
     pub max: u64,
+    /// Per-bucket exemplars (at most one per non-empty bucket).
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -201,6 +262,7 @@ impl Default for HistogramSnapshot {
             counts: vec![0; NUM_BUCKETS],
             sum: 0,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 }
@@ -259,6 +321,14 @@ impl HistogramSnapshot {
         }
         self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
+        // Exemplars: keep ours per bucket, adopt the other's for buckets
+        // we have none for (there is no recency order across snapshots).
+        for e in &other.exemplars {
+            if !self.exemplars.iter().any(|m| m.bucket == e.bucket) {
+                self.exemplars.push(*e);
+            }
+        }
+        self.exemplars.sort_by_key(|e| e.bucket);
     }
 
     /// The samples recorded between `earlier` (an older snapshot of the
@@ -275,7 +345,13 @@ impl HistogramSnapshot {
                 .collect(),
             sum: self.sum.wrapping_sub(earlier.sum),
             max: self.max,
+            exemplars: self.exemplars.clone(),
         }
+    }
+
+    /// The exemplars captured in this snapshot, in bucket order.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
     }
 
     /// The non-empty buckets, in value order.
@@ -392,6 +468,37 @@ mod tests {
         let delta = h.snapshot().delta_since(&early);
         assert_eq!(delta.count(), 1);
         assert_eq!(delta.sum, 30);
+    }
+
+    #[test]
+    fn exemplars_stamp_the_sample_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(900); // plain sample: no exemplar
+        h.record_exemplar(905, 0xdead_beef);
+        h.record_exemplar(17, 0x1234);
+        let s = h.snapshot();
+        let ex = s.exemplars();
+        assert_eq!(ex.len(), 2);
+        for e in ex {
+            let (lo, hi) = bucket_bounds(e.bucket);
+            assert!((lo..=hi).contains(&e.value), "exemplar outside bucket");
+        }
+        assert!(ex.iter().any(|e| e.trace_id == 0xdead_beef));
+        // A later sample in the same bucket replaces the exemplar.
+        h.record_exemplar(906, 0xfeed);
+        let ex2 = h.snapshot();
+        assert!(ex2.exemplars().iter().any(|e| e.trace_id == 0xfeed));
+        assert!(!ex2.exemplars().iter().any(|e| e.trace_id == 0xdead_beef));
+        // Merge keeps self's exemplar for contested buckets, adopts
+        // the other's for new ones.
+        let other = LatencyHistogram::new();
+        other.record_exemplar(903, 0xaaaa);
+        other.record_exemplar(1_000_000, 0xbbbb);
+        let mut m = h.snapshot();
+        m.merge(&other.snapshot());
+        assert!(m.exemplars().iter().any(|e| e.trace_id == 0xfeed));
+        assert!(m.exemplars().iter().any(|e| e.trace_id == 0xbbbb));
+        assert!(!m.exemplars().iter().any(|e| e.trace_id == 0xaaaa));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   and answer conservative quantile queries (`p50`/`p95`/`p99` never
 //!   exceed the exactly-tracked max). Property tests in `tests/` pin the
 //!   bucket-bound and merge invariants.
+//! - [`trace`] — request-scoped tracing with tail sampling: spans
+//!   stamped by the same TSC clock, a bounded ring of kept traces, and
+//!   histogram [exemplars](Exemplar) linking tail buckets to the trace
+//!   that landed there.
 //! - [`Registry`] — a process-global catalogue of instruments.
 //!   Registering hands back a cheap clonable handle; a
 //!   [snapshot](Registry::snapshot) merges same-named series (so several
@@ -48,8 +52,11 @@ mod expo;
 mod hist;
 mod registry;
 mod scalar;
+pub mod trace;
 
 pub use expo::{render_json, render_prometheus};
-pub use hist::{bucket_bounds, bucket_index, Bucket, HistogramSnapshot, LatencyHistogram};
+pub use hist::{
+    bucket_bounds, bucket_index, Bucket, Exemplar, HistogramSnapshot, LatencyHistogram,
+};
 pub use registry::{global, Kind, Registry, Series, Snapshot, Value};
 pub use scalar::{Counter, FloatGauge, Gauge};

@@ -6,7 +6,10 @@
 //! - histogram `_bucket` series are cumulative and non-decreasing in
 //!   `le` order, end with `le="+Inf"`, and the `+Inf` count equals the
 //!   `_count` sample;
-//! - no duplicate `(name, labels)` sample lines.
+//! - no duplicate `(name, labels)` sample lines;
+//! - OpenMetrics exemplars (`… # {trace_id="…"} value`) appear only on
+//!   `_bucket` lines, carry a 16-hex-digit `trace_id`, and their value
+//!   lies at or below the bucket's `le` bound.
 
 use od_obs::Registry;
 use std::collections::{HashMap, HashSet};
@@ -17,6 +20,7 @@ struct Sample {
     name: String,
     labels: Vec<(String, String)>,
     value: f64,
+    exemplar: Option<(Vec<(String, String)>, f64)>,
 }
 
 fn parse_labels(block: &str) -> Vec<(String, String)> {
@@ -78,7 +82,25 @@ fn parse(text: &str) -> (HashMap<String, String>, Vec<Sample>) {
         if line.starts_with('#') {
             continue; // HELP or comment
         }
-        let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+        // An OpenMetrics exemplar rides after ` # ` on a sample line:
+        // `name{labels} value # {k="v",…} exemplar_value`.
+        let (body, exemplar) = match line.split_once(" # ") {
+            Some((body, ex)) => {
+                let ex = ex.trim();
+                let rest = ex
+                    .strip_prefix('{')
+                    .expect("exemplar must open a label set");
+                let close = rest.find('}').expect("unclosed exemplar label set");
+                let labels = parse_labels(&rest[..close]);
+                let val = rest[close + 1..].trim();
+                let val: f64 = val
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad exemplar value in {line:?}"));
+                (body, Some((labels, val)))
+            }
+            None => (line, None),
+        };
+        let (series, value) = body.rsplit_once(' ').expect("sample line needs a value");
         let value: f64 = if value == "+Inf" {
             f64::INFINITY
         } else {
@@ -98,6 +120,7 @@ fn parse(text: &str) -> (HashMap<String, String>, Vec<Sample>) {
             name,
             labels,
             value,
+            exemplar,
         });
     }
     (types, samples)
@@ -121,6 +144,9 @@ fn fixture() -> Registry {
     for v in [0u64, 3, 17, 900, 901, 65_536, 1_000_000, 123_456_789] {
         h.record(v);
     }
+    // Tail-sampled traces stamp exemplars into their sample's bucket.
+    h.record_exemplar(123_456_790, 0x00c0_ffee);
+    h.record_exemplar(902, 0xfade_dbee);
     // Labeled + merged variants exercise the grouping logic.
     let w0 = reg.histogram_with("od_test_forward_ns", "Forward time", &[("worker", "0")]);
     let w1 = reg.histogram_with("od_test_forward_ns", "Forward time", &[("worker", "1")]);
@@ -266,6 +292,65 @@ fn exposition_parses_back_with_valid_structure() {
     };
     assert_eq!(e2e_count("score"), 3.0);
     assert_eq!(e2e_count("recommend"), 1.0);
+}
+
+#[test]
+fn exemplars_are_wellformed_and_bucket_scoped() {
+    let reg = fixture();
+    let text = reg.snapshot().to_prometheus();
+    let (_, samples) = parse(&text);
+
+    let with_ex: Vec<&Sample> = samples.iter().filter(|s| s.exemplar.is_some()).collect();
+    assert_eq!(
+        with_ex.len(),
+        2,
+        "fixture records exactly two exemplars (one per bucket)"
+    );
+    for s in &samples {
+        let Some((labels, value)) = &s.exemplar else {
+            continue;
+        };
+        // Exemplars only attach to histogram bucket series.
+        assert!(
+            s.name.ends_with("_bucket"),
+            "exemplar on non-bucket sample {}",
+            s.name
+        );
+        // trace_id label, 16 lower-case hex digits.
+        let tid = labels
+            .iter()
+            .find(|(k, _)| k == "trace_id")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or_else(|| panic!("exemplar on {} lacks trace_id", s.name));
+        assert_eq!(tid.len(), 16, "trace_id {tid:?} not 16 hex digits");
+        assert!(tid
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        // The exemplar's value must lie at or below the bucket bound.
+        let le = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| {
+                if v == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    v.parse::<f64>().expect("numeric le")
+                }
+            })
+            .expect("_bucket carries le");
+        assert!(
+            *value <= le,
+            "exemplar value {value} above bucket le {le} on {}",
+            s.name
+        );
+    }
+    assert!(
+        with_ex
+            .iter()
+            .any(|s| s.exemplar.as_ref().unwrap().1 == 123_456_790.0),
+        "tail exemplar survived to the exposition"
+    );
 }
 
 #[test]

@@ -128,6 +128,20 @@ pub struct RetrievalStats {
     pub select_ns: u64,
 }
 
+impl RetrievalStats {
+    /// The three timed stages in execution order, as `(name, ns)` pairs.
+    /// Tracing uses this to synthesize `route`/`scan`/`select` child
+    /// spans under a query's `retrieval` span without the trace layer
+    /// knowing the stage set.
+    pub fn stages(&self) -> [(&'static str, u64); 3] {
+        [
+            ("route", self.route_ns),
+            ("scan", self.scan_ns),
+            ("select", self.select_ns),
+        ]
+    }
+}
+
 /// A retrieval answer: pairs in canonical order (score descending, pair
 /// index ascending) plus the query's cost accounting.
 #[derive(Clone, Debug)]

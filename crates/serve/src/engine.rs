@@ -57,6 +57,7 @@ use crate::metrics::{EngineMetrics, HistSummary};
 use crate::oneshot;
 use crate::queue::Queue;
 use crate::sync;
+use od_obs::trace::{self, TraceContext, NO_ATTRS};
 use od_tensor::infer::Workspace;
 use odnet_core::{FrozenOdNet, GroupInput, InvalidInput};
 use std::collections::HashMap;
@@ -229,9 +230,12 @@ struct Request {
     /// Taken (exactly once) when the request is answered.
     tx: Option<oneshot::Sender<Response>>,
     /// Stage clock origin (an [`od_obs::clock`] stamp), taken at submit
-    /// when [`EngineConfig::stage_timing`] is on: queue wait and
-    /// end-to-end latency are measured from here.
+    /// when [`EngineConfig::stage_timing`] is on — or when the request is
+    /// traced: queue wait and end-to-end latency are measured from here.
     submitted: Option<od_obs::clock::Stamp>,
+    /// Trace the request records spans into (inactive when untraced —
+    /// every trace site then costs one branch).
+    ctx: TraceContext,
 }
 
 /// Snapshot of the engine's counters.
@@ -481,18 +485,40 @@ impl Engine {
     /// it is dropped and resolves with [`ServeError::DeadlineExceeded`]
     /// instead of being scored late.
     pub fn submit_with_deadline(&self, group: GroupInput, deadline: Option<Instant>) -> Submit {
+        self.submit_traced(group, deadline, TraceContext::NONE)
+    }
+
+    /// [`submit_with_deadline`](Self::submit_with_deadline) carrying a
+    /// trace context: the request's admission, queue wait, coalesce, and
+    /// forward stages record spans into `ctx`'s trace, and the forward
+    /// span is stamped with the batch sequence and artifact epoch that
+    /// scored it. Pass [`TraceContext::NONE`] when untraced.
+    pub fn submit_traced(
+        &self,
+        group: GroupInput,
+        deadline: Option<Instant>,
+        ctx: TraceContext,
+    ) -> Submit {
         let metrics = &self.shared.metrics;
         // The stage clock starts before validation so `od_request_e2e_ns`
-        // covers the full lifecycle of an accepted request.
-        let submitted = self.shared.stage_timing.then(od_obs::clock::now);
+        // covers the full lifecycle of an accepted request. A traced
+        // request stamps regardless of stage timing — its spans need the
+        // same origins.
+        let submitted = (self.shared.stage_timing || ctx.is_active()).then(od_obs::clock::now);
         if let Err(error) = self.shared.handle.load().model.validate_group(&group) {
             metrics.invalid.inc();
             return Submit::Invalid { group, error };
         }
         if let Some(t0) = submitted {
-            metrics
-                .validate_ns
-                .record(od_obs::clock::ns_between(t0, od_obs::clock::now()));
+            let done = od_obs::clock::now();
+            if self.shared.stage_timing {
+                metrics
+                    .validate_ns
+                    .record(od_obs::clock::ns_between(t0, done));
+            }
+            if ctx.is_active() {
+                trace::global().record(ctx, "admission", t0, done);
+            }
         }
         let (tx, rx) = oneshot::channel();
         match self.shared.queue.try_push(Request {
@@ -500,6 +526,7 @@ impl Engine {
             deadline,
             tx: Some(tx),
             submitted,
+            ctx,
         }) {
             Ok(()) => {
                 metrics.submitted.inc();
@@ -714,14 +741,20 @@ fn worker_run(shared: &Shared, idx: usize) -> bool {
         shared.metrics.queue_depth.sub(batch.len() as i64);
         // Queue wait is stamped at drain, before expiry: expired requests
         // waited too, and their wait is precisely what expired them.
-        if shared.stage_timing {
+        let any_traced = batch.iter().any(|r| r.ctx.is_active());
+        if shared.stage_timing || any_traced {
             let drained = od_obs::clock::now();
             for req in &batch {
                 if let Some(t0) = req.submitted {
-                    shared
-                        .metrics
-                        .queue_wait_ns
-                        .record(od_obs::clock::ns_between(t0, drained));
+                    if shared.stage_timing {
+                        shared
+                            .metrics
+                            .queue_wait_ns
+                            .record(od_obs::clock::ns_between(t0, drained));
+                    }
+                    if req.ctx.is_active() {
+                        trace::global().record(req.ctx, "queue_wait", t0, drained);
+                    }
                 }
             }
         }
@@ -736,23 +769,32 @@ fn worker_run(shared: &Shared, idx: usize) -> bool {
             if let Some(fp) = &shared.fail {
                 fp(FailSite::BeforeBatch, seq);
             }
-            let plan_start = shared.stage_timing.then(od_obs::clock::now);
+            let plan_start = (shared.stage_timing || any_traced).then(od_obs::clock::now);
             if shared.coalesce {
                 plan.build(&batch);
             } else {
                 plan.singletons(batch.len());
             }
             if let Some(t0) = plan_start {
-                shared
-                    .metrics
-                    .coalesce_ns
-                    .record(od_obs::clock::ns_between(t0, od_obs::clock::now()));
+                let done = od_obs::clock::now();
+                if shared.stage_timing {
+                    shared
+                        .metrics
+                        .coalesce_ns
+                        .record(od_obs::clock::ns_between(t0, done));
+                }
+                // The plan covers the whole drain; each traced member
+                // carries the span so its trace shows the wait.
+                for req in batch.iter().filter(|r| r.ctx.is_active()) {
+                    trace::global().record(req.ctx, "coalesce", t0, done);
+                }
             }
             for set in plan.sets() {
                 score_set(
                     shared,
                     &slot,
                     idx,
+                    seq,
                     &mut ws,
                     &mut out,
                     &mut merged,
@@ -768,6 +810,21 @@ fn worker_run(shared: &Shared, idx: usize) -> bool {
             for req in batch.iter_mut() {
                 if let Some(tx) = req.tx.take() {
                     shared.metrics.panicked_requests.inc();
+                    if req.ctx.is_active() {
+                        // Make the fault visible in the trace before the
+                        // caller is told: the error span marks where the
+                        // panic isolation resolved this request.
+                        let now = od_obs::clock::now();
+                        trace::global().record_full(
+                            req.ctx,
+                            "worker_panic",
+                            now,
+                            now,
+                            0,
+                            true,
+                            [("batch", seq), ("", 0)],
+                        );
+                    }
                     tx.send(Err(ServeError::WorkerPanicked));
                 }
             }
@@ -793,6 +850,18 @@ fn drop_expired(shared: &Shared, batch: &mut Vec<Request>) {
     batch.retain_mut(|req| match req.deadline {
         Some(d) if d <= now => {
             shared.metrics.expired.inc();
+            if req.ctx.is_active() {
+                let stamp = od_obs::clock::now();
+                trace::global().record_full(
+                    req.ctx,
+                    "expired",
+                    req.submitted.unwrap_or(stamp),
+                    stamp,
+                    0,
+                    true,
+                    NO_ATTRS,
+                );
+            }
             req.take_tx().send(Err(ServeError::DeadlineExceeded));
             false
         }
@@ -836,12 +905,14 @@ fn supervisor_loop(shared: &Arc<Shared>) {
 /// Score one coalesced set of requests (indices into `batch`) against one
 /// model generation and scatter the per-request score slices back through
 /// their oneshots. `widx` is the worker slot, keying the per-worker
-/// forward-time histogram.
+/// forward-time histogram; `seq` is the engine-global batch sequence the
+/// forward spans are stamped with.
 #[allow(clippy::too_many_arguments)]
 fn score_set(
     shared: &Shared,
     slot: &VersionSlot,
     widx: usize,
+    seq: u64,
     ws: &mut Workspace,
     out: &mut Vec<(f32, f32)>,
     merged: &mut GroupInput,
@@ -851,32 +922,58 @@ fn score_set(
     let metrics = &shared.metrics;
     metrics.forwards.inc();
     metrics.batch_size.record(set.len() as u64);
+    // Batch sequence + artifact epoch: the two coordinates a trace needs
+    // to answer "which batch did this ride, and which generation scored
+    // it".
+    let fwd_attrs = [("batch", seq), ("epoch", slot.version.epoch)];
     if set.len() == 1 {
         let req = &mut batch[set[0]];
-        let fwd_start = shared.stage_timing.then(od_obs::clock::now);
+        let traced = req.ctx.is_active();
+        let fwd_start = (shared.stage_timing || traced).then(od_obs::clock::now);
         slot.model.score_group_into(ws, &req.group, out);
         let fwd_end = fwd_start.map(|t0| {
             let now = od_obs::clock::now();
-            metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+            if shared.stage_timing {
+                metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+            }
             now
         });
+        if traced {
+            trace::global().record_full(
+                req.ctx,
+                "forward",
+                fwd_start.unwrap_or_default(),
+                fwd_end.unwrap_or_default(),
+                0,
+                false,
+                fwd_attrs,
+            );
+        }
         // Count before sending: the oneshot's lock handoff then publishes
         // the increment to whoever observes the response.
         metrics.completed.inc();
         slot.requests.inc();
         slot.scores.add(out.len() as u64);
         let submitted = req.submitted;
+        let trace_id = req.ctx.trace_id;
         req.take_tx().send(Ok(ScoredResponse {
             scores: out.clone(),
             version: slot.version,
         }));
         if let Some(t1) = fwd_end {
             let done = od_obs::clock::now();
-            metrics
-                .scatter_ns
-                .record(od_obs::clock::ns_between(t1, done));
-            if let Some(t0) = submitted {
-                metrics.e2e_ns.record(od_obs::clock::ns_between(t0, done));
+            if shared.stage_timing {
+                metrics
+                    .scatter_ns
+                    .record(od_obs::clock::ns_between(t1, done));
+                if let Some(t0) = submitted {
+                    // The exemplar links this bucket of the e2e histogram
+                    // to the trace that landed there (no-op id 0 when
+                    // untraced).
+                    metrics
+                        .e2e_ns
+                        .record_exemplar(od_obs::clock::ns_between(t0, done), trace_id);
+                }
             }
         }
         return;
@@ -891,13 +988,37 @@ fn score_set(
             .candidates
             .extend_from_slice(&batch[i].group.candidates);
     }
-    let fwd_start = shared.stage_timing.then(od_obs::clock::now);
+    let any_traced = set.iter().any(|&i| batch[i].ctx.is_active());
+    let fwd_start = (shared.stage_timing || any_traced).then(od_obs::clock::now);
     slot.model.score_group_into(ws, merged, out);
     let fwd_end = fwd_start.map(|t0| {
         let now = od_obs::clock::now();
-        metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+        if shared.stage_timing {
+            metrics.forward_ns[widx].record(od_obs::clock::ns_between(t0, now));
+        }
         now
     });
+    if any_traced {
+        // The set's first member is the coalesce leader; followers link
+        // their forward span to the leader's, so a trace shows not just
+        // "I rode batch N" but *whose* forward it shared.
+        let (t0, t1) = (fwd_start.unwrap_or_default(), fwd_end.unwrap_or_default());
+        let leader_span =
+            trace::global().record_full(batch[set[0]].ctx, "forward", t0, t1, 0, false, fwd_attrs);
+        for &i in &set[1..] {
+            if batch[i].ctx.is_active() {
+                trace::global().record_full(
+                    batch[i].ctx,
+                    "forward",
+                    t0,
+                    t1,
+                    leader_span,
+                    false,
+                    fwd_attrs,
+                );
+            }
+        }
+    }
     slot.scores.add(out.len() as u64);
     let mut offset = 0;
     for &i in set {
@@ -915,12 +1036,17 @@ fn score_set(
     // shares it as its end-to-end endpoint.
     if let Some(t1) = fwd_end {
         let done = od_obs::clock::now();
-        metrics
-            .scatter_ns
-            .record(od_obs::clock::ns_between(t1, done));
-        for &i in set {
-            if let Some(t0) = batch[i].submitted {
-                metrics.e2e_ns.record(od_obs::clock::ns_between(t0, done));
+        if shared.stage_timing {
+            metrics
+                .scatter_ns
+                .record(od_obs::clock::ns_between(t1, done));
+            for &i in set {
+                if let Some(t0) = batch[i].submitted {
+                    metrics.e2e_ns.record_exemplar(
+                        od_obs::clock::ns_between(t0, done),
+                        batch[i].ctx.trace_id,
+                    );
+                }
             }
         }
     }

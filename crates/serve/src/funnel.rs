@@ -35,6 +35,7 @@ use crate::error::ServeError;
 use crate::handle::ArtifactVersion;
 use crate::sync;
 use od_hsg::{CityId, UserId};
+use od_obs::trace::{self, TraceContext, NO_ATTRS};
 use od_obs::{global, Counter, FloatGauge, LatencyHistogram};
 use od_retrieval::{recall_against_exact, RetrievalConfig, RetrievalStats, Retriever, Tier};
 use odnet_core::{FrozenOdNet, GroupInput};
@@ -279,9 +280,62 @@ impl Funnel {
     where
         F: FnOnce(&[od_retrieval::ScoredPair]) -> GroupInput,
     {
+        self.recommend_traced(user, k, deadline, TraceContext::NONE, make_group)
+    }
+
+    /// [`recommend_with_deadline`](Self::recommend_with_deadline)
+    /// carrying a trace context: the retrieval stage records a
+    /// `retrieval` span with `route`/`scan`/`select` children synthesized
+    /// from [`RetrievalStats`], and the ranking submit threads the
+    /// context into the engine so one trace shows the whole funnel.
+    pub fn recommend_traced<F>(
+        &self,
+        user: UserId,
+        k: usize,
+        deadline: Option<std::time::Instant>,
+        ctx: TraceContext,
+        make_group: F,
+    ) -> Result<Recommendation, ServeError>
+    where
+        F: FnOnce(&[od_retrieval::ScoredPair]) -> GroupInput,
+    {
         let slot = Arc::clone(&sync::lock(&self.slot));
         let tier = self.config.tier;
+        let ret_start = ctx.is_active().then(od_obs::clock::now);
         let retrieved = slot.retriever.top_k(user, k, tier);
+        if let Some(t0) = ret_start {
+            let t1 = od_obs::clock::now();
+            let tracer = trace::global();
+            let parent = tracer.record_full(
+                ctx,
+                "retrieval",
+                t0,
+                t1,
+                0,
+                false,
+                [
+                    ("scanned", retrieved.stats.scanned),
+                    ("epoch", slot.version.epoch),
+                ],
+            );
+            // The stage durations were measured inside top_k; lay them
+            // out sequentially from the span's start, clamped into the
+            // parent interval (the two clocks — Instant inside, TSC
+            // outside — can disagree by calibration error).
+            let sub = ctx.child(parent);
+            let p0 = tracer.since_epoch_ns(t0);
+            let p_dur = od_obs::clock::ns_between(t0, t1);
+            let mut off = 0u64;
+            for (name, dur) in retrieved.stats.stages() {
+                if dur == 0 {
+                    continue;
+                }
+                let start = off.min(p_dur);
+                let len = dur.min(p_dur - start);
+                tracer.record_ext(sub, name, p0 + start, len, 0, false, NO_ATTRS);
+                off = start + len;
+            }
+        }
         self.metrics.record(tier, &retrieved.stats);
 
         // Sampled recall probe: every Nth pruned request also runs the
@@ -314,7 +368,7 @@ impl Funnel {
             retrieved.pairs.len(),
             "featurizer must keep the retrieved candidate order"
         );
-        let ticket = match self.engine.submit_with_deadline(group, deadline) {
+        let ticket = match self.engine.submit_traced(group, deadline, ctx) {
             Submit::Accepted(t) => t,
             Submit::Rejected(_) => return Err(ServeError::Rejected),
             Submit::Invalid { error, .. } => return Err(ServeError::InvalidInput(error)),

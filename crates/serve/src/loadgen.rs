@@ -176,6 +176,7 @@ fn drive_inner(
             .map(|_| {
                 s.spawn(|| {
                     let lat = LatencyHistogram::new();
+                    let mut rid = String::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {
@@ -183,9 +184,24 @@ fn drive_inner(
                         }
                         let gi = i % groups.len();
                         let mut group = groups[gi].clone();
+                        // The load generator is the root of the pipeline
+                        // here (no HTTP tier in front), so it opens the
+                        // trace — exactly what the overhead bench measures
+                        // when comparing tracing on/off. The id buffer is
+                        // reused so the bench prices the tracer, not the
+                        // harness's string formatting.
+                        let ctx = if od_obs::trace::enabled() {
+                            use std::fmt::Write as _;
+                            rid.clear();
+                            let _ = write!(rid, "lg-{i}");
+                            od_obs::trace::global().begin(&rid)
+                        } else {
+                            od_obs::trace::TraceContext::NONE
+                        };
+                        let t0 = ctx.is_active().then(od_obs::clock::now);
                         let begin = Instant::now();
                         let outcome = loop {
-                            match engine.submit(group) {
+                            match engine.submit_traced(group, None, ctx) {
                                 Submit::Accepted(ticket) => break ticket.wait(),
                                 Submit::Rejected(back) => {
                                     rejected.fetch_add(1, Ordering::Relaxed);
@@ -198,6 +214,15 @@ fn drive_inner(
                             }
                         };
                         lat.record_duration(begin.elapsed());
+                        if let Some(t0) = t0 {
+                            od_obs::trace::global().end(
+                                ctx,
+                                "request",
+                                t0,
+                                od_obs::clock::now(),
+                                outcome.is_err(),
+                            );
+                        }
                         match outcome {
                             Ok(scores) => {
                                 if let Some(exp) = expected {
@@ -404,6 +429,12 @@ pub struct HttpLoadReport {
     /// 200 bodies that differed bit-wise from the precomputed direct
     /// scores — must be zero whenever verification is requested.
     pub mismatches: u64,
+    /// Request ids of the first few mismatched responses — the handle an
+    /// operator needs to pull the matching trace from `/debug/traces`.
+    pub mismatch_request_ids: Vec<String>,
+    /// Responses that failed to echo the client's `X-Request-Id` — must
+    /// be zero (every response carries the id, even rejections).
+    pub request_id_mismatches: u64,
     /// Non-200/429 responses (typed failures surface as statuses).
     pub failed: u64,
     /// Wall-clock span of the run in seconds.
@@ -444,13 +475,19 @@ pub fn drive_http(
     let rejected = AtomicU64::new(0);
     let reconnects = AtomicU64::new(0);
     let mismatches = AtomicU64::new(0);
+    let mismatch_ids: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+    let rid_mismatches = AtomicU64::new(0);
     let failed = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
     let started = Instant::now();
     let latencies = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|c| {
+                let mismatch_ids = &mismatch_ids;
+                let (next, bodies) = (&next, &bodies);
+                let (rejected, reconnects, mismatches) = (&rejected, &reconnects, &mismatches);
+                let (rid_mismatches, failed, completed) = (&rid_mismatches, &failed, &completed);
+                s.spawn(move || {
                     let lat = LatencyHistogram::new();
                     let mut conn = TcpStream::connect(addr).expect("connect load client");
                     let _ = conn.set_nodelay(true);
@@ -460,13 +497,17 @@ pub fn drive_http(
                             break;
                         }
                         let gi = i % groups.len();
+                        // Client-chosen id, echoed back by the tier on
+                        // every response — the correlation handle for
+                        // mismatch reports and captured traces.
+                        let rid = format!("lg-{c}-{i}");
                         let begin = Instant::now();
                         loop {
                             let resp = match http_request(
                                 &mut conn,
                                 "POST",
                                 "/v1/score",
-                                &[("Content-Type", "application/json")],
+                                &[("Content-Type", "application/json"), ("X-Request-Id", &rid)],
                                 Some(bodies[gi].as_bytes()),
                             ) {
                                 Ok(r) => r,
@@ -480,6 +521,9 @@ pub fn drive_http(
                                     continue;
                                 }
                             };
+                            if resp.header("x-request-id") != Some(rid.as_str()) {
+                                rid_mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
                             match resp.status {
                                 200 => {
                                     completed.fetch_add(1, Ordering::Relaxed);
@@ -492,6 +536,12 @@ pub fn drive_http(
                                             .is_some_and(|w| w.scores == exp[gi]);
                                         if !ok {
                                             mismatches.fetch_add(1, Ordering::Relaxed);
+                                            let mut ids = mismatch_ids
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner());
+                                            if ids.len() < 8 {
+                                                ids.push(rid.clone());
+                                            }
                                         }
                                     }
                                     break;
@@ -527,6 +577,8 @@ pub fn drive_http(
         rejected_retries: rejected.load(Ordering::Relaxed),
         reconnects: reconnects.load(Ordering::Relaxed),
         mismatches: mismatches.load(Ordering::Relaxed),
+        mismatch_request_ids: mismatch_ids.into_inner().unwrap_or_else(|e| e.into_inner()),
+        request_id_mismatches: rid_mismatches.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         requests_per_sec: completed as f64 / elapsed.max(1e-9),

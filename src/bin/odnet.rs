@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "serve-bench" => cmd_serve_bench(&flags),
         "metrics" => cmd_metrics(&flags),
+        "trace" => cmd_trace(&flags),
         "online" => cmd_online(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -71,12 +72,14 @@ USAGE:
   odnet freeze    --out BASE (--model FILE |
                   [--variant V] [--users N] [--cities N] [--embed-dim D])
   odnet serve     [--artifact FILE] [--users N] [--cities N] [--addr H:P]
-                  [--shards N] [--workers N] [--smoke]
+                  [--shards N] [--workers N] [--trace] [--smoke]
   odnet serve-bench [--artifact FILE] [--users N] [--cities N] [--workers N]
                   [--requests N] [--clients N] [--batch N] [--no-coalesce]
-                  [--check] [--inject-panics N] [--swap-every N]
+                  [--check] [--inject-panics N] [--swap-every N] [--trace]
                   [--no-stage-timing] [--metrics-json FILE] [--funnel [--top-k K]]
   odnet metrics   [--artifact FILE] [--json] [--out FILE] [--requests N]
+  odnet trace     --addr H:P [--min-ms N] [--errors] [--limit N]
+                  [--chrome FILE]
   odnet online    [--users N] [--cities N] [--rounds N] [--panel N]
                   [--top K] [--epochs N] [--seed N] [--ab-seed N]
                   [--workers N] [--out-dir DIR] [--metrics-jsonl FILE]
@@ -116,6 +119,16 @@ swap. With --funnel, serve-bench drives the retrieve -> rank funnel
 instead of raw engine groups and reports end-to-end throughput; --check
 then asserts every response came back full, in rank order, with both
 stage stamps on the same generation.
+
+`serve --trace` turns on request-scoped tracing (DESIGN.md S16): every
+request gets an X-Request-Id (client-supplied or minted) echoed on the
+response, and the tail sampler keeps slow/error traces (plus 1/64 of the
+rest) in an in-memory ring served by GET /debug/traces. `serve-bench
+--trace` drives the closed loop with tracing on and, with --check,
+asserts the ring is populated with well-formed span trees. `trace` pulls
+the ring from a running server: default prints the JSON document,
+--chrome FILE writes Chrome trace_event JSON loadable in
+chrome://tracing or Perfetto.
 
 `metrics` exercises the trainer and the serving engine briefly (including
 one mid-run hot publish, so the per-generation od_engine_version_* series
@@ -526,6 +539,17 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let shards_n = get_usize(flags, "shards", 2)?.max(1);
     let workers = get_usize(flags, "workers", 2)?.max(1);
     let smoke = flags.contains_key("smoke");
+    if smoke {
+        // The smoke injects an 80ms-stalled request and asserts the tail
+        // sampler captured it: a 40ms floor with no 1/N keeps means the
+        // ring holds exactly the slow traffic.
+        od_obs::trace::global().enable(od_obs::trace::TraceConfig {
+            slow_ns: 40_000_000,
+            sample_every: 0,
+        });
+    } else if flags.contains_key("trace") {
+        od_obs::trace::global().enable(od_obs::trace::TraceConfig::default());
+    }
     let addr = match flags.get("addr").filter(|a| !a.is_empty()) {
         Some(a) => a.clone(),
         // Smoke binds an ephemeral port so gates never collide.
@@ -596,6 +620,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         featurizer,
         ServerConfig {
             addr,
+            allow_debug_stall: smoke,
             ..ServerConfig::default()
         },
     )
@@ -607,7 +632,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if smoke {
         return serve_smoke(server, &model, &ds, &fx, checksum);
     }
-    eprintln!("routes: POST /v1/score  POST /v1/recommend  GET /healthz  GET /metrics");
+    eprintln!(
+        "routes: POST /v1/score  POST /v1/recommend  GET /healthz  GET /metrics  \
+         GET /debug/traces"
+    );
     eprintln!("close stdin (Ctrl-D) to drain and exit");
     let mut sink = String::new();
     loop {
@@ -683,6 +711,9 @@ fn serve_smoke(
     if resp.header("x-artifact-epoch") != Some("0") {
         return Err("smoke score: missing X-Artifact-Epoch response header".into());
     }
+    if resp.header("x-request-id").is_none() {
+        return Err("smoke score: response missing a minted X-Request-Id".into());
+    }
     println!(
         "smoke /v1/score: 200, {} scores bit-exact, stamped epoch 0 [{checksum:08x}]",
         scored.scores.len()
@@ -753,6 +784,115 @@ fn serve_smoke(
     }
     println!("smoke /healthz + /metrics: ready, exposition carries od_http_* series");
 
+    // Route 5: request-scoped tracing. Inject a deadline-slow request
+    // (the debug stall header is honored only under --smoke) and assert
+    // the tail sampler captured it over the real socket with the full
+    // span chain, then that the Chrome export of the same ring is valid
+    // trace_event JSON.
+    let ask = format!("{{\"user\":{},\"k\":5}}", group.user.0);
+    let resp = http_request(
+        &mut conn,
+        "POST",
+        "/v1/recommend",
+        &[("X-Request-Id", "smoke-slow-1"), ("X-Debug-Stall-Ms", "80")],
+        Some(ask.as_bytes()),
+    )
+    .map_err(|e| format!("smoke slow request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "smoke slow request: expected 200, got {} ({})",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    if resp.header("x-request-id") != Some("smoke-slow-1") {
+        return Err("smoke slow request: X-Request-Id was not echoed".into());
+    }
+    let resp = http_request(&mut conn, "GET", "/debug/traces?min_ms=40", &[], None)
+        .map_err(|e| format!("smoke traces request: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("smoke traces: expected 200, got {}", resp.status));
+    }
+    let doc: serde_json::Value = std::str::from_utf8(&resp.body)
+        .map_err(|_| "smoke traces: non-utf8 body".to_string())
+        .and_then(|s| {
+            serde_json::from_str(s)
+                .map_err(|e| format!("smoke traces: body is not valid JSON: {e}"))
+        })?;
+    let traces = doc
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .ok_or("smoke traces: no traces array")?;
+    let slow = traces
+        .iter()
+        .find(|t| t.get("request_id").and_then(|r| r.as_str()) == Some("smoke-slow-1"))
+        .ok_or("smoke traces: the stalled request was not tail-captured")?;
+    let spans = slow
+        .get("spans")
+        .and_then(|s| s.as_array())
+        .ok_or("smoke traces: captured trace has no spans")?;
+    if spans.len() < 6 {
+        return Err(format!(
+            "smoke traces: {} spans captured, want at least 6",
+            spans.len()
+        ));
+    }
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for want in [
+        "request",
+        "parse",
+        "admission",
+        "queue_wait",
+        "forward",
+        "retrieval",
+        "write",
+    ] {
+        if !names.contains(&want) {
+            return Err(format!(
+                "smoke traces: span chain missing {want:?} (captured: {names:?})"
+            ));
+        }
+    }
+    let fwd = spans
+        .iter()
+        .find(|s| s.get("name").and_then(|n| n.as_str()) == Some("forward"))
+        .ok_or("smoke traces: forward span vanished")?;
+    if fwd.get("batch").is_none() || fwd.get("epoch").is_none() {
+        return Err("smoke traces: forward span is missing batch/epoch attributes".into());
+    }
+    let resp = http_request(
+        &mut conn,
+        "GET",
+        "/debug/traces?min_ms=40&format=chrome",
+        &[],
+        None,
+    )
+    .map_err(|e| format!("smoke chrome traces request: {e}"))?;
+    let doc: serde_json::Value = std::str::from_utf8(&resp.body)
+        .map_err(|_| "smoke traces: non-utf8 Chrome export".to_string())
+        .and_then(|s| {
+            serde_json::from_str(s)
+                .map_err(|e| format!("smoke traces: Chrome export is not valid JSON: {e}"))
+        })?;
+    let unit_ok = doc
+        .get("displayTimeUnit")
+        .and_then(|u| u.as_str())
+        .is_some_and(|u| u == "ns");
+    let events_ok = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .is_some_and(|a| a.len() >= 6);
+    if !unit_ok || !events_ok {
+        return Err("smoke traces: Chrome trace_event export is malformed".into());
+    }
+    println!(
+        "smoke /debug/traces: stalled request tail-captured with {} spans; Chrome export valid",
+        spans.len()
+    );
+
     drop(conn);
     let report = server.shutdown();
     if !report.clean || report.drain_rejected != 0 {
@@ -787,6 +927,12 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let check = flags.contains_key("check");
     let inject = get_usize(flags, "inject-panics", 0)? as u64;
     let swap_every = get_usize(flags, "swap-every", 0)?;
+    let trace_on = flags.contains_key("trace");
+    if trace_on {
+        // Default policy: keep slow (≥10ms) and 1/64 of the rest — the
+        // same configuration the throughput bench's overhead gate runs.
+        od_obs::trace::global().enable(od_obs::trace::TraceConfig::default());
+    }
 
     let artifact = load_artifact_flag(flags)?;
     let (default_users, default_cities) = artifact
@@ -1062,6 +1208,38 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         );
     }
+    if trace_on {
+        let tracer = od_obs::trace::global();
+        let ts = tracer.stats();
+        println!(
+            "traces kept   {}/{} (slowest {} at {:.0} us)",
+            ts.kept,
+            ts.started,
+            od_obs::trace::hex_id(ts.slowest_id),
+            ts.slowest_ns as f64 / 1e3
+        );
+        if check {
+            if ts.kept == 0 {
+                return Err(format!(
+                    "--trace run kept no traces ({} started)",
+                    ts.started
+                ));
+            }
+            let ring = tracer.snapshot(0, false, 0);
+            if ring.is_empty() {
+                return Err("--trace run left an empty trace ring".into());
+            }
+            for t in &ring {
+                od_obs::trace::check_well_formed(t).map_err(|e| {
+                    format!("malformed trace {}: {e}", od_obs::trace::hex_id(t.trace_id))
+                })?;
+            }
+            eprintln!(
+                "trace check passed: {} ring traces are well-formed span trees",
+                ring.len()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -1214,6 +1392,50 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
             eprintln!("wrote {} metric series to {path}", snap.series.len());
         }
         _ => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `odnet trace`: pull the tail-sampled trace ring from a running
+/// `odnet serve --trace` instance over its `/debug/traces` route. The
+/// default prints the native JSON document; `--chrome FILE` writes Chrome
+/// `trace_event` JSON (open in `chrome://tracing` or Perfetto).
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    use od_serve::loadgen::http_request;
+
+    let addr = flags
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or("--addr HOST:PORT is required (a running `odnet serve --trace`)")?;
+    let min_ms = get_usize(flags, "min-ms", 0)?;
+    let limit = get_usize(flags, "limit", 0)?;
+    let chrome_out = flags.get("chrome").filter(|p| !p.is_empty());
+    let mut path = format!("/debug/traces?min_ms={min_ms}&limit={limit}");
+    if flags.contains_key("errors") {
+        path.push_str("&errors=1");
+    }
+    if chrome_out.is_some() {
+        path.push_str("&format=chrome");
+    }
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let resp = http_request(&mut conn, "GET", &path, &[], None)
+        .map_err(|e| format!("fetching {path}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "{addr} answered {}: {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    match chrome_out {
+        Some(out) => {
+            std::fs::write(out, &resp.body).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!(
+                "wrote Chrome trace_event JSON to {out} (open in chrome://tracing or Perfetto)"
+            );
+        }
+        None => println!("{}", String::from_utf8_lossy(&resp.body)),
     }
     Ok(())
 }

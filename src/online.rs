@@ -113,6 +113,13 @@ pub struct RoundMetrics {
     pub published_epoch: u64,
     /// Its `.odz` header checksum.
     pub published_checksum: u32,
+    /// Traces the tail sampler kept in the ring this round.
+    pub trace_sampled: u64,
+    /// Trace id (16 hex digits) of the round's slowest request — the
+    /// handle to pull its span tree from the ring.
+    pub trace_slowest_id: String,
+    /// End-to-end duration of that slowest request in nanoseconds.
+    pub trace_max_e2e_ns: u64,
 }
 
 impl RoundMetrics {
@@ -207,17 +214,28 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
     )
     .with_histories(&ds.histories);
 
+    // Per-round trace accounting: the loop is the root of the pipeline
+    // here (no HTTP tier), so it opens a trace per panel request and the
+    // JSONL rows carry each round's sampled count and slowest request.
+    let tracer = od_obs::trace::global();
+    if !tracer.enabled() {
+        tracer.enable(od_obs::trace::TraceConfig::default());
+    }
+    tracer.take_slowest();
+
     let mut rounds = Vec::with_capacity(config.rounds as usize);
     let (mut total_clicks, mut total_impressions) = (0u64, 0u64);
     for r in 0..config.rounds {
         let serving = engine.version();
+        let kept_before = tracer.stats().kept;
         let (outcome, impressions) = harness.run_day(r, |user, day, k| {
             let pairs = od_bench::recall_candidates(&retriever, user, config.recall);
             if pairs.is_empty() {
                 return Vec::new();
             }
             let group = fx.group_for_serving(&ds, user, day, &pairs);
-            let Some(response) = submit_blocking(&engine, group) else {
+            let rid = format!("online-d{day}-u{}", user.index());
+            let Some(response) = submit_blocking(&engine, group, &rid) else {
                 return Vec::new();
             };
             // Rank by the serving score (Eq. 11) of the generation that
@@ -235,6 +253,8 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
         });
         total_clicks += outcome.clicks;
         total_impressions += outcome.impressions;
+        let trace_sampled = tracer.stats().kept - kept_before;
+        let (trace_max_e2e_ns, slowest_id) = tracer.take_slowest();
 
         // Feedback → labels: clicked slots are positives for both the
         // origin and destination towers, unclicked slots negatives.
@@ -265,6 +285,9 @@ pub fn run_online(config: &OnlineConfig) -> Result<OnlineReport, String> {
             train_loss: report.epoch_losses.last().copied().unwrap_or(f32::NAN),
             published_epoch: published.epoch,
             published_checksum: published.checksum,
+            trace_sampled,
+            trace_slowest_id: od_obs::trace::hex_id(slowest_id),
+            trace_max_e2e_ns,
         });
     }
 
@@ -310,12 +333,24 @@ fn impression_to_sample(imp: &Impression) -> OdSample {
 
 /// Submit through the live engine, retrying backpressure rejections, and
 /// wait for the versioned response. Returns an empty list (skipping the
-/// user) only if the engine is shutting down.
-fn submit_blocking(engine: &Engine, group: GroupInput) -> Option<od_serve::ScoredResponse> {
+/// user) only if the engine is shutting down. Opens one trace per request
+/// under `rid` — the loop is the pipeline root here.
+fn submit_blocking(
+    engine: &Engine,
+    group: GroupInput,
+    rid: &str,
+) -> Option<od_serve::ScoredResponse> {
+    let tracer = od_obs::trace::global();
+    let ctx = if tracer.enabled() {
+        tracer.begin(rid)
+    } else {
+        od_obs::trace::TraceContext::NONE
+    };
+    let t0 = ctx.is_active().then(od_obs::clock::now);
     let mut group = group;
-    loop {
-        match engine.submit(group) {
-            Submit::Accepted(ticket) => return ticket.wait_versioned().ok(),
+    let out = loop {
+        match engine.submit_traced(group, None, ctx) {
+            Submit::Accepted(ticket) => break ticket.wait_versioned().ok(),
             Submit::Rejected(back) => {
                 group = back;
                 std::thread::yield_now();
@@ -324,7 +359,11 @@ fn submit_blocking(engine: &Engine, group: GroupInput) -> Option<od_serve::Score
                 panic!("online loop built an invalid serving group: {error}")
             }
         }
+    };
+    if let Some(t0) = t0 {
+        tracer.end(ctx, "request", t0, od_obs::clock::now(), out.is_none());
     }
+    out
 }
 
 #[allow(clippy::unwrap_used)]
@@ -369,9 +408,19 @@ mod tests {
         }
         // Click feedback actually grew the training pool.
         assert!(report.rounds[1].train_groups > report.rounds[0].train_groups);
+        // Trace stats: every round served requests, so each row carries a
+        // slowest-request duration and a 16-hex trace id; the tail
+        // sampler kept at least one trace somewhere across the run.
+        for round in &report.rounds {
+            assert!(round.trace_max_e2e_ns > 0);
+            assert_eq!(round.trace_slowest_id.len(), 16);
+        }
+        assert!(report.rounds.iter().any(|r| r.trace_sampled > 0));
         // JSONL rows serialize.
         for round in &report.rounds {
-            assert!(round.to_json().contains("\"serving_epoch\""));
+            let row = round.to_json();
+            assert!(row.contains("\"serving_epoch\""));
+            assert!(row.contains("\"trace_slowest_id\""));
         }
     }
 }
